@@ -1,0 +1,92 @@
+// Command ldpids-bench regenerates the paper's evaluation: every figure
+// and table of §7 plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	ldpids-bench -exp fig4                 # one experiment
+//	ldpids-bench -exp all -scale 0.1       # the full evaluation, scaled
+//	ldpids-bench -exp table2 -scale 1.0    # paper-size populations
+//
+// Populations default to 10% of the paper's sizes (-scale 0.1) so the full
+// suite completes in minutes; shapes and orderings are population-invariant
+// (Fig. 6 sweeps N explicitly). Pass -audit to run the w-event privacy
+// accountant alongside every run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ldpids/internal/experiment"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id: fig4 fig5 fig6 fig7 fig8 table2 ablation-fo ablation-umin ablation-split, or 'all'")
+		scale    = flag.Float64("scale", 0.1, "population scale relative to the paper's sizes")
+		reps     = flag.Int("reps", 1, "repetitions averaged per cell")
+		seed     = flag.Uint64("seed", 1, "root random seed")
+		oracle   = flag.String("oracle", "GRR", "frequency oracle: GRR OUE SUE OLH")
+		methods  = flag.String("methods", "", "comma-separated method subset (default all)")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default all)")
+		audit    = flag.Bool("audit", false, "run the w-event privacy accountant on every run")
+		format   = flag.String("format", "text", "output format: text csv json")
+	)
+	flag.Parse()
+
+	cfg := &experiment.Config{
+		PopScale: *scale,
+		Reps:     *reps,
+		Seed:     *seed,
+		Oracle:   *oracle,
+		Audit:    *audit,
+	}
+	if *methods != "" {
+		cfg.Methods = strings.Split(*methods, ",")
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	registry := cfg.Experiments()
+	var ids []string
+	if *exp == "all" {
+		for id := range registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			if registry[id] == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; available:", id)
+				for k := range registry {
+					fmt.Fprintf(os.Stderr, " %s", k)
+				}
+				fmt.Fprintln(os.Stderr)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("=== %s (scale=%g, oracle=%s, reps=%d) ===\n\n", id, *scale, *oracle, *reps)
+		tables, err := registry[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := experiment.Write(os.Stdout, tables, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "text" {
+			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command ldpids-client simulates -n user devices connecting to an
+// ldpids-server aggregator. Each simulated user holds a private value
+// stream (a sticky Markov chain over the domain) and answers report
+// requests by perturbing its current value locally via the frequency
+// oracle — raw values never leave this process.
+package main
+
+import (
+	"flag"
+	"log"
+	"sync"
+
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+	"ldpids/internal/transport"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7788", "aggregator address")
+		n      = flag.Int("n", 100, "number of simulated users")
+		d      = flag.Int("d", 5, "domain size")
+		oracle = flag.String("oracle", "GRR", "frequency oracle (must match server)")
+		seed   = flag.Uint64("seed", 99, "client-side random seed")
+		first  = flag.Int("first", 0, "first user id (for sharding users across processes)")
+	)
+	flag.Parse()
+
+	o, err := fo.New(*oracle, *d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := ldprand.New(*seed)
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		id := *first + i
+		src := root.Split()
+		valueSrc := root.Split()
+		// The user's private value stream: sticky Markov chain.
+		cur := valueSrc.Intn(*d)
+		lastT := 0
+		value := func(t int) int {
+			for lastT < t {
+				if !valueSrc.Bernoulli(0.9) {
+					cur = valueSrc.Intn(*d)
+				}
+				lastT++
+			}
+			return cur
+		}
+		perturb := func(v int, eps float64) fo.Report { return o.Perturb(v, eps, src) }
+		c, err := transport.NewClient(*addr, id, value, perturb)
+		if err != nil {
+			log.Fatalf("user %d: %v", id, err)
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := c.Serve(); err != nil {
+				log.Printf("user %d disconnected: %v", id, err)
+			}
+		}(id)
+	}
+	log.Printf("%d users connected to %s; serving report requests", *n, *addr)
+	wg.Wait()
+}

@@ -1,0 +1,52 @@
+// Command ldpids-dump prints a persisted release log (written by
+// ldpids-server -out, package internal/store) as CSV: one row per
+// timestamp, one column per histogram element.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+)
+
+import "ldpids/internal/store"
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s <releases.ldps>\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ts, hists, err := store.ReadAll(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if len(hists) == 0 {
+		return
+	}
+	header := []string{"t"}
+	for k := range hists[0] {
+		header = append(header, fmt.Sprintf("f%d", k))
+	}
+	if err := w.Write(header); err != nil {
+		log.Fatal(err)
+	}
+	for i, t := range ts {
+		row := []string{strconv.Itoa(t)}
+		for _, v := range hists[i] {
+			row = append(row, strconv.FormatFloat(v, 'g', 6, 64))
+		}
+		if err := w.Write(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command ldpids-server runs the aggregator side of the LDP-IDS protocol
+// over TCP: it waits for -n user clients (see cmd/ldpids-client), then
+// drives the chosen mechanism for -T timestamps, printing each released
+// histogram and the final communication statistics.
+//
+// Demo (two shells):
+//
+//	ldpids-server -addr :7788 -n 200 -d 5 -method LPA -w 10 -eps 1 -T 50
+//	ldpids-client -addr 127.0.0.1:7788 -n 200 -d 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+	"ldpids/internal/mechanism"
+	"ldpids/internal/store"
+	"ldpids/internal/transport"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7788", "listen address")
+		n      = flag.Int("n", 100, "expected number of user clients")
+		d      = flag.Int("d", 5, "domain size")
+		method = flag.String("method", "LPA", "mechanism: LBU LSP LBD LBA LPU LPD LPA")
+		w      = flag.Int("w", 10, "window size")
+		eps    = flag.Float64("eps", 1.0, "privacy budget per window")
+		T      = flag.Int("T", 50, "timestamps to run")
+		oracle = flag.String("oracle", "GRR", "frequency oracle")
+		seed   = flag.Uint64("seed", 1, "server-side random seed")
+		wait   = flag.Duration("wait", 2*time.Minute, "registration timeout")
+		out    = flag.String("out", "", "optional path to persist releases as an append-only log")
+	)
+	flag.Parse()
+
+	o, err := fo.New(*oracle, *d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := transport.NewServer(*addr, o, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("listening on %s, waiting for %d users...", srv.Addr(), *n)
+	if err := srv.WaitReady(*wait); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("all %d users registered", *n)
+
+	m, err := mechanism.New(*method, mechanism.Params{
+		Eps: *eps, W: *w, N: *n, Oracle: o, Src: ldprand.New(*seed),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var logW *store.Writer
+	if *out != "" {
+		logW, err = store.Create(*out, *d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := logW.Close(); err != nil {
+				log.Printf("closing release log: %v", err)
+			}
+		}()
+	}
+	for t := 1; t <= *T; t++ {
+		srv.Advance(t)
+		release, err := m.Step(srv)
+		if err != nil {
+			log.Fatalf("t=%d: %v", t, err)
+		}
+		if logW != nil {
+			if err := logW.Append(t, release); err != nil {
+				log.Fatalf("persisting release at t=%d: %v", t, err)
+			}
+		}
+		fmt.Printf("t=%-4d r_t = [", t)
+		for k, v := range release {
+			if k > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%.4f", v)
+		}
+		fmt.Println("]")
+	}
+	fmt.Printf("\ncommunication: %s\n", srv.CommStats())
+}

@@ -1,0 +1,75 @@
+// Package comm accounts for the communication cost of LDP stream
+// collection. The paper's headline metric is CFPU — communication frequency
+// per user — the average number of reports each user uploads per timestamp
+// (§5.4.3, §6.3.3, Table 2, Fig. 8). Byte-level totals are also tracked so
+// oracle encodings can be compared.
+package comm
+
+import "fmt"
+
+// Counter accumulates per-run communication statistics. The zero value is
+// ready to use.
+type Counter struct {
+	n          int   // population size
+	timestamps int   // number of timestamps observed
+	reports    int64 // total reports uploaded
+	bytes      int64 // total report bytes uploaded
+	perT       []int64
+}
+
+// NewCounter returns a counter for a population of n users.
+func NewCounter(n int) *Counter { return &Counter{n: n} }
+
+// BeginTimestamp marks the start of a new timestamp.
+func (c *Counter) BeginTimestamp() {
+	c.timestamps++
+	c.perT = append(c.perT, 0)
+}
+
+// Observe records that k users uploaded reports totalling b bytes during
+// the current timestamp.
+func (c *Counter) Observe(k int, b int) {
+	c.reports += int64(k)
+	c.bytes += int64(b)
+	if len(c.perT) > 0 {
+		c.perT[len(c.perT)-1] += int64(k)
+	}
+}
+
+// Stats is an immutable summary of a Counter.
+type Stats struct {
+	// N is the population size.
+	N int
+	// Timestamps is the number of observed timestamps.
+	Timestamps int
+	// Reports is the total number of uploaded reports.
+	Reports int64
+	// Bytes is the total uploaded payload size.
+	Bytes int64
+	// CFPU is reports / (N * timestamps): the paper's communication
+	// frequency per user.
+	CFPU float64
+	// ReportsPerT is the report count at each timestamp.
+	ReportsPerT []int64
+}
+
+// Stats summarizes the counter.
+func (c *Counter) Stats() Stats {
+	s := Stats{
+		N:          c.n,
+		Timestamps: c.timestamps,
+		Reports:    c.reports,
+		Bytes:      c.bytes,
+	}
+	if c.n > 0 && c.timestamps > 0 {
+		s.CFPU = float64(c.reports) / (float64(c.n) * float64(c.timestamps))
+	}
+	s.ReportsPerT = append(s.ReportsPerT, c.perT...)
+	return s
+}
+
+// String renders the headline numbers.
+func (s Stats) String() string {
+	return fmt.Sprintf("N=%d T=%d reports=%d bytes=%d CFPU=%.4f",
+		s.N, s.Timestamps, s.Reports, s.Bytes, s.CFPU)
+}

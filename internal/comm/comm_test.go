@@ -1,0 +1,79 @@
+package comm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCFPU(t *testing.T) {
+	c := NewCounter(100)
+	for ts := 0; ts < 10; ts++ {
+		c.BeginTimestamp()
+		c.Observe(100, 400) // all users report once
+	}
+	s := c.Stats()
+	if math.Abs(s.CFPU-1.0) > 1e-12 {
+		t.Fatalf("CFPU %v want 1", s.CFPU)
+	}
+	if s.Reports != 1000 || s.Bytes != 4000 {
+		t.Fatalf("totals %d/%d", s.Reports, s.Bytes)
+	}
+}
+
+func TestPartialParticipation(t *testing.T) {
+	c := NewCounter(1000)
+	for ts := 0; ts < 20; ts++ {
+		c.BeginTimestamp()
+		c.Observe(50, 200) // 1/20 of users per timestamp
+	}
+	s := c.Stats()
+	if math.Abs(s.CFPU-0.05) > 1e-12 {
+		t.Fatalf("CFPU %v want 0.05", s.CFPU)
+	}
+}
+
+func TestMultipleObservationsPerTimestamp(t *testing.T) {
+	c := NewCounter(10)
+	c.BeginTimestamp()
+	c.Observe(10, 40)
+	c.Observe(10, 40) // second round (e.g. M1 then M2)
+	s := c.Stats()
+	if s.ReportsPerT[0] != 20 {
+		t.Fatalf("per-timestamp reports %d want 20", s.ReportsPerT[0])
+	}
+	if math.Abs(s.CFPU-2.0) > 1e-12 {
+		t.Fatalf("CFPU %v want 2", s.CFPU)
+	}
+}
+
+func TestZeroSafety(t *testing.T) {
+	s := NewCounter(0).Stats()
+	if s.CFPU != 0 {
+		t.Fatal("zero-population CFPU should be 0")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	c := NewCounter(5)
+	c.BeginTimestamp()
+	c.Observe(5, 20)
+	if got := c.Stats().String(); !strings.Contains(got, "CFPU=1.0000") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestStatsIsSnapshot(t *testing.T) {
+	c := NewCounter(10)
+	c.BeginTimestamp()
+	c.Observe(10, 40)
+	s := c.Stats()
+	c.BeginTimestamp()
+	c.Observe(10, 40)
+	if s.Reports != 10 {
+		t.Fatal("earlier snapshot mutated")
+	}
+	if len(s.ReportsPerT) != 1 {
+		t.Fatal("snapshot per-timestamp slice aliased")
+	}
+}

@@ -1,0 +1,111 @@
+package experiment
+
+import "fmt"
+
+// Ablation experiments beyond the paper's figures, probing the design
+// choices DESIGN.md calls out.
+
+// AblationFO swaps the frequency oracle under the best adaptive method on
+// each dataset family: MRE of LPA with GRR vs OUE vs SUE vs OLH (ε = 1,
+// w = 20). GRR should win on d = 2; OUE/OLH should close the gap (or win)
+// on the large-domain traces.
+func (c *Config) AblationFO() ([]Table, error) {
+	oracles := []string{"GRR", "OUE", "SUE", "OLH"}
+	datasets := []string{"Sin", "Taxi", "Foursquare"}
+	if len(c.Datasets) > 0 {
+		datasets = c.Datasets
+	}
+	tbl := Table{
+		Title:    "Ablation: frequency oracle under LPA (eps=1, w=20), MRE",
+		XLabel:   "oracle",
+		ColHeads: datasets,
+		RowHeads: oracles,
+		Cells:    make([][]float64, len(oracles)),
+	}
+	for r, oracle := range oracles {
+		tbl.Cells[r] = make([]float64, len(datasets))
+		for col, ds := range datasets {
+			out, err := ExecuteAveraged(RunSpec{
+				Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+				Method: "LPA", Eps: 1, W: 20,
+				Oracle: oracle, Seed: c.cellSeed(7, r, col),
+				StreamSeed: c.cellSeed(107, col), Audit: c.Audit,
+			}, c.reps())
+			if err != nil {
+				return nil, err
+			}
+			tbl.Cells[r][col] = out.MRE
+		}
+	}
+	return []Table{tbl}, nil
+}
+
+// AblationUMin sweeps LPD's publication-user floor u_min: too small wastes
+// publications on useless tiny groups, too large suppresses publication.
+func (c *Config) AblationUMin() ([]Table, error) {
+	uMins := []int{1, 10, 100, 1000}
+	cols := []string{"1", "10", "100", "1000"}
+	datasets := []string{"LNS", "Sin"}
+	if len(c.Datasets) > 0 {
+		datasets = c.Datasets
+	}
+	tbl := Table{
+		Title:    "Ablation: LPD u_min floor (eps=1, w=20), MRE",
+		XLabel:   "dataset",
+		ColHeads: cols,
+		RowHeads: datasets,
+		Cells:    make([][]float64, len(datasets)),
+	}
+	for r, ds := range datasets {
+		tbl.Cells[r] = make([]float64, len(uMins))
+		for col, u := range uMins {
+			out, err := ExecuteAveraged(RunSpec{
+				Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+				Method: "LPD", Eps: 1, W: 20, UMin: u,
+				Oracle: c.Oracle, Seed: c.cellSeed(8, r, col),
+				StreamSeed: c.cellSeed(108, r), Audit: c.Audit,
+			}, c.reps())
+			if err != nil {
+				return nil, err
+			}
+			tbl.Cells[r][col] = out.MRE
+		}
+	}
+	return []Table{tbl}, nil
+}
+
+// AblationSplit sweeps the M1/M2 resource split of the adaptive methods:
+// the paper fixes it at 1/2; this quantifies the sensitivity of that
+// choice for LBA and LPA.
+func (c *Config) AblationSplit() ([]Table, error) {
+	fracs := []float64{0.25, 0.5, 0.75}
+	cols := []string{"0.25", "0.50", "0.75"}
+	methods := []string{"LBA", "LPA", "LBD", "LPD"}
+	var tables []Table
+	for _, ds := range []string{"LNS"} {
+		tbl := Table{
+			Title:    fmt.Sprintf("Ablation: M1 resource fraction on %s (eps=1, w=20), MRE", ds),
+			XLabel:   "M1 frac",
+			ColHeads: cols,
+			RowHeads: methods,
+			Cells:    make([][]float64, len(methods)),
+		}
+		for r, method := range methods {
+			tbl.Cells[r] = make([]float64, len(fracs))
+			for col, f := range fracs {
+				out, err := ExecuteAveraged(RunSpec{
+					Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+					Method: method, Eps: 1, W: 20, DisFraction: f,
+					Oracle: c.Oracle, Seed: c.cellSeed(9, r, col),
+					StreamSeed: c.cellSeed(109, 0), Audit: c.Audit,
+				}, c.reps())
+				if err != nil {
+					return nil, err
+				}
+				tbl.Cells[r][col] = out.MRE
+			}
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"ldpids/internal/cdp"
+	"ldpids/internal/filter"
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+	"ldpids/internal/metrics"
+	"ldpids/internal/stream"
+)
+
+// CompareCDP quantifies the trust gap: the centralized w-event DP baselines
+// (Laplace noise on the true histogram; Kellaris BD/BA) against their LDP
+// counterparts at the same (ε, w), by MAE on the Sin stream. CDP errors
+// should be orders of magnitude below LDP ones — the price of removing the
+// trusted aggregator.
+func (c *Config) CompareCDP() ([]Table, error) {
+	epsVals := []float64{0.5, 1, 2}
+	cols := []string{"0.5", "1.0", "2.0"}
+	rows := []string{"CDP-Uniform", "CDP-BD", "CDP-BA", "LBU", "LBA", "LPU", "LPA"}
+	w := 20
+
+	tbl := Table{
+		Title:    "Comparison: CDP vs LDP at the same (eps, w=20), MAE on Sin",
+		XLabel:   "method",
+		ColHeads: cols,
+		RowHeads: rows,
+		Cells:    make([][]float64, len(rows)),
+	}
+	for r := range rows {
+		tbl.Cells[r] = make([]float64, len(cols))
+	}
+
+	for col, eps := range epsVals {
+		// Shared truth stream for the CDP mechanisms.
+		streamSeed := c.cellSeed(110, col)
+		sp := StreamSpec{Dataset: "Sin", PopScale: c.popScale()}
+		src := ldprand.New(streamSeed)
+		s, T, d, err := sp.Build(src.Split())
+		if err != nil {
+			return nil, err
+		}
+		truth := stream.Histograms(stream.Materialize(s, T), d)
+		n := s.N()
+
+		mkParams := func(seed uint64) cdp.Params {
+			return cdp.Params{Eps: eps, W: w, N: n, Src: ldprand.New(seed)}
+		}
+		cdpMechs := map[string]cdp.Mechanism{
+			"CDP-Uniform": cdp.NewUniform(mkParams(c.cellSeed(111, col, 0))),
+			"CDP-BD":      cdp.NewBD(mkParams(c.cellSeed(111, col, 1))),
+			"CDP-BA":      cdp.NewBA(mkParams(c.cellSeed(111, col, 2))),
+		}
+		for r, name := range rows {
+			if m, ok := cdpMechs[name]; ok {
+				tbl.Cells[r][col] = metrics.MAE(cdp.Run(m, truth), truth)
+				continue
+			}
+			out, err := ExecuteAveraged(RunSpec{
+				Stream: sp, Method: name, Eps: eps, W: w,
+				Oracle: c.Oracle, Seed: c.cellSeed(111, col, 10+r),
+				StreamSeed: streamSeed, Audit: c.Audit,
+			}, c.reps())
+			if err != nil {
+				return nil, err
+			}
+			tbl.Cells[r][col] = out.MAE
+		}
+	}
+	return []Table{tbl}, nil
+}
+
+// AblationFilter measures the benefit of server-side post-processing
+// (free under DP): raw LPU releases vs Kalman-filtered (using the oracle's
+// closed-form release variance) vs EWMA-smoothed, by MSE on LNS.
+func (c *Config) AblationFilter() ([]Table, error) {
+	w := 20
+	eps := 1.0
+	rows := []string{"LPU raw", "LPU+Kalman", "LPU+EWMA(0.3)", "LBU raw", "LBU+Kalman"}
+	cols := []string{"LNS", "Sin"}
+	tbl := Table{
+		Title:    "Ablation: server-side filtering of releases (eps=1, w=20), MSE",
+		XLabel:   "pipeline",
+		ColHeads: cols,
+		RowHeads: rows,
+		Cells:    make([][]float64, len(rows)),
+	}
+	for r := range rows {
+		tbl.Cells[r] = make([]float64, len(cols))
+	}
+	for col, ds := range cols {
+		for base, method := range map[int]string{0: "LPU", 3: "LBU"} {
+			out, err := ExecuteAveraged(RunSpec{
+				Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+				Method: method, Eps: eps, W: w,
+				Oracle: c.Oracle, Seed: c.cellSeed(112, col, base),
+				StreamSeed: c.cellSeed(113, col), Audit: c.Audit,
+			}, c.reps())
+			if err != nil {
+				return nil, err
+			}
+			tbl.Cells[base][col] = metrics.MSE(out.Released, out.True)
+
+			// Per-release measurement variance: LPU reports with full
+			// eps from N/w users; LBU with eps/w from all N users.
+			oracle := fo.NewGRR(2)
+			var mv float64
+			if method == "LPU" {
+				mv = oracle.VarianceApprox(eps, out.N/w)
+			} else {
+				mv = oracle.VarianceApprox(eps/float64(w), out.N)
+			}
+			measVar := make([]float64, out.T)
+			for i := range measVar {
+				measVar[i] = mv
+			}
+			filtered := filter.KalmanStream(out.Released, measVar, 1e-5)
+			tbl.Cells[base+1][col] = metrics.MSE(filtered, out.True)
+
+			if method == "LPU" {
+				smoothed := filter.EWMAStream(out.Released, 0.3)
+				tbl.Cells[base+2][col] = metrics.MSE(smoothed, out.True)
+			}
+		}
+	}
+	return []Table{tbl}, nil
+}

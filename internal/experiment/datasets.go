@@ -1,0 +1,114 @@
+// Package experiment is the reproduction harness: it builds the paper's
+// six evaluation datasets (three synthetic, three simulated real-world),
+// runs any mechanism against them, computes the paper's metrics, and
+// renders the rows/series of every figure and table in §7.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"ldpids/internal/ldprand"
+	"ldpids/internal/stream"
+	"ldpids/internal/trace"
+)
+
+// DatasetNames lists the six evaluation datasets in the paper's order.
+var DatasetNames = []string{"LNS", "Sin", "Log", "Taxi", "Foursquare", "Taobao"}
+
+// SyntheticN and SyntheticT are the paper's synthetic-dataset defaults
+// (§7.1.1): 200,000 users over 800 timestamps.
+const (
+	SyntheticN = 200000
+	SyntheticT = 800
+)
+
+// StreamSpec selects and parameterizes a dataset. Zero-valued fields take
+// the paper's defaults.
+type StreamSpec struct {
+	// Dataset is one of DatasetNames.
+	Dataset string
+	// N overrides the population size (0 = paper default, possibly
+	// scaled by PopScale).
+	N int
+	// T overrides the stream length (0 = paper default).
+	T int
+	// PopScale scales the default population when N == 0 (0 = 1.0).
+	// It exists because the full Foursquare/Taobao populations make the
+	// complete reproduction run long; shapes are population-invariant
+	// and the explicit N sweep is Fig. 6.
+	PopScale float64
+	// LNSStd overrides sqrt(Q) for the LNS walk (0 = 0.0025).
+	LNSStd float64
+	// SinB overrides the Sin period parameter b (0 = 0.01).
+	SinB float64
+}
+
+// defaults fills in paper-default N and T for the dataset.
+func (sp StreamSpec) defaults() (n, t int, err error) {
+	switch sp.Dataset {
+	case "LNS", "Sin", "Log":
+		n, t = SyntheticN, SyntheticT
+	case "Taxi":
+		n, t = trace.TaxiSpec.N, trace.TaxiSpec.T
+	case "Foursquare":
+		n, t = trace.FoursquareSpec.N, trace.FoursquareSpec.T
+	case "Taobao":
+		n, t = trace.TaobaoSpec.N, trace.TaobaoSpec.T
+	default:
+		return 0, 0, fmt.Errorf("experiment: unknown dataset %q", sp.Dataset)
+	}
+	if sp.N > 0 {
+		n = sp.N
+	} else if sp.PopScale > 0 {
+		n = int(math.Round(float64(n) * sp.PopScale))
+		if n < 100 {
+			n = 100
+		}
+	}
+	if sp.T > 0 {
+		t = sp.T
+	}
+	return n, t, nil
+}
+
+// Build constructs the dataset's stream plus its length and domain size.
+func (sp StreamSpec) Build(src *ldprand.Source) (s stream.Stream, T, d int, err error) {
+	n, T, err := sp.defaults()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	switch sp.Dataset {
+	case "LNS":
+		std := sp.LNSStd
+		if std == 0 {
+			std = 0.0025
+		}
+		proc := stream.NewLNS(0.05, std, src.Split())
+		return stream.NewBinaryStream(n, proc, src.Split()), T, 2, nil
+	case "Sin":
+		b := sp.SinB
+		if b == 0 {
+			b = 0.01
+		}
+		proc := stream.NewSin(0.05, b, 0.075)
+		return stream.NewBinaryStream(n, proc, src.Split()), T, 2, nil
+	case "Log":
+		proc := stream.DefaultLog()
+		return stream.NewBinaryStream(n, proc, src.Split()), T, 2, nil
+	case "Taxi":
+		return trace.Taxi(n, trace.TaxiSpec.D, src.Split()), T, trace.TaxiSpec.D, nil
+	case "Foursquare":
+		return trace.Foursquare(n, trace.FoursquareSpec.D, src.Split()), T, trace.FoursquareSpec.D, nil
+	case "Taobao":
+		return trace.Taobao(n, trace.TaobaoSpec.D, src.Split()), T, trace.TaobaoSpec.D, nil
+	default:
+		return nil, 0, 0, fmt.Errorf("experiment: unknown dataset %q", sp.Dataset)
+	}
+}
+
+// IsBinary reports whether the dataset is one of the binary synthetic
+// streams (d = 2), which determines the monitored statistic in Fig. 7.
+func IsBinary(dataset string) bool {
+	return dataset == "LNS" || dataset == "Sin" || dataset == "Log"
+}

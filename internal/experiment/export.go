@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders tables as CSV: one header row per table (title in a
+// comment-style first cell), then rows of method name followed by cell
+// values. Multiple tables are separated by blank records.
+func WriteCSV(w io.Writer, tables []Table) error {
+	cw := csv.NewWriter(w)
+	for i, t := range tables {
+		if i > 0 {
+			// Blank separator line between tables.
+			if err := cw.Write([]string{""}); err != nil {
+				return err
+			}
+		}
+		if err := cw.Write([]string{"# " + t.Title}); err != nil {
+			return err
+		}
+		header := append([]string{t.XLabel}, t.ColHeads...)
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		for r, rh := range t.RowHeads {
+			row := make([]string, 0, len(t.Cells[r])+1)
+			row = append(row, rh)
+			for _, v := range t.Cells[r] {
+				row = append(row, strconv.FormatFloat(v, 'g', 6, 64))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON renders tables as an indented JSON array.
+func WriteJSON(w io.Writer, tables []Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
+}
+
+// Write renders tables in the named format: "text" (default), "csv" or
+// "json".
+func Write(w io.Writer, tables []Table, format string) error {
+	switch format {
+	case "", "text":
+		RenderAll(w, tables)
+		return nil
+	case "csv":
+		return WriteCSV(w, tables)
+	case "json":
+		return WriteJSON(w, tables)
+	default:
+		return fmt.Errorf("experiment: unknown output format %q", format)
+	}
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func demoTable() Table {
+	return Table{
+		Title:    "demo table",
+		XLabel:   "eps",
+		ColHeads: []string{"0.5", "1.0"},
+		RowHeads: []string{"LBU", "LPA"},
+		Cells:    [][]float64{{0.5, 0.25}, {0.05, 0.02}},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Table{demoTable(), demoTable()}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# demo table", "eps,0.5,1.0", "LBU,0.5,0.25", "LPA,0.05,0.02"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# demo table") != 2 {
+		t.Fatal("second table missing")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Table{demoTable()}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Table
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Title != "demo table" || got[0].Cells[1][1] != 0.02 {
+		t.Fatalf("round trip %+v", got)
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	for _, format := range []string{"", "text", "csv", "json"} {
+		buf.Reset()
+		if err := Write(&buf, []Table{demoTable()}, format); err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %q produced no output", format)
+		}
+	}
+	if err := Write(&buf, nil, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

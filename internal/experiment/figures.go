@@ -1,0 +1,382 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ldpids/internal/mechanism"
+)
+
+// Config sets the global knobs of the reproduction harness.
+type Config struct {
+	// PopScale scales dataset populations (0 = 0.1). 1.0 reproduces the
+	// paper's full sizes at ~10x the runtime.
+	PopScale float64
+	// Reps averages each cell over this many seeded repetitions (0 = 1).
+	Reps int
+	// Seed is the root seed.
+	Seed uint64
+	// Oracle names the FO ("" = GRR).
+	Oracle string
+	// Methods restricts the compared methods (nil = all seven).
+	Methods []string
+	// Datasets restricts the datasets (nil = all six).
+	Datasets []string
+	// Audit turns the w-event privacy accountant on for every run.
+	Audit bool
+}
+
+func (c *Config) popScale() float64 {
+	if c.PopScale <= 0 {
+		return 0.1
+	}
+	return c.PopScale
+}
+
+func (c *Config) reps() int {
+	if c.Reps < 1 {
+		return 1
+	}
+	return c.Reps
+}
+
+func (c *Config) methods() []string {
+	if len(c.Methods) == 0 {
+		return mechanism.Names
+	}
+	return c.Methods
+}
+
+func (c *Config) datasets() []string {
+	if len(c.Datasets) == 0 {
+		return DatasetNames
+	}
+	return c.Datasets
+}
+
+// cellSeed derives a distinct seed per table cell so runs are independent
+// but replayable.
+func (c *Config) cellSeed(parts ...int) uint64 {
+	s := c.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for _, p := range parts {
+		s = s*1099511628211 + uint64(p) + 1
+	}
+	return s
+}
+
+// sweep runs every method over the given x-axis, extracting one metric per
+// run into a Table.
+func (c *Config) sweep(title, xlabel string, cols []string, specAt func(method string, col int) RunSpec, metric func(*Outcome) float64) (Table, error) {
+	tbl := Table{Title: title, XLabel: xlabel, ColHeads: cols, RowHeads: c.methods()}
+	tbl.Cells = make([][]float64, len(tbl.RowHeads))
+	for r, method := range tbl.RowHeads {
+		tbl.Cells[r] = make([]float64, len(cols))
+		for col := range cols {
+			out, err := ExecuteAveraged(specAt(method, col), c.reps())
+			if err != nil {
+				return Table{}, err
+			}
+			if out.PrivacyViolations > 0 {
+				return Table{}, fmt.Errorf("experiment: %s violated w-event LDP in %q", method, title)
+			}
+			tbl.Cells[r][col] = metric(out)
+		}
+	}
+	return tbl, nil
+}
+
+// Fig4 reproduces Figure 4: MRE vs ε ∈ {0.5, 1, 1.5, 2, 2.5} with w = 20
+// on every dataset.
+func (c *Config) Fig4() ([]Table, error) {
+	epsVals := []float64{0.5, 1, 1.5, 2, 2.5}
+	cols := []string{"0.5", "1.0", "1.5", "2.0", "2.5"}
+	var tables []Table
+	for di, ds := range c.datasets() {
+		tbl, err := c.sweep(
+			fmt.Sprintf("Fig 4(%c): MRE vs eps on %s (w=20)", 'a'+di, ds),
+			"eps", cols,
+			func(method string, col int) RunSpec {
+				return RunSpec{
+					Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+					Method: method, Eps: epsVals[col], W: 20,
+					Oracle: c.Oracle, Seed: c.cellSeed(1, di, col),
+					StreamSeed: c.cellSeed(101, di), Audit: c.Audit,
+				}
+			},
+			func(o *Outcome) float64 { return o.MRE })
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+// Fig5 reproduces Figure 5: MRE vs w ∈ {10, 20, 30, 40, 50} with ε = 1.
+func (c *Config) Fig5() ([]Table, error) {
+	wVals := []int{10, 20, 30, 40, 50}
+	cols := []string{"10", "20", "30", "40", "50"}
+	var tables []Table
+	for di, ds := range c.datasets() {
+		tbl, err := c.sweep(
+			fmt.Sprintf("Fig 5(%c): MRE vs w on %s (eps=1)", 'a'+di, ds),
+			"w", cols,
+			func(method string, col int) RunSpec {
+				return RunSpec{
+					Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+					Method: method, Eps: 1, W: wVals[col],
+					Oracle: c.Oracle, Seed: c.cellSeed(2, di, col),
+					StreamSeed: c.cellSeed(102, di), Audit: c.Audit,
+				}
+			},
+			func(o *Outcome) float64 { return o.MRE })
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+// Fig6 reproduces Figure 6: the impact of dataset parameters with ε = 1,
+// w = 30 — population sweeps on LNS and Sin, fluctuation sweeps √Q on LNS
+// and b on Sin.
+func (c *Config) Fig6() ([]Table, error) {
+	var tables []Table
+
+	// (a, b) population sweep: 1, 2, 4, 8 x 10^5 users, scaled.
+	popVals := []int{100000, 200000, 400000, 800000}
+	cols := []string{"1e5", "2e5", "4e5", "8e5"}
+	for di, ds := range []string{"LNS", "Sin"} {
+		tbl, err := c.sweep(
+			fmt.Sprintf("Fig 6(%c): MRE vs population N on %s (eps=1, w=30, scaled by %.2g)", 'a'+di, ds, c.popScale()),
+			"N", cols,
+			func(method string, col int) RunSpec {
+				n := int(float64(popVals[col]) * c.popScale())
+				return RunSpec{
+					Stream: StreamSpec{Dataset: ds, N: n},
+					Method: method, Eps: 1, W: 30,
+					Oracle: c.Oracle, Seed: c.cellSeed(3, di, col),
+					StreamSeed: c.cellSeed(103, di), Audit: c.Audit,
+				}
+			},
+			func(o *Outcome) float64 { return o.MRE })
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, tbl)
+	}
+
+	// (c) fluctuation sweep on LNS: sqrt(Q) in {.001, .002, .004, .008}.
+	stdVals := []float64{0.001, 0.002, 0.004, 0.008}
+	tbl, err := c.sweep(
+		"Fig 6(c): MRE vs fluctuation sqrt(Q) on LNS (eps=1, w=30)",
+		"sqrtQ", []string{"0.001", "0.002", "0.004", "0.008"},
+		func(method string, col int) RunSpec {
+			return RunSpec{
+				Stream: StreamSpec{Dataset: "LNS", PopScale: c.popScale(), LNSStd: stdVals[col]},
+				Method: method, Eps: 1, W: 30,
+				Oracle: c.Oracle, Seed: c.cellSeed(3, 10, col),
+				StreamSeed: c.cellSeed(103, 10), Audit: c.Audit,
+			}
+		},
+		func(o *Outcome) float64 { return o.MRE })
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tbl)
+
+	// (d) period sweep on Sin: b in {1/200, 1/100, 1/50, 1/25}.
+	bVals := []float64{1.0 / 200, 1.0 / 100, 1.0 / 50, 1.0 / 25}
+	tbl, err = c.sweep(
+		"Fig 6(d): MRE vs period b on Sin (eps=1, w=30)",
+		"b", []string{"1/200", "1/100", "1/50", "1/25"},
+		func(method string, col int) RunSpec {
+			return RunSpec{
+				Stream: StreamSpec{Dataset: "Sin", PopScale: c.popScale(), SinB: bVals[col]},
+				Method: method, Eps: 1, W: 30,
+				Oracle: c.Oracle, Seed: c.cellSeed(3, 11, col),
+				StreamSeed: c.cellSeed(103, 11), Audit: c.Audit,
+			}
+		},
+		func(o *Outcome) float64 { return o.MRE })
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tbl)
+	return tables, nil
+}
+
+// Fig7 reproduces Figure 7's event-monitoring comparison (ε = 1, w = 50):
+// one AUC table over all datasets for the methods the paper plots (LBA,
+// LSP, LPU, LPD, LPA).
+func (c *Config) Fig7() ([]Table, error) {
+	methods := []string{"LBA", "LSP", "LPU", "LPD", "LPA"}
+	if len(c.Methods) > 0 {
+		methods = c.Methods
+	}
+	ds := c.datasets()
+	tbl := Table{
+		Title:    "Fig 7: event-monitoring ROC AUC (eps=1, w=50)",
+		XLabel:   "method",
+		ColHeads: ds,
+		RowHeads: methods,
+		Cells:    make([][]float64, len(methods)),
+	}
+	for r, method := range methods {
+		tbl.Cells[r] = make([]float64, len(ds))
+		for col, dataset := range ds {
+			out, err := ExecuteAveraged(RunSpec{
+				Stream: StreamSpec{Dataset: dataset, PopScale: c.popScale()},
+				Method: method, Eps: 1, W: 50,
+				Oracle: c.Oracle, Seed: c.cellSeed(4, r, col),
+				StreamSeed: c.cellSeed(104, col), Audit: c.Audit,
+			}, c.reps())
+			if err != nil {
+				return nil, err
+			}
+			tbl.Cells[r][col] = out.AUC
+		}
+	}
+	return []Table{tbl}, nil
+}
+
+// Table2 reproduces Table 2: CFPU of every method on Sin, Log, Taxi,
+// Foursquare and Taobao for (ε, w) ∈ {(1,20), (2,20), (2,40)}.
+func (c *Config) Table2() ([]Table, error) {
+	datasets := []string{"Sin", "Log", "Taxi", "Foursquare", "Taobao"}
+	if len(c.Datasets) > 0 {
+		datasets = c.Datasets
+	}
+	combos := []struct {
+		eps float64
+		w   int
+	}{{1, 20}, {2, 20}, {2, 40}}
+	var tables []Table
+	for ci, combo := range combos {
+		tbl := Table{
+			Title:    fmt.Sprintf("Table 2: CFPU (eps=%g, w=%d)", combo.eps, combo.w),
+			XLabel:   "method",
+			ColHeads: datasets,
+			RowHeads: c.methods(),
+			Cells:    make([][]float64, len(c.methods())),
+		}
+		for r, method := range tbl.RowHeads {
+			tbl.Cells[r] = make([]float64, len(datasets))
+			for col, dataset := range datasets {
+				out, err := ExecuteAveraged(RunSpec{
+					Stream: StreamSpec{Dataset: dataset, PopScale: c.popScale()},
+					Method: method, Eps: combo.eps, W: combo.w,
+					Oracle: c.Oracle, Seed: c.cellSeed(5, ci, r, col),
+					StreamSeed: c.cellSeed(105, col), Audit: c.Audit,
+				}, c.reps())
+				if err != nil {
+					return nil, err
+				}
+				tbl.Cells[r][col] = out.CFPU
+			}
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+// Fig8 reproduces Figure 8: CFPU on LNS with respect to population N,
+// fluctuation Q, budget ε, and window size w.
+func (c *Config) Fig8() ([]Table, error) {
+	var tables []Table
+
+	// (a) CFPU vs N in {0.5, 1, 1.5, 2} x 10^4.
+	popVals := []int{5000, 10000, 15000, 20000}
+	tbl, err := c.sweep(
+		"Fig 8(a): CFPU vs population N on LNS (eps=1, w=20)",
+		"N", []string{"5e3", "1e4", "1.5e4", "2e4"},
+		func(method string, col int) RunSpec {
+			return RunSpec{
+				Stream: StreamSpec{Dataset: "LNS", N: popVals[col]},
+				Method: method, Eps: 1, W: 20,
+				Oracle: c.Oracle, Seed: c.cellSeed(6, 0, col),
+				StreamSeed: c.cellSeed(106, 0), Audit: c.Audit,
+			}
+		},
+		func(o *Outcome) float64 { return o.CFPU })
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tbl)
+
+	// (b) CFPU vs fluctuation sqrt(Q) in {0.01, 0.02, 0.04, 0.08}.
+	stdVals := []float64{0.01, 0.02, 0.04, 0.08}
+	tbl, err = c.sweep(
+		"Fig 8(b): CFPU vs fluctuation sqrt(Q) on LNS (eps=1, w=20)",
+		"sqrtQ", []string{"0.01", "0.02", "0.04", "0.08"},
+		func(method string, col int) RunSpec {
+			return RunSpec{
+				Stream: StreamSpec{Dataset: "LNS", PopScale: c.popScale(), LNSStd: stdVals[col]},
+				Method: method, Eps: 1, W: 20,
+				Oracle: c.Oracle, Seed: c.cellSeed(6, 1, col),
+				StreamSeed: c.cellSeed(106, 1), Audit: c.Audit,
+			}
+		},
+		func(o *Outcome) float64 { return o.CFPU })
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tbl)
+
+	// (c) CFPU vs eps in {0.5, 1, 1.5, 2}.
+	epsVals := []float64{0.5, 1, 1.5, 2}
+	tbl, err = c.sweep(
+		"Fig 8(c): CFPU vs eps on LNS (w=20)",
+		"eps", []string{"0.5", "1.0", "1.5", "2.0"},
+		func(method string, col int) RunSpec {
+			return RunSpec{
+				Stream: StreamSpec{Dataset: "LNS", PopScale: c.popScale()},
+				Method: method, Eps: epsVals[col], W: 20,
+				Oracle: c.Oracle, Seed: c.cellSeed(6, 2, col),
+				StreamSeed: c.cellSeed(106, 2), Audit: c.Audit,
+			}
+		},
+		func(o *Outcome) float64 { return o.CFPU })
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tbl)
+
+	// (d) CFPU vs w in {10, 20, 30, 40}.
+	wVals := []int{10, 20, 30, 40}
+	tbl, err = c.sweep(
+		"Fig 8(d): CFPU vs w on LNS (eps=1)",
+		"w", []string{"10", "20", "30", "40"},
+		func(method string, col int) RunSpec {
+			return RunSpec{
+				Stream: StreamSpec{Dataset: "LNS", PopScale: c.popScale()},
+				Method: method, Eps: 1, W: wVals[col],
+				Oracle: c.Oracle, Seed: c.cellSeed(6, 3, col),
+				StreamSeed: c.cellSeed(106, 3), Audit: c.Audit,
+			}
+		},
+		func(o *Outcome) float64 { return o.CFPU })
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, tbl)
+	return tables, nil
+}
+
+// Experiments maps experiment ids to their runners.
+func (c *Config) Experiments() map[string]func() ([]Table, error) {
+	return map[string]func() ([]Table, error){
+		"fig4":                c.Fig4,
+		"fig5":                c.Fig5,
+		"fig6":                c.Fig6,
+		"fig7":                c.Fig7,
+		"fig8":                c.Fig8,
+		"table2":              c.Table2,
+		"ablation-fo":         c.AblationFO,
+		"ablation-umin":       c.AblationUMin,
+		"ablation-split":      c.AblationSplit,
+		"ablation-filter":     c.AblationFilter,
+		"compare-cdp":         c.CompareCDP,
+		"compare-granularity": c.CompareGranularity,
+	}
+}

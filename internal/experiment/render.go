@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: methods as rows, a swept
+// parameter as columns.
+type Table struct {
+	// Title names the figure/table and its fixed parameters.
+	Title string
+	// XLabel names the swept parameter.
+	XLabel string
+	// ColHeads are the column labels (x values).
+	ColHeads []string
+	// RowHeads are the row labels (methods).
+	RowHeads []string
+	// Cells[r][c] is the measured value for row r, column c.
+	Cells [][]float64
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	colw := 10
+	for _, h := range t.ColHeads {
+		if len(h)+2 > colw {
+			colw = len(h) + 2
+		}
+	}
+	roww := len(t.XLabel)
+	for _, h := range t.RowHeads {
+		if len(h) > roww {
+			roww = len(h)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", roww+2, t.XLabel)
+	for _, h := range t.ColHeads {
+		fmt.Fprintf(w, "%*s", colw, h)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", roww+2+colw*len(t.ColHeads)))
+	for r, rh := range t.RowHeads {
+		fmt.Fprintf(w, "%-*s", roww+2, rh)
+		for c := range t.ColHeads {
+			fmt.Fprintf(w, "%*.4f", colw, t.Cells[r][c])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderAll writes a sequence of tables.
+func RenderAll(w io.Writer, tables []Table) {
+	for i := range tables {
+		tables[i].Render(w)
+	}
+}

@@ -1,0 +1,164 @@
+// Package filter provides server-side stream post-processing for released
+// LDP estimates. Post-processing is free under differential privacy, and
+// the paper's Remark 3 points to FAST/PeGaSus-style filtering as a natural
+// extension of the population-division framework: the aggregator knows the
+// exact estimation variance of each release (from the oracle's closed
+// form), so a Kalman filter with a random-walk state model can trade a
+// little lag for a large variance reduction on slowly-drifting streams.
+package filter
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kalman1D is a scalar Kalman filter with a random-walk process model:
+//
+//	x_t = x_{t-1} + w_t,  w_t ~ N(0, Q)
+//	z_t = x_t + v_t,      v_t ~ N(0, R_t)
+//
+// It tracks one histogram element of a released stream; R_t is the known
+// per-release estimation variance (math.Inf(1) for approximated timestamps
+// that carry no fresh measurement).
+type Kalman1D struct {
+	q     float64 // process noise variance
+	x     float64 // state estimate
+	p     float64 // state covariance
+	ready bool
+}
+
+// NewKalman1D returns a filter with process-noise variance q (> 0).
+func NewKalman1D(q float64) *Kalman1D {
+	if q <= 0 {
+		panic(fmt.Sprintf("filter: process noise must be positive, got %v", q))
+	}
+	return &Kalman1D{q: q}
+}
+
+// Update feeds measurement z with variance r and returns the filtered
+// estimate. r = +Inf means "no fresh measurement": the filter predicts
+// forward only.
+func (k *Kalman1D) Update(z, r float64) float64 {
+	if !k.ready {
+		if math.IsInf(r, 1) {
+			// No information at all yet; pass the input through.
+			return z
+		}
+		k.x, k.p, k.ready = z, r, true
+		return k.x
+	}
+	// Predict.
+	k.p += k.q
+	if math.IsInf(r, 1) {
+		return k.x
+	}
+	// Correct.
+	gain := k.p / (k.p + r)
+	k.x += gain * (z - k.x)
+	k.p *= 1 - gain
+	return k.x
+}
+
+// State returns the current estimate and covariance.
+func (k *Kalman1D) State() (x, p float64) { return k.x, k.p }
+
+// KalmanStream filters every element of a released histogram stream.
+// measVar[t] is the estimation variance of release t (use math.Inf(1) at
+// approximated timestamps); q is the per-step process noise.
+func KalmanStream(released [][]float64, measVar []float64, q float64) [][]float64 {
+	if len(released) != len(measVar) {
+		panic(fmt.Sprintf("filter: %d releases but %d variances", len(released), len(measVar)))
+	}
+	if len(released) == 0 {
+		return nil
+	}
+	d := len(released[0])
+	filters := make([]*Kalman1D, d)
+	for k := range filters {
+		filters[k] = NewKalman1D(q)
+	}
+	out := make([][]float64, len(released))
+	for t := range released {
+		out[t] = make([]float64, d)
+		for k := 0; k < d; k++ {
+			out[t][k] = filters[k].Update(released[t][k], measVar[t])
+		}
+	}
+	return out
+}
+
+// EWMA is an exponentially-weighted moving average smoother: a cheap
+// alternative when release variances are unknown.
+type EWMA struct {
+	alpha float64
+	x     float64
+	ready bool
+}
+
+// NewEWMA returns a smoother with weight alpha in (0, 1]; larger alpha
+// follows the input more closely.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("filter: alpha must lie in (0, 1], got %v", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update feeds the next value and returns the smoothed output.
+func (e *EWMA) Update(z float64) float64 {
+	if !e.ready {
+		e.x, e.ready = z, true
+		return z
+	}
+	e.x += e.alpha * (z - e.x)
+	return e.x
+}
+
+// EWMAStream smooths every element of a histogram stream.
+func EWMAStream(released [][]float64, alpha float64) [][]float64 {
+	if len(released) == 0 {
+		return nil
+	}
+	d := len(released[0])
+	smoothers := make([]*EWMA, d)
+	for k := range smoothers {
+		smoothers[k] = NewEWMA(alpha)
+	}
+	out := make([][]float64, len(released))
+	for t := range released {
+		out[t] = make([]float64, d)
+		for k := 0; k < d; k++ {
+			out[t][k] = smoothers[k].Update(released[t][k])
+		}
+	}
+	return out
+}
+
+// MovingAverage smooths each element with a trailing window of the given
+// size (PeGaSus-style group-then-smooth, with fixed groups).
+func MovingAverage(released [][]float64, window int) [][]float64 {
+	if window < 1 {
+		panic(fmt.Sprintf("filter: window must be >= 1, got %d", window))
+	}
+	if len(released) == 0 {
+		return nil
+	}
+	d := len(released[0])
+	out := make([][]float64, len(released))
+	sums := make([]float64, d)
+	for t := range released {
+		out[t] = make([]float64, d)
+		for k := 0; k < d; k++ {
+			sums[k] += released[t][k]
+			if t >= window {
+				sums[k] -= released[t-window][k]
+			}
+			n := t + 1
+			if n > window {
+				n = window
+			}
+			out[t][k] = sums[k] / float64(n)
+		}
+	}
+	return out
+}

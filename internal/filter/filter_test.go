@@ -1,0 +1,192 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+	"ldpids/internal/mechanism"
+	"ldpids/internal/metrics"
+	"ldpids/internal/stream"
+)
+
+func TestKalmanConvergesOnConstantSignal(t *testing.T) {
+	k := NewKalman1D(1e-6)
+	src := ldprand.New(5)
+	const truth = 0.3
+	var last float64
+	for i := 0; i < 2000; i++ {
+		last = k.Update(truth+src.NormalScaled(0, 0.1), 0.01)
+	}
+	if math.Abs(last-truth) > 0.01 {
+		t.Fatalf("kalman estimate %v want %v", last, truth)
+	}
+	_, p := k.State()
+	if p <= 0 || p > 0.01 {
+		t.Fatalf("posterior covariance %v", p)
+	}
+}
+
+func TestKalmanTracksDrift(t *testing.T) {
+	k := NewKalman1D(1e-4)
+	src := ldprand.New(7)
+	var maxErr float64
+	for i := 0; i < 3000; i++ {
+		truth := 0.001 * float64(i)
+		got := k.Update(truth+src.NormalScaled(0, 0.05), 0.0025)
+		if i > 500 {
+			if e := math.Abs(got - truth); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	// Steady-state estimate std is ~0.02 with this (q, R); allow a 5-sigma
+	// worst case over 2500 steps while still proving the filter tracks
+	// (raw measurement noise alone would exceed this bound).
+	if maxErr > 0.1 {
+		t.Fatalf("kalman lagged drifting signal by %v", maxErr)
+	}
+}
+
+func TestKalmanInfVariancePredictsForward(t *testing.T) {
+	k := NewKalman1D(1e-4)
+	k.Update(0.5, 0.01)
+	got := k.Update(999, math.Inf(1)) // no measurement: ignore the 999
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("prediction-only step returned %v", got)
+	}
+}
+
+func TestKalmanUnreadyInfPassThrough(t *testing.T) {
+	k := NewKalman1D(1e-4)
+	if got := k.Update(0.7, math.Inf(1)); got != 0.7 {
+		t.Fatalf("unready filter returned %v", got)
+	}
+}
+
+func TestKalmanReducesNoiseVariance(t *testing.T) {
+	src := ldprand.New(11)
+	const truth = 0.2
+	const r = 0.04
+	k := NewKalman1D(1e-7)
+	rawSSE, filtSSE := 0.0, 0.0
+	for i := 0; i < 5000; i++ {
+		z := truth + src.NormalScaled(0, math.Sqrt(r))
+		f := k.Update(z, r)
+		rawSSE += (z - truth) * (z - truth)
+		filtSSE += (f - truth) * (f - truth)
+	}
+	if filtSSE > rawSSE/10 {
+		t.Fatalf("kalman barely reduced error: raw %v filtered %v", rawSSE, filtSSE)
+	}
+}
+
+func TestKalmanStreamShapes(t *testing.T) {
+	released := [][]float64{{0.1, 0.9}, {0.2, 0.8}}
+	out := KalmanStream(released, []float64{0.01, 0.01}, 1e-4)
+	if len(out) != 2 || len(out[0]) != 2 {
+		t.Fatal("shape")
+	}
+}
+
+func TestKalmanStreamMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch accepted")
+		}
+	}()
+	KalmanStream([][]float64{{1}}, []float64{1, 2}, 1e-4)
+}
+
+func TestEWMASmooths(t *testing.T) {
+	e := NewEWMA(0.1)
+	e.Update(0)
+	var last float64
+	for i := 0; i < 100; i++ {
+		last = e.Update(1)
+	}
+	if last < 0.9 || last > 1 {
+		t.Fatalf("ewma %v", last)
+	}
+}
+
+func TestEWMAStream(t *testing.T) {
+	out := EWMAStream([][]float64{{0, 1}, {1, 0}, {1, 0}}, 0.5)
+	if len(out) != 3 {
+		t.Fatal("length")
+	}
+	if out[1][0] != 0.5 {
+		t.Fatalf("ewma stream %v", out)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	out := MovingAverage([][]float64{{2}, {4}, {6}, {8}}, 2)
+	want := []float64{2, 3, 5, 7}
+	for i := range want {
+		if math.Abs(out[i][0]-want[i]) > 1e-12 {
+			t.Fatalf("moving average %v want %v", out, want)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewKalman1D(0) },
+		func() { NewEWMA(0) },
+		func() { NewEWMA(1.5) },
+		func() { MovingAverage(nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad constructor arg accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyStreams(t *testing.T) {
+	if KalmanStream(nil, nil, 1e-4) != nil {
+		t.Fatal("empty kalman")
+	}
+	if EWMAStream(nil, 0.5) != nil {
+		t.Fatal("empty ewma")
+	}
+	if MovingAverage(nil, 3) != nil {
+		t.Fatal("empty moving average")
+	}
+}
+
+func TestKalmanImprovesLPUReleases(t *testing.T) {
+	// End-to-end: filtering LPU's raw releases with the oracle's known
+	// variance should reduce MSE on a slowly-drifting stream.
+	root := ldprand.New(99)
+	n, w, T := 20000, 20, 200
+	s := stream.NewBinaryStream(n, stream.DefaultLNS(root.Split()), root.Split())
+	oracle := fo.NewGRR(2)
+	m, err := mechanism.NewLPU(mechanism.Params{Eps: 1, W: w, N: n, Oracle: oracle, Src: root.Split()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &mechanism.Runner{Stream: s, Oracle: oracle, Src: root.Split()}
+	res, err := r.Run(m, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LPU measurement variance per timestamp: V(eps, N/w).
+	mv := oracle.VarianceApprox(1, n/w)
+	measVar := make([]float64, T)
+	for i := range measVar {
+		measVar[i] = mv
+	}
+	filtered := KalmanStream(res.Released, measVar, 1e-5)
+	rawMSE := metrics.MSE(res.Released, res.True)
+	filtMSE := metrics.MSE(filtered, res.True)
+	if filtMSE >= rawMSE {
+		t.Fatalf("kalman did not help: raw %v filtered %v", rawMSE, filtMSE)
+	}
+}

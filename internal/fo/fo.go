@@ -1,0 +1,441 @@
+// Package fo implements local-differential-privacy frequency oracles (FOs):
+// client-side randomizers plus server-side unbiased frequency estimators
+// over a finite categorical domain Ω = {0, ..., d-1}.
+//
+// The oracles provided are Generalized Randomized Response (GRR), Optimized
+// Unary Encoding (OUE), Symmetric Unary Encoding (SUE, the basic RAPPOR
+// randomizer), and Optimized Local Hashing (OLH). Every oracle exposes its
+// closed-form estimation variance V(ε, n), which the adaptive LDP-IDS
+// mechanisms use to compute potential publication error (paper Eq. 2 / §5.3).
+package fo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ldpids/internal/ldprand"
+)
+
+// Report is one user's perturbed contribution. Exactly one of the fields is
+// meaningful, depending on the oracle: Value for GRR, Bits for unary
+// encodings, and (Seed, Value) for OLH where Value holds the hashed report.
+type Report struct {
+	// Value is a categorical report (GRR: perturbed item; OLH: perturbed
+	// hash bucket).
+	Value int
+	// Bits is a perturbed unary-encoded vector (OUE/SUE).
+	Bits []byte
+	// Seed carries the per-user hash seed for OLH reports.
+	Seed uint64
+}
+
+// Size returns the wire size of the report in bytes, used by the
+// communication accounting layer. Categorical reports cost 4 bytes; unary
+// reports cost one byte per domain element plus header; OLH costs 12.
+func (r Report) Size() int {
+	switch {
+	case r.Bits != nil:
+		return len(r.Bits) + 4
+	case r.Seed != 0:
+		return 12
+	default:
+		return 4
+	}
+}
+
+// Oracle is a frequency oracle protocol: a client-side perturbation and a
+// server-side aggregation that yields an unbiased frequency estimate.
+type Oracle interface {
+	// Name returns the protocol's short name ("GRR", "OUE", ...).
+	Name() string
+	// Perturb randomizes a single user's true value v ∈ [0, d) with
+	// privacy budget eps, drawing randomness from src.
+	Perturb(v int, eps float64, src *ldprand.Source) Report
+	// Estimate aggregates perturbed reports into an unbiased estimate of
+	// the frequency (fraction in [0,1], possibly outside after noise) of
+	// each domain element. The reports must all have been produced with
+	// the same eps.
+	Estimate(reports []Report, eps float64) ([]float64, error)
+	// Variance returns the estimator's per-element variance for n users
+	// and budget eps when the element's true frequency is fk (exact
+	// form; paper Eq. 2 for GRR).
+	Variance(eps float64, n int, fk float64) float64
+	// VarianceApprox returns the frequency-independent approximation
+	// (fk → 0) used for potential-publication-error computation.
+	VarianceApprox(eps float64, n int) float64
+	// Domain returns the domain size d the oracle was built for.
+	Domain() int
+}
+
+// Common construction errors.
+var (
+	ErrNoReports  = errors.New("fo: no reports to aggregate")
+	ErrBadEpsilon = errors.New("fo: privacy budget must be positive")
+)
+
+func checkDomain(d int) {
+	if d < 2 {
+		panic(fmt.Sprintf("fo: domain size must be >= 2, got %d", d))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GRR: Generalized Randomized Response (direct encoding).
+// ---------------------------------------------------------------------------
+
+// GRR implements Generalized Randomized Response over a domain of size d.
+// A user reports the true value with probability p = e^ε/(e^ε+d-1) and any
+// other fixed value with probability q = 1/(e^ε+d-1).
+type GRR struct {
+	d int
+}
+
+// NewGRR returns a GRR oracle for domain size d (d >= 2).
+func NewGRR(d int) *GRR {
+	checkDomain(d)
+	return &GRR{d: d}
+}
+
+// Name implements Oracle.
+func (g *GRR) Name() string { return "GRR" }
+
+// Domain implements Oracle.
+func (g *GRR) Domain() int { return g.d }
+
+// probs returns (p, q) for budget eps.
+func (g *GRR) probs(eps float64) (p, q float64) {
+	e := math.Exp(eps)
+	p = e / (e + float64(g.d) - 1)
+	q = 1 / (e + float64(g.d) - 1)
+	return p, q
+}
+
+// Perturb implements Oracle.
+func (g *GRR) Perturb(v int, eps float64, src *ldprand.Source) Report {
+	if v < 0 || v >= g.d {
+		panic(fmt.Sprintf("fo: GRR value %d outside domain [0,%d)", v, g.d))
+	}
+	p, _ := g.probs(eps)
+	if src.Bernoulli(p) {
+		return Report{Value: v}
+	}
+	// Uniform over the d-1 other values.
+	o := src.Intn(g.d - 1)
+	if o >= v {
+		o++
+	}
+	return Report{Value: o}
+}
+
+// Estimate implements Oracle.
+func (g *GRR) Estimate(reports []Report, eps float64) ([]float64, error) {
+	if len(reports) == 0 {
+		return nil, ErrNoReports
+	}
+	if eps <= 0 {
+		return nil, ErrBadEpsilon
+	}
+	counts := make([]float64, g.d)
+	for _, r := range reports {
+		if r.Value < 0 || r.Value >= g.d {
+			return nil, fmt.Errorf("fo: GRR report value %d outside domain [0,%d)", r.Value, g.d)
+		}
+		counts[r.Value]++
+	}
+	n := float64(len(reports))
+	p, q := g.probs(eps)
+	est := make([]float64, g.d)
+	for k := range counts {
+		est[k] = (counts[k]/n - q) / (p - q)
+	}
+	return est, nil
+}
+
+// Variance implements Oracle (paper Eq. 2):
+//
+//	Var = (d-2+e^ε)/(n(e^ε-1)^2) + fk(d-2)/(n(e^ε-1))
+func (g *GRR) Variance(eps float64, n int, fk float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	e := math.Exp(eps)
+	d := float64(g.d)
+	nn := float64(n)
+	return (d-2+e)/(nn*(e-1)*(e-1)) + fk*(d-2)/(nn*(e-1))
+}
+
+// VarianceApprox implements Oracle: the fk→0 simplification
+// (d-2+e^ε)/(n(e^ε-1)^2) used by the paper for err.
+func (g *GRR) VarianceApprox(eps float64, n int) float64 {
+	return g.Variance(eps, n, 0)
+}
+
+// ---------------------------------------------------------------------------
+// Unary encodings: SUE (basic RAPPOR) and OUE.
+// ---------------------------------------------------------------------------
+
+// unary is the shared implementation of unary-encoding oracles. A user
+// encodes value v as a d-bit one-hot vector and flips each bit
+// independently: a 1-bit stays 1 with probability p, a 0-bit becomes 1 with
+// probability q.
+type unary struct {
+	d     int
+	name  string
+	probs func(eps float64) (p, q float64)
+}
+
+func (u *unary) Name() string { return u.name }
+func (u *unary) Domain() int  { return u.d }
+
+func (u *unary) Perturb(v int, eps float64, src *ldprand.Source) Report {
+	if v < 0 || v >= u.d {
+		panic(fmt.Sprintf("fo: %s value %d outside domain [0,%d)", u.name, v, u.d))
+	}
+	p, q := u.probs(eps)
+	bits := make([]byte, u.d)
+	if src.Bernoulli(p) {
+		bits[v] = 1
+	}
+	// The d-1 non-true bits are 1 independently with probability q.
+	// Instead of d-1 Bernoulli draws, jump between set bits with
+	// geometric skips: expected work O(q·d) instead of O(d).
+	if q > 0 {
+		logq := math.Log(1 - q)
+		pos := 0 // index in the flattened space of non-true positions
+		for {
+			// Geometric(q): failures before the next success.
+			ufl := src.Float64()
+			if ufl >= 1 {
+				ufl = math.Nextafter(1, 0)
+			}
+			pos += int(math.Log(1-ufl) / logq)
+			if pos >= u.d-1 {
+				break
+			}
+			real := pos
+			if real >= v {
+				real++
+			}
+			bits[real] = 1
+			pos++
+		}
+	}
+	return Report{Value: -1, Bits: bits}
+}
+
+func (u *unary) Estimate(reports []Report, eps float64) ([]float64, error) {
+	if len(reports) == 0 {
+		return nil, ErrNoReports
+	}
+	if eps <= 0 {
+		return nil, ErrBadEpsilon
+	}
+	counts := make([]float64, u.d)
+	for _, r := range reports {
+		if len(r.Bits) != u.d {
+			return nil, fmt.Errorf("fo: %s report has %d bits, want %d", u.name, len(r.Bits), u.d)
+		}
+		for k, b := range r.Bits {
+			if b != 0 {
+				counts[k]++
+			}
+		}
+	}
+	n := float64(len(reports))
+	p, q := u.probs(eps)
+	est := make([]float64, u.d)
+	for k := range counts {
+		est[k] = (counts[k]/n - q) / (p - q)
+	}
+	return est, nil
+}
+
+// variance for any (p,q) unary scheme:
+//
+//	Var = q(1-q) / (n (p-q)^2) + fk (p(1-p) - q(1-q)) / (n (p-q)^2)
+func (u *unary) Variance(eps float64, n int, fk float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	p, q := u.probs(eps)
+	nn := float64(n)
+	den := nn * (p - q) * (p - q)
+	return q*(1-q)/den + fk*(p*(1-p)-q*(1-q))/den
+}
+
+func (u *unary) VarianceApprox(eps float64, n int) float64 {
+	return u.Variance(eps, n, 0)
+}
+
+// SUE is Symmetric Unary Encoding (basic RAPPOR): p = e^{ε/2}/(e^{ε/2}+1),
+// q = 1-p.
+type SUE struct{ unary }
+
+// NewSUE returns an SUE oracle for domain size d.
+func NewSUE(d int) *SUE {
+	checkDomain(d)
+	return &SUE{unary{d: d, name: "SUE", probs: func(eps float64) (float64, float64) {
+		e := math.Exp(eps / 2)
+		return e / (e + 1), 1 / (e + 1)
+	}}}
+}
+
+// OUE is Optimized Unary Encoding: p = 1/2, q = 1/(e^ε+1), which minimizes
+// estimator variance among unary schemes, giving Var ≈ 4e^ε/(n(e^ε-1)^2).
+type OUE struct{ unary }
+
+// NewOUE returns an OUE oracle for domain size d.
+func NewOUE(d int) *OUE {
+	checkDomain(d)
+	return &OUE{unary{d: d, name: "OUE", probs: func(eps float64) (float64, float64) {
+		return 0.5, 1 / (math.Exp(eps) + 1)
+	}}}
+}
+
+// ---------------------------------------------------------------------------
+// OLH: Optimized Local Hashing.
+// ---------------------------------------------------------------------------
+
+// OLH implements Optimized Local Hashing. Each user hashes their value into
+// g = ⌊e^ε⌋+1 buckets with a per-user seed and runs GRR over the buckets;
+// the server counts, for each domain element, the reports whose hash bucket
+// matches that element under the reporter's seed.
+type OLH struct {
+	d int
+}
+
+// NewOLH returns an OLH oracle for domain size d.
+func NewOLH(d int) *OLH {
+	checkDomain(d)
+	return &OLH{d: d}
+}
+
+// Name implements Oracle.
+func (o *OLH) Name() string { return "OLH" }
+
+// Domain implements Oracle.
+func (o *OLH) Domain() int { return o.d }
+
+func (o *OLH) g(eps float64) int {
+	g := int(math.Floor(math.Exp(eps))) + 1
+	if g < 2 {
+		g = 2
+	}
+	return g
+}
+
+// olhHash maps (seed, value) to a bucket in [0, g). It is a 64-bit
+// mix of the seed and value (stdlib-only stand-in for xxhash).
+func olhHash(seed uint64, v int, g int) int {
+	x := seed ^ (uint64(v)+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(g))
+}
+
+// Perturb implements Oracle.
+func (o *OLH) Perturb(v int, eps float64, src *ldprand.Source) Report {
+	if v < 0 || v >= o.d {
+		panic(fmt.Sprintf("fo: OLH value %d outside domain [0,%d)", v, o.d))
+	}
+	g := o.g(eps)
+	seed := src.Uint64()
+	if seed == 0 {
+		seed = 1 // 0 is reserved to mean "no seed" in Report
+	}
+	h := olhHash(seed, v, g)
+	// GRR over the g buckets.
+	e := math.Exp(eps)
+	p := e / (e + float64(g) - 1)
+	out := h
+	if !src.Bernoulli(p) {
+		out = src.Intn(g - 1)
+		if out >= h {
+			out++
+		}
+	}
+	return Report{Value: out, Seed: seed}
+}
+
+// Estimate implements Oracle.
+func (o *OLH) Estimate(reports []Report, eps float64) ([]float64, error) {
+	if len(reports) == 0 {
+		return nil, ErrNoReports
+	}
+	if eps <= 0 {
+		return nil, ErrBadEpsilon
+	}
+	g := o.g(eps)
+	e := math.Exp(eps)
+	p := e / (e + float64(g) - 1)
+	q := 1.0 / float64(g)
+	counts := make([]float64, o.d)
+	for _, r := range reports {
+		if r.Seed == 0 {
+			return nil, errors.New("fo: OLH report missing hash seed")
+		}
+		if r.Value < 0 || r.Value >= g {
+			return nil, fmt.Errorf("fo: OLH report bucket %d outside [0,%d)", r.Value, g)
+		}
+		for k := 0; k < o.d; k++ {
+			if olhHash(r.Seed, k, g) == r.Value {
+				counts[k]++
+			}
+		}
+	}
+	n := float64(len(reports))
+	est := make([]float64, o.d)
+	for k := range counts {
+		est[k] = (counts[k]/n - q) / (p - q)
+	}
+	return est, nil
+}
+
+// Variance implements Oracle. For OLH the well-known approximation is
+// 4e^ε/(n(e^ε-1)^2); the fk-dependent term is second-order and omitted.
+func (o *OLH) Variance(eps float64, n int, fk float64) float64 {
+	return o.VarianceApprox(eps, n)
+}
+
+// VarianceApprox implements Oracle.
+func (o *OLH) VarianceApprox(eps float64, n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	e := math.Exp(eps)
+	return 4 * e / (float64(n) * (e - 1) * (e - 1))
+}
+
+// ---------------------------------------------------------------------------
+// Registry and adaptive selection.
+// ---------------------------------------------------------------------------
+
+// New constructs an oracle by name ("GRR", "OUE", "SUE", "OLH") for domain
+// size d. It returns an error for unknown names.
+func New(name string, d int) (Oracle, error) {
+	switch name {
+	case "GRR", "grr":
+		return NewGRR(d), nil
+	case "OUE", "oue":
+		return NewOUE(d), nil
+	case "SUE", "sue":
+		return NewSUE(d), nil
+	case "OLH", "olh":
+		return NewOLH(d), nil
+	default:
+		return nil, fmt.Errorf("fo: unknown oracle %q", name)
+	}
+}
+
+// Best returns the lower-variance oracle between GRR and OUE for the given
+// (d, ε), following the standard d < 3e^ε+2 rule.
+func Best(d int, eps float64) Oracle {
+	if float64(d) < 3*math.Exp(eps)+2 {
+		return NewGRR(d)
+	}
+	return NewOUE(d)
+}

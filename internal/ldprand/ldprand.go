@@ -1,0 +1,247 @@
+// Package ldprand provides the deterministic randomness substrate used by
+// every stochastic component in this repository: frequency-oracle
+// perturbation, synthetic stream generation, user-set sampling, and the
+// Laplace noise of the centralized baselines.
+//
+// All randomness flows from a single root seed through splittable Sources,
+// so every experiment in the benchmark harness is exactly replayable. The
+// generator is SplitMix64 followed by an xoshiro256** core, both public
+// domain constructions with good statistical behaviour and no locking.
+package ldprand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic, splittable pseudo-random source. It is NOT
+// safe for concurrent use; derive one Source per goroutine with Split.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is
+// used to seed the xoshiro state and to derive split seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given 64-bit seed.
+func New(seed uint64) *Source {
+	st := seed
+	var s Source
+	for i := range s.s {
+		s.s[i] = splitmix64(&st)
+	}
+	// xoshiro must not start from the all-zero state.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &s
+}
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (s *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
+	return result
+}
+
+// Split derives an independent child Source. The child's stream is
+// decorrelated from the parent's continuation, so subsystems can be given
+// their own sources without coordinating consumption order.
+func (s *Source) Split() *Source {
+	seed := s.Uint64() ^ 0xd1b54a32d192ed03
+	return New(seed)
+}
+
+// SplitN returns n independent child sources.
+func (s *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Split()
+	}
+	return out
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("ldprand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	v := s.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Normal returns a sample from the standard normal distribution using the
+// polar (Marsaglia) method.
+func (s *Source) Normal() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// NormalScaled returns a sample from N(mu, sigma^2).
+func (s *Source) NormalScaled(mu, sigma float64) float64 {
+	return mu + sigma*s.Normal()
+}
+
+// Laplace returns a sample from the Laplace distribution with mean 0 and
+// scale b (variance 2b^2). This is the noise primitive of the centralized
+// DP baselines (BD/BA).
+func (s *Source) Laplace(b float64) float64 {
+	u := s.Float64() - 0.5
+	if u < 0 {
+		return b * math.Log(1+2*u)
+	}
+	return -b * math.Log(1-2*u)
+}
+
+// Exponential returns a sample from the exponential distribution with the
+// given rate.
+func (s *Source) Exponential(rate float64) float64 {
+	return -math.Log(1-s.Float64()) / rate
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle shuffles the given int slice in place.
+func (s *Source) Shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// SampleInts draws k distinct values uniformly from xs without replacement
+// and without modifying xs. It panics if k > len(xs).
+func (s *Source) SampleInts(xs []int, k int) []int {
+	n := len(xs)
+	if k > n {
+		panic("ldprand: SampleInts k exceeds population")
+	}
+	if k == n {
+		out := make([]int, n)
+		copy(out, xs)
+		s.Shuffle(out)
+		return out
+	}
+	// Partial Fisher–Yates over a copy when k is a large fraction;
+	// reservoir-free selection via index swaps otherwise.
+	if k*3 >= n {
+		tmp := make([]int, n)
+		copy(tmp, xs)
+		for i := 0; i < k; i++ {
+			j := i + s.Intn(n-i)
+			tmp[i], tmp[j] = tmp[j], tmp[i]
+		}
+		out := make([]int, k)
+		copy(out, tmp[:k])
+		return out
+	}
+	// Floyd's algorithm for small k: O(k) expected work, no copy of xs.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for i := n - k; i < n; i++ {
+		j := s.Intn(i + 1)
+		if _, dup := chosen[j]; dup {
+			j = i
+		}
+		chosen[j] = struct{}{}
+		out = append(out, xs[j])
+	}
+	return out
+}
+
+// Zipf draws from a Zipf distribution over {0, ..., n-1} with exponent
+// alpha > 0 using inversion on the precomputed CDF held by z.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf precomputes a Zipf CDF over n categories with exponent alpha.
+func NewZipf(n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("ldprand: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of categories.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw samples a category index.
+func (z *Zipf) Draw(s *Source) int {
+	u := s.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

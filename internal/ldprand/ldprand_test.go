@@ -1,0 +1,367 @@
+package ldprand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	s := New(0)
+	var zeros int
+	for i := 0; i < 100; i++ {
+		if s.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("seed 0 produced %d zero outputs", zeros)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child and parent continuation should not be identical streams.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split child correlates with parent: %d/100", same)
+	}
+}
+
+func TestSplitNCount(t *testing.T) {
+	ss := New(3).SplitN(5)
+	if len(ss) != 5 {
+		t.Fatalf("SplitN(5) returned %d sources", len(ss))
+	}
+	for i, s := range ss {
+		if s == nil {
+			t.Fatalf("source %d is nil", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(13)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(17)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(19)
+	const n = 10
+	const draws = 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", k, c, want)
+		}
+	}
+}
+
+func TestBernoulliEdge(t *testing.T) {
+	s := New(23)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(29)
+	const p = 0.3
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %v", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(31)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Normal()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestNormalScaled(t *testing.T) {
+	s := New(37)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.NormalScaled(5, 2)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("scaled normal mean %v, want ~5", mean)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	s := New(41)
+	const n = 300000
+	const b = 1.5
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Laplace(b)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("laplace mean %v", mean)
+	}
+	want := 2 * b * b
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Fatalf("laplace variance %v want %v", variance, want)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(43)
+	const n = 200000
+	const rate = 2.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("exponential mean %v want %v", mean, 1/rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(47)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	s := New(53)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(xs)
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d want %d", got, sum)
+	}
+}
+
+func TestSampleIntsProperties(t *testing.T) {
+	s := New(59)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = i * 10
+		}
+		out := s.SampleInts(xs, k)
+		if len(out) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range out {
+			if v%10 != 0 || v < 0 || v >= n*10 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleIntsUniform(t *testing.T) {
+	s := New(61)
+	xs := []int{0, 1, 2, 3, 4}
+	counts := make([]int, 5)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		for _, v := range s.SampleInts(xs, 2) {
+			counts[v]++
+		}
+	}
+	want := float64(2*draws) / 5
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("element %d sampled %d times, want ~%v", k, c, want)
+		}
+	}
+}
+
+func TestSampleIntsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleInts with k>n did not panic")
+		}
+	}()
+	New(1).SampleInts([]int{1, 2}, 3)
+}
+
+func TestZipfDistribution(t *testing.T) {
+	s := New(67)
+	z := NewZipf(10, 1.0)
+	if z.N() != 10 {
+		t.Fatalf("N = %d", z.N())
+	}
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(s)]++
+	}
+	// Monotone non-increasing frequency in expectation; check the strong
+	// ordering between well-separated ranks only.
+	if counts[0] <= counts[4] || counts[4] <= counts[9] {
+		t.Fatalf("zipf counts not decreasing: %v", counts)
+	}
+	// Rank-1 to rank-2 ratio should be about 2 for alpha=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("zipf rank ratio %v, want ~2", ratio)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Normal()
+	}
+}
+
+func BenchmarkSampleInts(b *testing.B) {
+	s := New(1)
+	xs := make([]int, 100000)
+	for i := range xs {
+		xs[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.SampleInts(xs, 1000)
+	}
+}

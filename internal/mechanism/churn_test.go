@@ -1,0 +1,160 @@
+package mechanism
+
+import (
+	"testing"
+
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+	"ldpids/internal/privacy"
+	"ldpids/internal/stream"
+)
+
+func ids(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestChurnPoolBasics(t *testing.T) {
+	p := NewChurnPool(ids(10), 3, ldprand.New(1))
+	if p.Census() != 10 || p.Available() != 10 {
+		t.Fatal("initial state")
+	}
+	p.Advance(1)
+	got := p.Draw(4)
+	if len(got) != 4 || p.Available() != 6 {
+		t.Fatalf("draw %v avail %d", got, p.Available())
+	}
+	// Drawn users are cooling down until t=4.
+	p.Advance(2)
+	if p.Available() != 6 {
+		t.Fatal("cooldown readmitted too early")
+	}
+	p.Advance(4)
+	if p.Available() != 10 {
+		t.Fatalf("cooldown not released at t=4: %d", p.Available())
+	}
+}
+
+func TestChurnPoolShortDrawClamps(t *testing.T) {
+	p := NewChurnPool(ids(3), 2, ldprand.New(2))
+	p.Advance(1)
+	if got := p.Draw(10); len(got) != 3 {
+		t.Fatalf("short draw returned %d users", len(got))
+	}
+	if got := p.Draw(1); got != nil {
+		t.Fatalf("empty pool returned %v", got)
+	}
+}
+
+func TestChurnJoinLeave(t *testing.T) {
+	p := NewChurnPool(ids(5), 3, ldprand.New(3))
+	p.Advance(1)
+	p.Join(99)
+	if p.Census() != 6 || p.Available() != 6 {
+		t.Fatal("fresh join not samplable")
+	}
+	p.Leave(99)
+	if p.Census() != 5 || p.Available() != 5 {
+		t.Fatal("leave not applied")
+	}
+	// Duplicate operations are no-ops.
+	p.Leave(99)
+	p.Join(0)
+	if p.Census() != 5 || p.Available() != 5 {
+		t.Fatal("duplicate ops changed state")
+	}
+}
+
+func TestChurnRejoinCooldownPreventsDoubleReport(t *testing.T) {
+	// A user who reports, leaves, and immediately rejoins must stay
+	// unsamplable until w timestamps after the report.
+	p := NewChurnPool([]int{7}, 5, ldprand.New(4))
+	p.Advance(1)
+	got := p.Draw(1)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("draw %v", got)
+	}
+	p.Leave(7)
+	p.Advance(2)
+	p.Join(7)
+	for ts := 2; ts <= 5; ts++ {
+		p.Advance(ts)
+		if p.Available() != 0 {
+			t.Fatalf("user 7 samplable at t=%d inside cooldown", ts)
+		}
+	}
+	p.Advance(6) // 1 + w = 6: cooldown over
+	if p.Available() != 1 {
+		t.Fatal("user 7 not readmitted after cooldown")
+	}
+}
+
+func TestChurnLPARunsUnderHeavyChurn(t *testing.T) {
+	root := ldprand.New(5150)
+	n, w, T := 3000, 8, 80
+	s := stream.NewBinaryStream(n, stream.DefaultSin(), root.Split())
+	oracle := fo.NewGRR(2)
+	m, err := NewChurnLPA(Params{Eps: 1, W: w, N: n, Oracle: oracle, Src: root.Split()}, ids(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := privacy.NewAccountant(1, w, n, root.Split())
+	churnSrc := root.Split()
+
+	env := &simEnv{n: n, oracle: oracle, src: root.Split(),
+		counter: newTestCounter(n), acct: acct}
+	buf := make([]int, n)
+	for ts := 1; ts <= T; ts++ {
+		vals, _ := s.Next(buf)
+		env.t = ts
+		env.current = vals
+		// 2% of users leave and 2% rejoin every timestamp.
+		for i := 0; i < n/50; i++ {
+			m.Pool().Leave(churnSrc.Intn(n))
+			m.Pool().Join(churnSrc.Intn(n))
+		}
+		release, err := m.Step(env)
+		if err != nil {
+			t.Fatalf("t=%d: %v", ts, err)
+		}
+		if len(release) != 2 {
+			t.Fatal("release shape")
+		}
+	}
+	if v := acct.Check(1e-9); len(v) != 0 {
+		t.Fatalf("churn violated w-event LDP: %v", v[0])
+	}
+	if got := acct.MaxReportsPerWindow(); got > 1 {
+		t.Fatalf("a user reported %d times in one window under churn", got)
+	}
+}
+
+func TestChurnLPATracksStream(t *testing.T) {
+	// Without churn, ChurnLPA should behave like a reasonable mechanism.
+	root := ldprand.New(616)
+	n, w, T := 20000, 10, 100
+	s := stream.NewBinaryStream(n, stream.DefaultSin(), root.Split())
+	oracle := fo.NewGRR(2)
+	m, err := NewChurnLPA(Params{Eps: 1, W: w, N: n, Oracle: oracle, Src: root.Split()}, ids(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Stream: s, Oracle: oracle, Src: root.Split()}
+	res, err := r.Run(m, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mre(res); got > 0.5 {
+		t.Fatalf("ChurnLPA MRE %v implausibly large without churn", got)
+	}
+}
+
+func TestChurnLPAValidation(t *testing.T) {
+	oracle := fo.NewGRR(2)
+	if _, err := NewChurnLPA(Params{Eps: 1, W: 10, N: 5, Oracle: oracle, Src: ldprand.New(1)}, ids(5)); err == nil {
+		t.Fatal("tiny initial population accepted")
+	}
+}

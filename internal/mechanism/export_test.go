@@ -1,0 +1,11 @@
+package mechanism
+
+import "ldpids/internal/comm"
+
+// newTestCounter exposes a comm counter with one open timestamp for
+// low-level env tests.
+func newTestCounter(n int) *comm.Counter {
+	c := comm.NewCounter(n)
+	c.BeginTimestamp()
+	return c
+}

@@ -1,0 +1,36 @@
+package mechanism
+
+import "fmt"
+
+// Names lists all implemented methods in the paper's presentation order:
+// budget division first, then population division.
+var Names = []string{"LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA"}
+
+// BudgetDivisionNames lists the budget-division methods.
+var BudgetDivisionNames = []string{"LBU", "LBD", "LBA"}
+
+// PopulationDivisionNames lists the population-division methods (the paper
+// groups LSP with them: all users report once per window with full ε).
+var PopulationDivisionNames = []string{"LSP", "LPU", "LPD", "LPA"}
+
+// New constructs a mechanism by its paper name.
+func New(name string, p Params) (Mechanism, error) {
+	switch name {
+	case "LBU":
+		return NewLBU(p)
+	case "LSP":
+		return NewLSP(p)
+	case "LBD":
+		return NewLBD(p)
+	case "LBA":
+		return NewLBA(p)
+	case "LPU":
+		return NewLPU(p)
+	case "LPD":
+		return NewLPD(p)
+	case "LPA":
+		return NewLPA(p)
+	default:
+		return nil, fmt.Errorf("mechanism: unknown method %q", name)
+	}
+}

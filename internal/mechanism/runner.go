@@ -1,0 +1,122 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"ldpids/internal/comm"
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+	"ldpids/internal/privacy"
+	"ldpids/internal/stream"
+)
+
+// Runner drives a Mechanism over a Stream through an in-process Env,
+// collecting released histograms, ground truth, communication statistics,
+// and (optionally) a privacy audit. It is the simulation backbone used by
+// tests, examples, and the benchmark harness.
+type Runner struct {
+	Stream     stream.Stream
+	Oracle     fo.Oracle
+	Src        *ldprand.Source
+	Accountant *privacy.Accountant // nil disables auditing
+}
+
+// RunResult holds everything a run produced.
+type RunResult struct {
+	// Released holds r_t for each timestamp.
+	Released [][]float64
+	// True holds the ground-truth histogram c_t for each timestamp.
+	True [][]float64
+	// Comm summarizes communication cost.
+	Comm comm.Stats
+	// Violations holds any w-event privacy violations found by the
+	// accountant (nil when auditing is disabled or the invariant held).
+	Violations []privacy.Violation
+}
+
+// simEnv implements Env over an in-memory stream snapshot.
+type simEnv struct {
+	t       int
+	n       int
+	current []int
+	oracle  fo.Oracle
+	src     *ldprand.Source
+	counter *comm.Counter
+	acct    *privacy.Accountant
+}
+
+// T implements Env.
+func (e *simEnv) T() int { return e.t }
+
+// N implements Env.
+func (e *simEnv) N() int { return e.n }
+
+// Collect implements Env.
+func (e *simEnv) Collect(users []int, eps float64) ([]fo.Report, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("mechanism: collect with non-positive eps %v", eps)
+	}
+	if e.acct != nil {
+		e.acct.Observe(e.t, users, eps, e.n)
+	}
+	var reports []fo.Report
+	bytes := 0
+	if users == nil {
+		reports = make([]fo.Report, e.n)
+		for u := 0; u < e.n; u++ {
+			reports[u] = e.oracle.Perturb(e.current[u], eps, e.src)
+			bytes += reports[u].Size()
+		}
+	} else {
+		reports = make([]fo.Report, len(users))
+		for i, u := range users {
+			if u < 0 || u >= e.n {
+				return nil, fmt.Errorf("mechanism: collect from unknown user %d", u)
+			}
+			reports[i] = e.oracle.Perturb(e.current[u], eps, e.src)
+			bytes += reports[i].Size()
+		}
+	}
+	e.counter.Observe(len(reports), bytes)
+	return reports, nil
+}
+
+// Run executes m over at most T timestamps of the runner's stream and
+// returns the run artifacts. It stops early if the stream ends.
+func (r *Runner) Run(m Mechanism, T int) (*RunResult, error) {
+	d := r.Stream.Domain()
+	n := r.Stream.N()
+	env := &simEnv{
+		n:       n,
+		oracle:  r.Oracle,
+		src:     r.Src,
+		counter: comm.NewCounter(n),
+		acct:    r.Accountant,
+	}
+	res := &RunResult{}
+	buf := make([]int, n)
+	for t := 1; t <= T; t++ {
+		vals, ok := r.Stream.Next(buf)
+		if !ok {
+			break
+		}
+		env.t = t
+		env.current = vals
+		env.counter.BeginTimestamp()
+		release, err := m.Step(env)
+		if err != nil {
+			return nil, fmt.Errorf("mechanism %s at t=%d: %w", m.Name(), t, err)
+		}
+		if len(release) != d {
+			return nil, fmt.Errorf("mechanism %s at t=%d: release length %d, want %d",
+				m.Name(), t, len(release), d)
+		}
+		res.Released = append(res.Released, release)
+		res.True = append(res.True, stream.Histogram(vals, d))
+	}
+	res.Comm = env.counter.Stats()
+	if r.Accountant != nil {
+		res.Violations = r.Accountant.Check(1e-9)
+	}
+	return res, nil
+}

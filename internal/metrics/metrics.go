@@ -1,0 +1,226 @@
+// Package metrics implements the evaluation metrics of the paper's §7:
+// mean relative error (MRE) between released and true statistic streams,
+// supporting MAE/MSE variants, and ROC curves (with AUC) for the
+// above-threshold event-monitoring task of Fig. 7.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultSanityBound is the denominator floor used in relative error to
+// avoid division blow-ups on near-zero true frequencies, following the
+// standard MRE convention of the stream-DP literature (e.g. RescueDP).
+const DefaultSanityBound = 0.001
+
+// MRE returns the mean relative error between released and true streams of
+// histograms: mean over all (t, k) of |r−c| / max(c, bound). bound <= 0
+// selects DefaultSanityBound.
+func MRE(released, truth [][]float64, bound float64) float64 {
+	if bound <= 0 {
+		bound = DefaultSanityBound
+	}
+	checkShapes(released, truth)
+	sum, cnt := 0.0, 0
+	for t := range truth {
+		for k := range truth[t] {
+			den := truth[t][k]
+			if den < bound {
+				den = bound
+			}
+			sum += math.Abs(released[t][k]-truth[t][k]) / den
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// MAE returns the mean absolute error over all (t, k).
+func MAE(released, truth [][]float64) float64 {
+	checkShapes(released, truth)
+	sum, cnt := 0.0, 0
+	for t := range truth {
+		for k := range truth[t] {
+			sum += math.Abs(released[t][k] - truth[t][k])
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// MSE returns the mean squared error over all (t, k).
+func MSE(released, truth [][]float64) float64 {
+	checkShapes(released, truth)
+	sum, cnt := 0.0, 0
+	for t := range truth {
+		for k := range truth[t] {
+			d := released[t][k] - truth[t][k]
+			sum += d * d
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// PerTimestampMAE returns the mean absolute error at each timestamp,
+// useful for error-over-time plots.
+func PerTimestampMAE(released, truth [][]float64) []float64 {
+	checkShapes(released, truth)
+	out := make([]float64, len(truth))
+	for t := range truth {
+		sum := 0.0
+		for k := range truth[t] {
+			sum += math.Abs(released[t][k] - truth[t][k])
+		}
+		out[t] = sum / float64(len(truth[t]))
+	}
+	return out
+}
+
+func checkShapes(a, b [][]float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: stream lengths differ: %d vs %d", len(a), len(b)))
+	}
+	for t := range a {
+		if len(a[t]) != len(b[t]) {
+			panic(fmt.Sprintf("metrics: histogram sizes differ at t=%d: %d vs %d",
+				t, len(a[t]), len(b[t])))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ROC analysis for event monitoring (Fig. 7).
+// ---------------------------------------------------------------------------
+
+// ROCPoint is one operating point of a detector.
+type ROCPoint struct {
+	FPR float64 // false positive rate
+	TPR float64 // true positive rate
+}
+
+// ROC computes the ROC curve for detecting ground-truth positives from
+// scores: for every score threshold, the fraction of true positives and
+// false positives whose score exceeds it. labels[i] is the ground truth for
+// item i; scores[i] the detector's statistic (higher = more positive). The
+// returned curve is sorted by ascending FPR and includes (0,0) and (1,1).
+func ROC(scores []float64, labels []bool) []ROCPoint {
+	if len(scores) != len(labels) {
+		panic("metrics: scores and labels length mismatch")
+	}
+	type item struct {
+		score float64
+		pos   bool
+	}
+	items := make([]item, len(scores))
+	pos, neg := 0, 0
+	for i := range scores {
+		items[i] = item{scores[i], labels[i]}
+		if labels[i] {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score > items[j].score })
+	curve := []ROCPoint{{0, 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		// Process ties together so the curve is threshold-consistent.
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			if items[j].pos {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		i = j
+		p := ROCPoint{TPR: 1, FPR: 1}
+		if pos > 0 {
+			p.TPR = float64(tp) / float64(pos)
+		}
+		if neg > 0 {
+			p.FPR = float64(fp) / float64(neg)
+		}
+		curve = append(curve, p)
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		curve = append(curve, ROCPoint{1, 1})
+	}
+	return curve
+}
+
+// AUC returns the area under the ROC curve by trapezoidal integration.
+func AUC(curve []ROCPoint) float64 {
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// AboveThresholdLabels computes, per timestamp, whether the statistic of
+// interest exceeds threshold — the ground truth of the event-monitoring
+// task.
+func AboveThresholdLabels(series []float64, threshold float64) []bool {
+	out := make([]bool, len(series))
+	for i, v := range series {
+		out[i] = v > threshold
+	}
+	return out
+}
+
+// PaperThreshold computes the paper's event threshold
+// δ = 0.75·(max−min)+min over the series (§7.4).
+func PaperThreshold(series []float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	minV, maxV := series[0], series[0]
+	for _, v := range series {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	return 0.75*(maxV-minV) + minV
+}
+
+// MeanSeries reduces a histogram stream to the per-timestamp mean of the
+// histogram — the monitored statistic on non-binary datasets (§7.4).
+func MeanSeries(hists [][]float64) []float64 {
+	out := make([]float64, len(hists))
+	for t, h := range hists {
+		sum := 0.0
+		for _, v := range h {
+			sum += v
+		}
+		if len(h) > 0 {
+			out[t] = sum / float64(len(h))
+		}
+	}
+	return out
+}
+
+// ElementSeries extracts element k's frequency at each timestamp — the
+// monitored statistic on binary datasets (the "1" frequency).
+func ElementSeries(hists [][]float64, k int) []float64 {
+	out := make([]float64, len(hists))
+	for t, h := range hists {
+		out[t] = h[k]
+	}
+	return out
+}

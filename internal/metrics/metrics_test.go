@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMREPerfectRelease(t *testing.T) {
+	truth := [][]float64{{0.5, 0.5}, {0.3, 0.7}}
+	if got := MRE(truth, truth, 0); got != 0 {
+		t.Fatalf("MRE of perfect release %v", got)
+	}
+}
+
+func TestMREKnownValue(t *testing.T) {
+	truth := [][]float64{{0.5, 0.5}}
+	rel := [][]float64{{0.6, 0.4}}
+	// |0.1|/0.5 for both elements = 0.2.
+	if got := MRE(rel, truth, 0); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("MRE %v want 0.2", got)
+	}
+}
+
+func TestMRESanityBound(t *testing.T) {
+	truth := [][]float64{{0.0, 1.0}}
+	rel := [][]float64{{0.001, 0.999}}
+	// Denominator floors at the bound, so errors stay finite.
+	got := MRE(rel, truth, 0.001)
+	if math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Fatalf("MRE not finite: %v", got)
+	}
+	if math.Abs(got-(1.0+0.001)/2) > 1e-9 {
+		t.Fatalf("MRE %v want %v", got, (1.0+0.001)/2)
+	}
+}
+
+func TestMAEAndMSE(t *testing.T) {
+	truth := [][]float64{{0, 0}}
+	rel := [][]float64{{0.3, -0.1}}
+	if got := MAE(rel, truth); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("MAE %v", got)
+	}
+	if got := MSE(rel, truth); math.Abs(got-(0.09+0.01)/2) > 1e-12 {
+		t.Fatalf("MSE %v", got)
+	}
+}
+
+func TestPerTimestampMAE(t *testing.T) {
+	truth := [][]float64{{0, 0}, {1, 1}}
+	rel := [][]float64{{0.2, 0.2}, {1, 1}}
+	got := PerTimestampMAE(rel, truth)
+	if math.Abs(got[0]-0.2) > 1e-12 || got[1] != 0 {
+		t.Fatalf("per-timestamp MAE %v", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}()
+	MAE([][]float64{{1}}, [][]float64{{1}, {2}})
+}
+
+func TestEmptyStreamsZero(t *testing.T) {
+	if MRE(nil, nil, 0) != 0 || MAE(nil, nil) != 0 || MSE(nil, nil) != 0 {
+		t.Fatal("empty streams should give zero error")
+	}
+}
+
+func TestROCPerfectDetector(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	curve := ROC(scores, labels)
+	if auc := AUC(curve); math.Abs(auc-1.0) > 1e-12 {
+		t.Fatalf("perfect detector AUC %v", auc)
+	}
+}
+
+func TestROCRandomDetector(t *testing.T) {
+	// Scores independent of labels give AUC ~0.5.
+	var scores []float64
+	var labels []bool
+	x := uint64(88172645463325252)
+	for i := 0; i < 2000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		scores = append(scores, float64(x%1000))
+		labels = append(labels, i%2 == 0)
+	}
+	if auc := AUC(ROC(scores, labels)); math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("random detector AUC %v", auc)
+	}
+}
+
+func TestROCInvertedDetector(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	if auc := AUC(ROC(scores, labels)); math.Abs(auc-0.0) > 1e-12 {
+		t.Fatalf("inverted detector AUC %v", auc)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	curve := ROC([]float64{0.5, 0.6}, []bool{true, false})
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Fatalf("curve start %v", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve end %v", last)
+	}
+}
+
+func TestROCTiesHandled(t *testing.T) {
+	// All scores equal: curve jumps straight from (0,0) to (1,1), AUC 0.5.
+	scores := []float64{1, 1, 1, 1}
+	labels := []bool{true, false, true, false}
+	if auc := AUC(ROC(scores, labels)); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied-score AUC %v", auc)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		for i, r := range raw {
+			scores[i] = float64(r % 16)
+			labels[i] = r%3 == 0
+		}
+		curve := ROC(scores, labels)
+		for i := 1; i < len(curve); i++ {
+			if curve[i].FPR < curve[i-1].FPR-1e-12 || curve[i].TPR < curve[i-1].TPR-1e-12 {
+				return false
+			}
+		}
+		auc := AUC(curve)
+		return auc >= -1e-9 && auc <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROCLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	ROC([]float64{1}, []bool{true, false})
+}
+
+func TestPaperThreshold(t *testing.T) {
+	series := []float64{0, 1, 0.5}
+	if got := PaperThreshold(series); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("threshold %v want 0.75", got)
+	}
+	if PaperThreshold(nil) != 0 {
+		t.Fatal("empty series threshold")
+	}
+}
+
+func TestAboveThresholdLabels(t *testing.T) {
+	got := AboveThresholdLabels([]float64{0.1, 0.9, 0.5}, 0.5)
+	want := []bool{false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels %v want %v", got, want)
+		}
+	}
+}
+
+func TestSeriesExtractors(t *testing.T) {
+	hists := [][]float64{{0.2, 0.8}, {0.6, 0.4}}
+	e := ElementSeries(hists, 1)
+	if e[0] != 0.8 || e[1] != 0.4 {
+		t.Fatalf("element series %v", e)
+	}
+	m := MeanSeries(hists)
+	if math.Abs(m[0]-0.5) > 1e-12 || math.Abs(m[1]-0.5) > 1e-12 {
+		t.Fatalf("mean series %v", m)
+	}
+}

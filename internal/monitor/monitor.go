@@ -1,0 +1,167 @@
+// Package monitor implements the real-time event-monitoring task of the
+// paper's §7.4: detecting, from LDP-released statistics, the timestamps at
+// which the true statistic exceeds a threshold δ = 0.75·(max−min)+min.
+//
+// Two task constructions are provided. ScalarTask monitors a single
+// histogram element (the "1" frequency of the binary synthetic streams).
+// PooledTask applies the threshold rule to every histogram dimension
+// independently and pools the per-(t, k) decisions, which exercises all
+// dimensions of the non-binary traces. Both yield score/label pairs for
+// ROC analysis in package metrics.
+package monitor
+
+import (
+	"fmt"
+
+	"ldpids/internal/metrics"
+)
+
+// Task is an above-threshold detection instance: per item, the detector's
+// score (higher = more confident the event happened) and the ground truth.
+type Task struct {
+	Scores []float64
+	Labels []bool
+}
+
+// ROC computes the task's ROC curve.
+func (t Task) ROC() []metrics.ROCPoint { return metrics.ROC(t.Scores, t.Labels) }
+
+// AUC computes the task's area under the ROC curve.
+func (t Task) AUC() float64 { return metrics.AUC(t.ROC()) }
+
+// Positives returns the number of ground-truth positive items.
+func (t Task) Positives() int {
+	n := 0
+	for _, l := range t.Labels {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// ScalarTask builds an above-threshold task over a single histogram element
+// k: ground truth comes from the true series and the paper's δ rule; the
+// score at each timestamp is the released value of that element.
+func ScalarTask(released, truth [][]float64, k int) Task {
+	trueSeries := metrics.ElementSeries(truth, k)
+	relSeries := metrics.ElementSeries(released, k)
+	delta := metrics.PaperThreshold(trueSeries)
+	return Task{
+		Scores: relSeries,
+		Labels: metrics.AboveThresholdLabels(trueSeries, delta),
+	}
+}
+
+// PooledTask builds an above-threshold task over every histogram dimension:
+// dimension k gets its own threshold δ_k from its true series, and the
+// pooled score of item (t, k) is the released margin r_t[k] − δ_k, making
+// scores comparable across dimensions.
+func PooledTask(released, truth [][]float64) Task {
+	if len(released) != len(truth) || len(truth) == 0 {
+		panic(fmt.Sprintf("monitor: bad stream shapes %d vs %d", len(released), len(truth)))
+	}
+	d := len(truth[0])
+	var task Task
+	for k := 0; k < d; k++ {
+		trueSeries := metrics.ElementSeries(truth, k)
+		delta := metrics.PaperThreshold(trueSeries)
+		labels := metrics.AboveThresholdLabels(trueSeries, delta)
+		for t := range released {
+			task.Scores = append(task.Scores, released[t][k]-delta)
+			task.Labels = append(task.Labels, labels[t])
+		}
+	}
+	return task
+}
+
+// TopKTask is PooledTask restricted to the k dimensions with the largest
+// mean true frequency. On skewed categorical streams (check-ins, ad
+// clicks) the tail dimensions' thresholds sit inside the noise floor and
+// pooling them buries the detector's real signal; events of interest live
+// in the head categories.
+func TopKTask(released, truth [][]float64, k int) Task {
+	if len(released) != len(truth) || len(truth) == 0 {
+		panic(fmt.Sprintf("monitor: bad stream shapes %d vs %d", len(released), len(truth)))
+	}
+	d := len(truth[0])
+	if k <= 0 || k > d {
+		k = d
+	}
+	// Rank dimensions by mean true frequency.
+	means := make([]float64, d)
+	for t := range truth {
+		for dim, v := range truth[t] {
+			means[dim] += v
+		}
+	}
+	idx := make([]int, d)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ { // partial selection sort for top-k
+		best := i
+		for j := i + 1; j < d; j++ {
+			if means[idx[j]] > means[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	var task Task
+	for _, dim := range idx[:k] {
+		trueSeries := metrics.ElementSeries(truth, dim)
+		delta := metrics.PaperThreshold(trueSeries)
+		labels := metrics.AboveThresholdLabels(trueSeries, delta)
+		for t := range released {
+			task.Scores = append(task.Scores, released[t][dim]-delta)
+			task.Labels = append(task.Labels, labels[t])
+		}
+	}
+	return task
+}
+
+// Event is a detected above-threshold crossing in a live stream.
+type Event struct {
+	// T is the (1-based) timestamp of the detection.
+	T int
+	// Element is the histogram dimension that crossed.
+	Element int
+	// Value is the released value that triggered the detection.
+	Value float64
+}
+
+// Detector watches a released stream online and emits an Event whenever an
+// element's released value rises above its threshold (edge-triggered: a
+// sustained excursion yields one event).
+type Detector struct {
+	thresholds []float64
+	above      []bool
+	t          int
+}
+
+// NewDetector returns a detector with one threshold per histogram element.
+func NewDetector(thresholds []float64) *Detector {
+	return &Detector{
+		thresholds: append([]float64(nil), thresholds...),
+		above:      make([]bool, len(thresholds)),
+	}
+}
+
+// Observe processes the next released histogram and returns any new
+// crossings.
+func (d *Detector) Observe(release []float64) []Event {
+	if len(release) != len(d.thresholds) {
+		panic(fmt.Sprintf("monitor: release size %d, want %d", len(release), len(d.thresholds)))
+	}
+	d.t++
+	var events []Event
+	for k, v := range release {
+		crossed := v > d.thresholds[k]
+		if crossed && !d.above[k] {
+			events = append(events, Event{T: d.t, Element: k, Value: v})
+		}
+		d.above[k] = crossed
+	}
+	return events
+}

@@ -1,0 +1,169 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+	"ldpids/internal/mechanism"
+	"ldpids/internal/stream"
+)
+
+func TestScalarTaskPerfectRelease(t *testing.T) {
+	truth := [][]float64{{0.9, 0.1}, {0.5, 0.5}, {0.2, 0.8}, {0.9, 0.1}}
+	task := ScalarTask(truth, truth, 1)
+	if got := task.AUC(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("perfect release AUC %v", got)
+	}
+	if task.Positives() != 1 {
+		t.Fatalf("positives %d want 1 (only 0.8 > 0.75*(0.8-0.1)+0.1)", task.Positives())
+	}
+}
+
+func TestPooledTaskShapes(t *testing.T) {
+	truth := [][]float64{{0.2, 0.8}, {0.8, 0.2}}
+	task := PooledTask(truth, truth)
+	if len(task.Scores) != 4 || len(task.Labels) != 4 {
+		t.Fatalf("pooled task size %d", len(task.Scores))
+	}
+	if got := task.AUC(); got < 0.99 {
+		t.Fatalf("perfect pooled AUC %v", got)
+	}
+}
+
+func TestPooledTaskPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched streams accepted")
+		}
+	}()
+	PooledTask([][]float64{{1}}, [][]float64{{1}, {2}})
+}
+
+func TestNoisyReleaseDegradesAUC(t *testing.T) {
+	// A noisy detector should sit between random (0.5) and perfect (1.0).
+	src := ldprand.New(71)
+	var truth, noisy [][]float64
+	for i := 0; i < 400; i++ {
+		v := 0.1
+		if i%10 == 0 {
+			v = 0.5 // occasional spikes: the events to detect
+		}
+		truth = append(truth, []float64{1 - v, v})
+		noisy = append(noisy, []float64{1 - v + src.NormalScaled(0, 0.1), v + src.NormalScaled(0, 0.1)})
+	}
+	auc := ScalarTask(noisy, truth, 1).AUC()
+	if auc < 0.7 || auc > 1.0 {
+		t.Fatalf("noisy AUC %v outside (0.7, 1.0]", auc)
+	}
+	perfect := ScalarTask(truth, truth, 1).AUC()
+	if auc > perfect {
+		t.Fatalf("noisy AUC %v beats perfect %v", auc, perfect)
+	}
+}
+
+func TestDetectorEdgeTriggered(t *testing.T) {
+	d := NewDetector([]float64{0.5})
+	ev1 := d.Observe([]float64{0.6})
+	ev2 := d.Observe([]float64{0.7}) // still above: no new event
+	ev3 := d.Observe([]float64{0.4}) // drops below
+	ev4 := d.Observe([]float64{0.6}) // crosses again
+	if len(ev1) != 1 || ev1[0].T != 1 || ev1[0].Element != 0 {
+		t.Fatalf("first crossing %v", ev1)
+	}
+	if len(ev2) != 0 {
+		t.Fatalf("sustained excursion re-fired: %v", ev2)
+	}
+	if len(ev3) != 0 {
+		t.Fatalf("fall below fired: %v", ev3)
+	}
+	if len(ev4) != 1 || ev4[0].T != 4 {
+		t.Fatalf("re-crossing %v", ev4)
+	}
+}
+
+func TestDetectorMultiElement(t *testing.T) {
+	d := NewDetector([]float64{0.5, 0.2})
+	ev := d.Observe([]float64{0.6, 0.3})
+	if len(ev) != 2 {
+		t.Fatalf("expected two events, got %v", ev)
+	}
+}
+
+func TestDetectorPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad release size accepted")
+		}
+	}()
+	NewDetector([]float64{0.5}).Observe([]float64{0.1, 0.2})
+}
+
+func TestEndToEndEventMonitoring(t *testing.T) {
+	// Full pipeline: LPA on a spiky stream should detect events far
+	// better than chance.
+	root := ldprand.New(4242)
+	n := 30000
+	proc := stream.NewSin(0.06, 0.05, 0.08) // strong oscillation: clear events
+	s := stream.NewBinaryStream(n, proc, root.Split())
+	oracle := fo.NewGRR(2)
+	m, err := mechanism.NewLPA(mechanism.Params{
+		Eps: 1, W: 10, N: n, Oracle: oracle, Src: root.Split()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &mechanism.Runner{Stream: s, Oracle: oracle, Src: root.Split()}
+	res, err := r.Run(m, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := ScalarTask(res.Released, res.True, 1)
+	if task.Positives() == 0 {
+		t.Fatal("stream produced no events to detect")
+	}
+	if auc := task.AUC(); auc < 0.8 {
+		t.Fatalf("LPA event-monitoring AUC %v < 0.8", auc)
+	}
+}
+
+func TestTopKTaskSelectsHeadDimensions(t *testing.T) {
+	// Three dims: one dominant with real events, two flat tails. TopK(1)
+	// must isolate the head dimension.
+	var truth, released [][]float64
+	for i := 0; i < 100; i++ {
+		head := 0.5
+		if i%10 == 0 {
+			head = 0.9
+		}
+		truth = append(truth, []float64{head, 0.05, 0.02})
+		released = append(released, []float64{head, 0.05, 0.02})
+	}
+	task := TopKTask(released, truth, 1)
+	if len(task.Scores) != 100 {
+		t.Fatalf("topk task size %d, want 100 (one dimension)", len(task.Scores))
+	}
+	if got := task.AUC(); got < 0.99 {
+		t.Fatalf("perfect head-dimension AUC %v", got)
+	}
+}
+
+func TestTopKTaskKClamping(t *testing.T) {
+	truth := [][]float64{{0.6, 0.4}, {0.4, 0.6}}
+	// k out of range falls back to all dimensions.
+	for _, k := range []int{0, -1, 10} {
+		task := TopKTask(truth, truth, k)
+		if len(task.Scores) != 4 {
+			t.Fatalf("k=%d task size %d", k, len(task.Scores))
+		}
+	}
+}
+
+func TestTopKTaskPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched streams accepted")
+		}
+	}()
+	TopKTask([][]float64{{1}}, nil, 1)
+}

@@ -1,0 +1,180 @@
+// Package privacy provides a runtime w-event LDP accountant: it observes
+// every (user, timestamp, ε) exposure a mechanism incurs through the
+// simulation Env and verifies, post-hoc, that no user's privacy loss over
+// any window of w consecutive timestamps exceeds the total budget ε.
+//
+// Because exposures are identical across users within each collected set,
+// auditing a uniform sample of users is sufficient to catch mechanism-level
+// bugs while keeping memory bounded on large populations; the accountant
+// audits all users when the population is small and a deterministic sample
+// otherwise.
+package privacy
+
+import (
+	"fmt"
+	"sort"
+
+	"ldpids/internal/ldprand"
+)
+
+// exposure is one LDP interaction: user u reported at timestamp t with
+// budget eps.
+type exposure struct {
+	t   int
+	eps float64
+}
+
+// Accountant audits per-user w-event privacy loss.
+type Accountant struct {
+	w       int
+	eps     float64
+	tracked map[int][]exposure
+	all     bool
+}
+
+// MaxTrackedUsers bounds the audited-user sample on large populations.
+const MaxTrackedUsers = 512
+
+// NewAccountant returns an accountant for budget eps per window of size w
+// over a population of n users. When n exceeds MaxTrackedUsers, a uniform
+// deterministic sample of users is audited instead of all of them.
+func NewAccountant(eps float64, w, n int, src *ldprand.Source) *Accountant {
+	a := &Accountant{w: w, eps: eps, tracked: make(map[int][]exposure)}
+	if n <= MaxTrackedUsers {
+		a.all = true
+		return a
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	for _, u := range src.SampleInts(ids, MaxTrackedUsers) {
+		a.tracked[u] = nil
+	}
+	return a
+}
+
+// Observe records that each user in users was exposed with budget eps at
+// timestamp t. users == nil means the whole population, in which case
+// every tracked user is charged.
+func (a *Accountant) Observe(t int, users []int, eps float64, n int) {
+	charge := func(u int) {
+		if a.all {
+			a.tracked[u] = append(a.tracked[u], exposure{t: t, eps: eps})
+			return
+		}
+		if _, ok := a.tracked[u]; ok {
+			a.tracked[u] = append(a.tracked[u], exposure{t: t, eps: eps})
+		}
+	}
+	if users == nil {
+		if a.all {
+			for u := 0; u < n; u++ {
+				charge(u)
+			}
+		} else {
+			for u := range a.tracked {
+				charge(u)
+			}
+		}
+		return
+	}
+	for _, u := range users {
+		charge(u)
+	}
+}
+
+// Violation describes a w-event budget overrun found by Check.
+type Violation struct {
+	User        int
+	WindowStart int
+	WindowEnd   int
+	Spent       float64
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("privacy: user %d spent %.6g > budget in window [%d,%d]",
+		v.User, v.Spent, v.WindowStart, v.WindowEnd)
+}
+
+// Check scans every audited user's exposure history and returns all
+// w-event violations (empty means the invariant held). tol absorbs float
+// rounding in budget arithmetic.
+func (a *Accountant) Check(tol float64) []Violation {
+	var out []Violation
+	users := make([]int, 0, len(a.tracked))
+	for u := range a.tracked {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+	for _, u := range users {
+		exps := a.tracked[u]
+		sort.Slice(exps, func(i, j int) bool { return exps[i].t < exps[j].t })
+		// Two-pointer sliding window over exposures.
+		sum := 0.0
+		lo := 0
+		for hi := 0; hi < len(exps); hi++ {
+			sum += exps[hi].eps
+			for exps[hi].t-exps[lo].t+1 > a.w {
+				sum -= exps[lo].eps
+				lo++
+			}
+			if sum > a.eps+tol {
+				out = append(out, Violation{
+					User:        u,
+					WindowStart: exps[hi].t - a.w + 1,
+					WindowEnd:   exps[hi].t,
+					Spent:       sum,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// MaxWindowSpend returns the largest privacy loss any audited user incurred
+// in any w-window — useful for asserting budgets are actually used, not
+// just not exceeded.
+func (a *Accountant) MaxWindowSpend() float64 {
+	maxSpend := 0.0
+	for _, exps := range a.tracked {
+		sort.Slice(exps, func(i, j int) bool { return exps[i].t < exps[j].t })
+		sum := 0.0
+		lo := 0
+		for hi := 0; hi < len(exps); hi++ {
+			sum += exps[hi].eps
+			for exps[hi].t-exps[lo].t+1 > a.w {
+				sum -= exps[lo].eps
+				lo++
+			}
+			if sum > maxSpend {
+				maxSpend = sum
+			}
+		}
+	}
+	return maxSpend
+}
+
+// TrackedUsers returns how many users are being audited.
+func (a *Accountant) TrackedUsers() int { return len(a.tracked) }
+
+// MaxReportsPerWindow returns the largest number of reports any audited
+// user made within any w-window; population-division methods must keep
+// this at 1.
+func (a *Accountant) MaxReportsPerWindow() int {
+	maxReports := 0
+	for _, exps := range a.tracked {
+		sort.Slice(exps, func(i, j int) bool { return exps[i].t < exps[j].t })
+		lo := 0
+		for hi := 0; hi < len(exps); hi++ {
+			for exps[hi].t-exps[lo].t+1 > a.w {
+				lo++
+			}
+			if n := hi - lo + 1; n > maxReports {
+				maxReports = n
+			}
+		}
+	}
+	return maxReports
+}

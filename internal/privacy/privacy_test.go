@@ -1,0 +1,110 @@
+package privacy
+
+import (
+	"testing"
+
+	"ldpids/internal/ldprand"
+)
+
+func TestNoViolationWithinBudget(t *testing.T) {
+	a := NewAccountant(1.0, 3, 10, ldprand.New(1))
+	// Each user spends 0.3 per timestamp: window sum 0.9 <= 1.
+	for ts := 1; ts <= 10; ts++ {
+		a.Observe(ts, nil, 0.3, 10)
+	}
+	if v := a.Check(1e-9); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	if got := a.MaxWindowSpend(); got < 0.9-1e-9 || got > 0.9+1e-9 {
+		t.Fatalf("max window spend %v want 0.9", got)
+	}
+}
+
+func TestDetectsOverrun(t *testing.T) {
+	a := NewAccountant(1.0, 3, 5, ldprand.New(1))
+	for ts := 1; ts <= 4; ts++ {
+		a.Observe(ts, nil, 0.4, 5)
+	}
+	v := a.Check(1e-9)
+	if len(v) == 0 {
+		t.Fatal("overrun not detected (1.2 per window)")
+	}
+	if v[0].Spent < 1.2-1e-9 {
+		t.Fatalf("reported spend %v", v[0].Spent)
+	}
+	if v[0].Error() == "" {
+		t.Fatal("violation has empty error")
+	}
+}
+
+func TestWindowSlidesCorrectly(t *testing.T) {
+	// Spending eps at t=1 and t=5 with w=3 is fine; at t=1 and t=3 is not.
+	a := NewAccountant(1.0, 3, 2, ldprand.New(1))
+	a.Observe(1, []int{0}, 1.0, 2)
+	a.Observe(5, []int{0}, 1.0, 2)
+	if v := a.Check(1e-9); len(v) != 0 {
+		t.Fatalf("spaced spends flagged: %v", v)
+	}
+	b := NewAccountant(1.0, 3, 2, ldprand.New(1))
+	b.Observe(1, []int{0}, 1.0, 2)
+	b.Observe(3, []int{0}, 1.0, 2)
+	if v := b.Check(1e-9); len(v) == 0 {
+		t.Fatal("overlapping spends not flagged")
+	}
+}
+
+func TestPerUserTracking(t *testing.T) {
+	// Only user 1 overspends.
+	a := NewAccountant(1.0, 2, 3, ldprand.New(1))
+	a.Observe(1, []int{0}, 0.5, 3)
+	a.Observe(1, []int{1}, 0.8, 3)
+	a.Observe(2, []int{1}, 0.8, 3)
+	v := a.Check(1e-9)
+	if len(v) != 1 || v[0].User != 1 {
+		t.Fatalf("violations %v, want exactly user 1", v)
+	}
+}
+
+func TestSamplingOnLargePopulation(t *testing.T) {
+	n := 100000
+	a := NewAccountant(1.0, 5, n, ldprand.New(7))
+	if a.TrackedUsers() != MaxTrackedUsers {
+		t.Fatalf("tracked %d users, want %d", a.TrackedUsers(), MaxTrackedUsers)
+	}
+	// Broadcast exposures are charged to tracked users; 5 x 0.2 = 1.0
+	// exactly fills the window budget.
+	for ts := 1; ts <= 5; ts++ {
+		a.Observe(ts, nil, 0.2, n)
+	}
+	if v := a.Check(1e-9); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	a.Observe(6, nil, 0.2, n)
+	a.Observe(6, nil, 0.2, n) // double-charge timestamp 6: 1.2 over window
+	if v := a.Check(1e-9); len(v) == 0 {
+		t.Fatal("sampled accountant missed overrun")
+	}
+}
+
+func TestMaxReportsPerWindow(t *testing.T) {
+	a := NewAccountant(5.0, 4, 3, ldprand.New(1))
+	a.Observe(1, []int{0}, 1, 3)
+	a.Observe(2, []int{0}, 1, 3)
+	a.Observe(9, []int{0}, 1, 3)
+	if got := a.MaxReportsPerWindow(); got != 2 {
+		t.Fatalf("max reports per window %d want 2", got)
+	}
+}
+
+func TestEmptyAccountant(t *testing.T) {
+	a := NewAccountant(1, 3, 10, ldprand.New(1))
+	if v := a.Check(0); len(v) != 0 {
+		t.Fatal("empty accountant reported violations")
+	}
+	if a.MaxWindowSpend() != 0 {
+		t.Fatal("empty accountant nonzero spend")
+	}
+	if a.MaxReportsPerWindow() != 0 {
+		t.Fatal("empty accountant nonzero reports")
+	}
+}

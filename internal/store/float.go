@@ -1,0 +1,8 @@
+package store
+
+import "math"
+
+// Thin indirection over math bit casts, kept separate so the codec code
+// reads uniformly.
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

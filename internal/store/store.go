@@ -1,0 +1,191 @@
+// Package store persists released histogram streams to disk as an
+// append-only, CRC-checked binary log. An aggregator running indefinitely
+// needs its release history durable — for dashboards, replay, and audits —
+// without holding an unbounded stream in memory.
+//
+// Format (little endian):
+//
+//	header:  magic "LDPS" | version uint16 | domain uint32
+//	record:  timestamp uint32 | d × float64 | crc32(record bytes)
+//
+// Records are self-checking: a torn final write (crash mid-append) is
+// detected and truncated on open rather than corrupting reads.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+var magic = [4]byte{'L', 'D', 'P', 'S'}
+
+const version = 1
+
+// headerSize is the byte length of the file header.
+const headerSize = 4 + 2 + 4
+
+// ErrCorrupt reports a record whose checksum does not match.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+// recordSize returns the on-disk size of one record for domain size d.
+func recordSize(d int) int { return 4 + 8*d + 4 }
+
+// Writer appends released histograms to a log file.
+type Writer struct {
+	f   *os.File
+	buf *bufio.Writer
+	d   int
+	rec []byte
+}
+
+// Create creates (or truncates) a log at path for histograms of domain
+// size d.
+func Create(path string, d int) (*Writer, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("store: domain size must be >= 1, got %d", d)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f, buf: bufio.NewWriter(f), d: d, rec: make([]byte, recordSize(d))}
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], version)
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(d))
+	if _, err := w.buf.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Append writes the release at timestamp t.
+func (w *Writer) Append(t int, hist []float64) error {
+	if len(hist) != w.d {
+		return fmt.Errorf("store: histogram size %d, want %d", len(hist), w.d)
+	}
+	if t < 0 {
+		return fmt.Errorf("store: negative timestamp %d", t)
+	}
+	rec := w.rec
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(t))
+	off := 4
+	for _, v := range hist {
+		binary.LittleEndian.PutUint64(rec[off:off+8], mathFloat64bits(v))
+		off += 8
+	}
+	crc := crc32.ChecksumIEEE(rec[:off])
+	binary.LittleEndian.PutUint32(rec[off:off+4], crc)
+	_, err := w.buf.Write(rec)
+	return err
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (w *Writer) Sync() error {
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (w *Writer) Close() error {
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader iterates a release log.
+type Reader struct {
+	f   *os.File
+	buf *bufio.Reader
+	d   int
+	rec []byte
+}
+
+// Open opens a log for reading and validates its header.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := bufio.NewReader(f)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(buf, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: short header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		f.Close()
+		return nil, errors.New("store: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != version {
+		f.Close()
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	d := int(binary.LittleEndian.Uint32(hdr[6:10]))
+	if d < 1 || d > 1<<20 {
+		f.Close()
+		return nil, fmt.Errorf("store: implausible domain size %d", d)
+	}
+	return &Reader{f: f, buf: buf, d: d, rec: make([]byte, recordSize(d))}, nil
+}
+
+// Domain returns the stored histograms' domain size.
+func (r *Reader) Domain() int { return r.d }
+
+// Next returns the next record. It returns io.EOF at a clean end of log,
+// and io.ErrUnexpectedEOF for a torn final record (safe to treat as end of
+// log after a crash). ErrCorrupt indicates checksum failure.
+func (r *Reader) Next() (t int, hist []float64, err error) {
+	if _, err := io.ReadFull(r.buf, r.rec); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	body := r.rec[:len(r.rec)-4]
+	want := binary.LittleEndian.Uint32(r.rec[len(r.rec)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, nil, ErrCorrupt
+	}
+	t = int(binary.LittleEndian.Uint32(body[0:4]))
+	hist = make([]float64, r.d)
+	off := 4
+	for k := range hist {
+		hist[k] = mathFloat64frombits(binary.LittleEndian.Uint64(body[off : off+8]))
+		off += 8
+	}
+	return t, hist, nil
+}
+
+// Close closes the reader.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// ReadAll loads an entire log, tolerating a torn final record.
+func ReadAll(path string) (timestamps []int, hists [][]float64, err error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Close()
+	for {
+		t, h, err := r.Next()
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return timestamps, hists, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		timestamps = append(timestamps, t)
+		hists = append(hists, h)
+	}
+}

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "releases.ldps")
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Create(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]float64{{0.1, 0.2, 0.7}, {0.0, -0.05, 1.05}, {0.3, 0.3, 0.4}}
+	for i, h := range recs {
+		if err := w.Append(i+1, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts, hists, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("read %d records", len(ts))
+	}
+	for i := range recs {
+		if ts[i] != i+1 {
+			t.Fatalf("timestamp %d want %d", ts[i], i+1)
+		}
+		for k := range recs[i] {
+			if hists[i][k] != recs[i][k] {
+				t.Fatalf("record %d element %d: %v want %v", i, k, hists[i][k], recs[i][k])
+			}
+		}
+	}
+}
+
+func TestSpecialFloats(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path, 2)
+	if err := w.Append(1, []float64{math.Inf(1), math.SmallestNonzeroFloat64}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, hists, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(hists[0][0], 1) || hists[0][1] != math.SmallestNonzeroFloat64 {
+		t.Fatalf("special floats mangled: %v", hists[0])
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	w, _ := Create(tmpPath(t), 2)
+	defer w.Close()
+	if err := w.Append(1, []float64{1}); err == nil {
+		t.Fatal("wrong-size histogram accepted")
+	}
+	if err := w.Append(-1, []float64{1, 2}); err == nil {
+		t.Fatal("negative timestamp accepted")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(tmpPath(t), 0); err == nil {
+		t.Fatal("zero domain accepted")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := tmpPath(t)
+	os.WriteFile(path, []byte("not a log file at all"), 0o644)
+	if _, err := Open(path); err == nil {
+		t.Fatal("garbage file opened")
+	}
+}
+
+func TestTornFinalRecordTolerated(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path, 2)
+	w.Append(1, []float64{0.5, 0.5})
+	w.Append(2, []float64{0.4, 0.6})
+	w.Close()
+	// Chop bytes off the final record (simulated crash mid-write).
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-7], 0o644)
+
+	ts, hists, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || hists[0][1] != 0.5 {
+		t.Fatalf("torn log read %d records", len(ts))
+	}
+}
+
+func TestCorruptRecordDetected(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path, 2)
+	w.Append(1, []float64{0.5, 0.5})
+	w.Close()
+	data, _ := os.ReadFile(path)
+	data[headerSize+6] ^= 0xFF // flip a payload byte
+	os.WriteFile(path, data, 0o644)
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := r.Next(); err != ErrCorrupt {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path, 4)
+	w.Close()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Domain() != 4 {
+		t.Fatalf("domain %d", r.Domain())
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestSync(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path, 1)
+	w.Append(1, []float64{0.9})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Readable while still open for append.
+	ts, _, err := ReadAll(path)
+	if err != nil || len(ts) != 1 {
+		t.Fatalf("sync visibility: %v %d", err, len(ts))
+	}
+	w.Close()
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	path := tmpPath(t)
+	f := func(raw []uint16) bool {
+		d := 3
+		w, err := Create(path, d)
+		if err != nil {
+			return false
+		}
+		var want [][]float64
+		for i, r := range raw {
+			h := []float64{float64(r) / 65536, float64(r%97) / 97, float64(r % 7)}
+			if w.Append(i, h) != nil {
+				return false
+			}
+			want = append(want, h)
+		}
+		if w.Close() != nil {
+			return false
+		}
+		_, got, err := ReadAll(path)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			for k := range want[i] {
+				if got[i][k] != want[i][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.ldps")
+	w, _ := Create(path, 100)
+	h := make([]float64, 100)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(i, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Close()
+}

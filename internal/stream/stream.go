@@ -1,0 +1,416 @@
+// Package stream defines the streaming data model of LDP-IDS: a population
+// of N users, each holding a value from a categorical domain Ω of size d at
+// every discrete timestamp, and the aggregate frequency histogram c_t the
+// server wants to estimate.
+//
+// The package also provides the paper's synthetic stream generators — the
+// LNS (linear/Gaussian-walk), Sin, and Log(istic) probability processes of
+// §7.1.1 — plus generic building blocks (time-varying categorical draws and
+// per-user Markov walkers) used by the simulated real-world traces in
+// package trace.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"ldpids/internal/ldprand"
+)
+
+// Stream produces, per timestamp, the true values of every user in the
+// population. Implementations may be infinite (Next never returns false)
+// or finite.
+type Stream interface {
+	// Domain returns the domain size d.
+	Domain() int
+	// N returns the population size.
+	N() int
+	// Next fills dst (len N) with each user's value at the next
+	// timestamp and reports whether the stream produced one. dst may be
+	// nil, in which case a new slice is allocated. The returned slice is
+	// only valid until the next call when dst is reused.
+	Next(dst []int) ([]int, bool)
+}
+
+// Histogram computes the frequency vector (fractions summing to 1) of vals
+// over a domain of size d.
+func Histogram(vals []int, d int) []float64 {
+	h := make([]float64, d)
+	if len(vals) == 0 {
+		return h
+	}
+	for _, v := range vals {
+		if v < 0 || v >= d {
+			panic(fmt.Sprintf("stream: value %d outside domain [0,%d)", v, d))
+		}
+		h[v]++
+	}
+	inv := 1 / float64(len(vals))
+	for k := range h {
+		h[k] *= inv
+	}
+	return h
+}
+
+// Materialize runs the stream for at most T timestamps and returns the
+// per-timestamp user values. It is a convenience for tests and finite
+// experiments; real consumers should iterate.
+func Materialize(s Stream, T int) [][]int {
+	out := make([][]int, 0, T)
+	for t := 0; t < T; t++ {
+		vals, ok := s.Next(nil)
+		if !ok {
+			break
+		}
+		out = append(out, vals)
+	}
+	return out
+}
+
+// Histograms computes the true histogram at every timestamp of a
+// materialized stream.
+func Histograms(snapshots [][]int, d int) [][]float64 {
+	out := make([][]float64, len(snapshots))
+	for t, vals := range snapshots {
+		out[t] = Histogram(vals, d)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Probability processes (binary streams, §7.1.1).
+// ---------------------------------------------------------------------------
+
+// Process is a scalar probability sequence p_t = f(t) driving a binary
+// stream: at each timestamp a p_t fraction of users holds value 1.
+type Process interface {
+	// P returns the probability at (1-based) timestamp t, clamped to
+	// [0, 1] by the caller.
+	P(t int) float64
+}
+
+// clamp01 clamps x into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// LNSProcess is the paper's LNS model: a Gaussian random walk
+// p_t = p_{t-1} + N(0, Q) with p_0 = 0.05 and sqrt(Q) = 0.0025 by default.
+// The walk is stateful, so P must be called with strictly increasing t.
+type LNSProcess struct {
+	p   float64
+	std float64
+	t   int
+	src *ldprand.Source
+}
+
+// NewLNS returns an LNS process with initial probability p0, step standard
+// deviation std (the paper's sqrt(Q)), and its own randomness source.
+func NewLNS(p0, std float64, src *ldprand.Source) *LNSProcess {
+	return &LNSProcess{p: p0, std: std, src: src}
+}
+
+// DefaultLNS returns the paper-default LNS process (p0 = 0.05,
+// sqrt(Q) = 0.0025).
+func DefaultLNS(src *ldprand.Source) *LNSProcess {
+	return NewLNS(0.05, 0.0025, src)
+}
+
+// P implements Process; it advances the walk once per increasing t.
+func (l *LNSProcess) P(t int) float64 {
+	for l.t < t {
+		l.p = clamp01(l.p + l.src.NormalScaled(0, l.std))
+		l.t++
+	}
+	return l.p
+}
+
+// SinProcess is the paper's Sin model p_t = A·sin(b·t) + h, defaults
+// A = 0.05, b = 0.01, h = 0.075.
+type SinProcess struct {
+	A, B, H float64
+}
+
+// NewSin returns a sine process with amplitude A, angular rate b, offset h.
+func NewSin(a, b, h float64) *SinProcess { return &SinProcess{A: a, B: b, H: h} }
+
+// DefaultSin returns the paper-default Sin process.
+func DefaultSin() *SinProcess { return NewSin(0.05, 0.01, 0.075) }
+
+// P implements Process.
+func (s *SinProcess) P(t int) float64 {
+	return clamp01(s.A*math.Sin(s.B*float64(t)) + s.H)
+}
+
+// LogProcess is the paper's Log model p_t = A/(1+e^{-b·t}), defaults
+// A = 0.25, b = 0.01.
+type LogProcess struct {
+	A, B float64
+}
+
+// NewLog returns a logistic process with ceiling A and rate b.
+func NewLog(a, b float64) *LogProcess { return &LogProcess{A: a, B: b} }
+
+// DefaultLog returns the paper-default Log process.
+func DefaultLog() *LogProcess { return NewLog(0.25, 0.01) }
+
+// P implements Process.
+func (l *LogProcess) P(t int) float64 {
+	return clamp01(l.A / (1 + math.Exp(-l.B*float64(t))))
+}
+
+// ---------------------------------------------------------------------------
+// Binary stream driven by a probability process.
+// ---------------------------------------------------------------------------
+
+// BinaryStream realizes a Process as a population stream over the binary
+// domain {0, 1}: at timestamp t, a ⌊p_t·N⌉ subset of users (chosen uniformly
+// at random each step, as in §7.1.1) holds value 1.
+type BinaryStream struct {
+	n    int
+	proc Process
+	t    int
+	src  *ldprand.Source
+	perm []int
+}
+
+// NewBinaryStream returns an infinite binary stream over n users driven by
+// proc, using src for the per-timestamp user selection.
+func NewBinaryStream(n int, proc Process, src *ldprand.Source) *BinaryStream {
+	if n <= 0 {
+		panic("stream: population must be positive")
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return &BinaryStream{n: n, proc: proc, src: src, perm: perm}
+}
+
+// Domain implements Stream.
+func (b *BinaryStream) Domain() int { return 2 }
+
+// N implements Stream.
+func (b *BinaryStream) N() int { return b.n }
+
+// Next implements Stream.
+func (b *BinaryStream) Next(dst []int) ([]int, bool) {
+	if cap(dst) < b.n {
+		dst = make([]int, b.n)
+	}
+	dst = dst[:b.n]
+	b.t++
+	p := clamp01(b.proc.P(b.t))
+	ones := int(math.Round(p * float64(b.n)))
+	// Re-randomize which users hold 1 every timestamp.
+	b.src.Shuffle(b.perm)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, u := range b.perm[:ones] {
+		dst[u] = 1
+	}
+	return dst, true
+}
+
+// ---------------------------------------------------------------------------
+// Generic categorical streams.
+// ---------------------------------------------------------------------------
+
+// DistStream draws each user's value IID from a time-varying categorical
+// distribution dist(t) (len d, summing to ~1).
+type DistStream struct {
+	n, d int
+	dist func(t int) []float64
+	t    int
+	src  *ldprand.Source
+	cdf  []float64
+}
+
+// NewDistStream returns an infinite stream over n users and domain size d
+// where at each timestamp every user draws from dist(t).
+func NewDistStream(n, d int, dist func(t int) []float64, src *ldprand.Source) *DistStream {
+	if n <= 0 || d < 2 {
+		panic("stream: invalid population or domain")
+	}
+	return &DistStream{n: n, d: d, dist: dist, src: src, cdf: make([]float64, d)}
+}
+
+// Domain implements Stream.
+func (ds *DistStream) Domain() int { return ds.d }
+
+// N implements Stream.
+func (ds *DistStream) N() int { return ds.n }
+
+// Next implements Stream.
+func (ds *DistStream) Next(dst []int) ([]int, bool) {
+	if cap(dst) < ds.n {
+		dst = make([]int, ds.n)
+	}
+	dst = dst[:ds.n]
+	ds.t++
+	p := ds.dist(ds.t)
+	if len(p) != ds.d {
+		panic(fmt.Sprintf("stream: dist returned %d probs, want %d", len(p), ds.d))
+	}
+	acc := 0.0
+	for k, v := range p {
+		acc += v
+		ds.cdf[k] = acc
+	}
+	if acc <= 0 {
+		panic("stream: dist sums to zero")
+	}
+	for i := range dst {
+		u := ds.src.Float64() * acc
+		lo, hi := 0, ds.d-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ds.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		dst[i] = lo
+	}
+	return dst, true
+}
+
+// MarkovStream gives each user an independent Markov chain over the domain:
+// with probability stay the user keeps its value, otherwise it jumps to a
+// value drawn from the (possibly time-varying) jump distribution. This
+// produces the per-user temporal autocorrelation that real mobility and
+// click traces exhibit.
+type MarkovStream struct {
+	n, d  int
+	stay  float64
+	jump  func(t int, cur int) int
+	state []int
+	t     int
+	src   *ldprand.Source
+}
+
+// NewMarkovStream returns an infinite Markov stream. init gives each user's
+// starting value; jump(t, cur) draws a new value for a user leaving cur.
+func NewMarkovStream(n, d int, stay float64, init func(u int) int, jump func(t, cur int) int, src *ldprand.Source) *MarkovStream {
+	if n <= 0 || d < 2 {
+		panic("stream: invalid population or domain")
+	}
+	if stay < 0 || stay > 1 {
+		panic("stream: stay probability outside [0,1]")
+	}
+	state := make([]int, n)
+	for u := range state {
+		v := init(u)
+		if v < 0 || v >= d {
+			panic(fmt.Sprintf("stream: init value %d outside domain", v))
+		}
+		state[u] = v
+	}
+	return &MarkovStream{n: n, d: d, stay: stay, jump: jump, state: state, src: src}
+}
+
+// Domain implements Stream.
+func (m *MarkovStream) Domain() int { return m.d }
+
+// N implements Stream.
+func (m *MarkovStream) N() int { return m.n }
+
+// Next implements Stream.
+func (m *MarkovStream) Next(dst []int) ([]int, bool) {
+	if cap(dst) < m.n {
+		dst = make([]int, m.n)
+	}
+	dst = dst[:m.n]
+	m.t++
+	for u := range m.state {
+		if !m.src.Bernoulli(m.stay) {
+			v := m.jump(m.t, m.state[u])
+			if v < 0 || v >= m.d {
+				panic(fmt.Sprintf("stream: jump value %d outside domain", v))
+			}
+			m.state[u] = v
+		}
+		dst[u] = m.state[u]
+	}
+	return dst, true
+}
+
+// ---------------------------------------------------------------------------
+// Wrappers.
+// ---------------------------------------------------------------------------
+
+// Finite truncates an inner stream after T timestamps.
+type Finite struct {
+	Inner Stream
+	T     int
+	t     int
+}
+
+// Limit wraps s so that it ends after T timestamps.
+func Limit(s Stream, T int) *Finite { return &Finite{Inner: s, T: T} }
+
+// Domain implements Stream.
+func (f *Finite) Domain() int { return f.Inner.Domain() }
+
+// N implements Stream.
+func (f *Finite) N() int { return f.Inner.N() }
+
+// Next implements Stream.
+func (f *Finite) Next(dst []int) ([]int, bool) {
+	if f.t >= f.T {
+		return nil, false
+	}
+	f.t++
+	return f.Inner.Next(dst)
+}
+
+// Replay replays pre-materialized snapshots as a Stream.
+type Replay struct {
+	Snapshots [][]int
+	D         int
+	t         int
+}
+
+// NewReplay wraps materialized snapshots (all of equal length) into a
+// finite Stream with the given domain size.
+func NewReplay(snapshots [][]int, d int) *Replay {
+	if len(snapshots) == 0 {
+		panic("stream: empty replay")
+	}
+	n := len(snapshots[0])
+	for _, s := range snapshots {
+		if len(s) != n {
+			panic("stream: ragged replay snapshots")
+		}
+	}
+	return &Replay{Snapshots: snapshots, D: d}
+}
+
+// Domain implements Stream.
+func (r *Replay) Domain() int { return r.D }
+
+// N implements Stream.
+func (r *Replay) N() int { return len(r.Snapshots[0]) }
+
+// Next implements Stream.
+func (r *Replay) Next(dst []int) ([]int, bool) {
+	if r.t >= len(r.Snapshots) {
+		return nil, false
+	}
+	snap := r.Snapshots[r.t]
+	r.t++
+	if cap(dst) < len(snap) {
+		dst = make([]int, len(snap))
+	}
+	dst = dst[:len(snap)]
+	copy(dst, snap)
+	return dst, true
+}

@@ -1,0 +1,321 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldpids/internal/ldprand"
+)
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{0, 0, 1, 2}, 3)
+	want := []float64{0.5, 0.25, 0.25}
+	for k := range want {
+		if math.Abs(h[k]-want[k]) > 1e-12 {
+			t.Fatalf("histogram %v want %v", h, want)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := Histogram(nil, 3)
+	for _, v := range h {
+		if v != 0 {
+			t.Fatalf("empty histogram non-zero: %v", h)
+		}
+	}
+}
+
+func TestHistogramPanicsOutOfDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-domain value accepted")
+		}
+	}()
+	Histogram([]int{5}, 3)
+}
+
+func TestHistogramSumsToOne(t *testing.T) {
+	f := func(raw []uint8, dRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := int(dRaw%20) + 2
+		vals := make([]int, len(raw))
+		for i, r := range raw {
+			vals[i] = int(r) % d
+		}
+		h := Histogram(vals, d)
+		sum := 0.0
+		for _, v := range h {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLNSProcessStatefulWalk(t *testing.T) {
+	src := ldprand.New(201)
+	l := DefaultLNS(src)
+	p1 := l.P(1)
+	p1again := l.P(1)
+	if p1 != p1again {
+		t.Fatal("repeated P(t) changed value")
+	}
+	// Walk should stay within [0,1] and mostly near p0 for small std.
+	var maxDev float64
+	for tt := 2; tt <= 800; tt++ {
+		p := l.P(tt)
+		if p < 0 || p > 1 {
+			t.Fatalf("p_t=%v out of range", p)
+		}
+		if dev := math.Abs(p - 0.05); dev > maxDev {
+			maxDev = dev
+		}
+	}
+	// std 0.0025 over 800 steps: sigma of sum ~ 0.0025*sqrt(800) ≈ 0.07.
+	if maxDev > 0.5 {
+		t.Fatalf("LNS walk drifted implausibly far: %v", maxDev)
+	}
+}
+
+func TestSinProcessValues(t *testing.T) {
+	s := DefaultSin()
+	if got := s.P(0); math.Abs(got-0.075) > 1e-12 {
+		t.Fatalf("sin P(0) = %v want 0.075", got)
+	}
+	// Peak of sine: b*t = pi/2 -> t = 157.
+	peak := s.P(157)
+	if math.Abs(peak-0.125) > 1e-3 {
+		t.Fatalf("sin peak %v want ~0.125", peak)
+	}
+}
+
+func TestLogProcessMonotone(t *testing.T) {
+	l := DefaultLog()
+	prev := l.P(1)
+	for tt := 2; tt <= 500; tt++ {
+		cur := l.P(tt)
+		if cur < prev-1e-12 {
+			t.Fatalf("logistic not monotone at t=%d", tt)
+		}
+		prev = cur
+	}
+	if asym := l.P(100000); math.Abs(asym-0.25) > 1e-6 {
+		t.Fatalf("logistic asymptote %v want 0.25", asym)
+	}
+}
+
+func TestBinaryStreamFractions(t *testing.T) {
+	src := ldprand.New(211)
+	bs := NewBinaryStream(10000, DefaultSin(), src)
+	if bs.Domain() != 2 || bs.N() != 10000 {
+		t.Fatal("binary stream metadata")
+	}
+	var buf []int
+	for tt := 1; tt <= 20; tt++ {
+		var ok bool
+		buf, ok = bs.Next(buf)
+		if !ok {
+			t.Fatal("infinite stream ended")
+		}
+		h := Histogram(buf, 2)
+		want := DefaultSin().P(tt)
+		if math.Abs(h[1]-want) > 1e-3 {
+			t.Fatalf("t=%d ones fraction %v want %v", tt, h[1], want)
+		}
+	}
+}
+
+func TestBinaryStreamReassignsUsers(t *testing.T) {
+	// The set of 1-holders should change between timestamps.
+	src := ldprand.New(223)
+	bs := NewBinaryStream(1000, NewSin(0, 0, 0.5), src)
+	a, _ := bs.Next(nil)
+	aCopy := make([]int, len(a))
+	copy(aCopy, a)
+	b, _ := bs.Next(nil)
+	same := 0
+	for i := range b {
+		if aCopy[i] == b[i] {
+			same++
+		}
+	}
+	if same > 990 {
+		t.Fatalf("user assignment barely changed: %d/1000 identical", same)
+	}
+}
+
+func TestDistStream(t *testing.T) {
+	src := ldprand.New(227)
+	dist := func(t int) []float64 { return []float64{0.7, 0.2, 0.1} }
+	ds := NewDistStream(20000, 3, dist, src)
+	vals, ok := ds.Next(nil)
+	if !ok {
+		t.Fatal("stream ended")
+	}
+	h := Histogram(vals, 3)
+	for k, want := range []float64{0.7, 0.2, 0.1} {
+		if math.Abs(h[k]-want) > 0.02 {
+			t.Fatalf("dist stream histogram %v", h)
+		}
+	}
+}
+
+func TestDistStreamTimeVarying(t *testing.T) {
+	src := ldprand.New(229)
+	dist := func(t int) []float64 {
+		if t == 1 {
+			return []float64{1, 0}
+		}
+		return []float64{0, 1}
+	}
+	ds := NewDistStream(100, 2, dist, src)
+	v1, _ := ds.Next(nil)
+	v2, _ := ds.Next(nil)
+	for _, v := range v1 {
+		if v != 0 {
+			t.Fatal("t=1 should be all zeros")
+		}
+	}
+	for _, v := range v2 {
+		if v != 1 {
+			t.Fatal("t=2 should be all ones")
+		}
+	}
+}
+
+func TestMarkovStreamStayProbability(t *testing.T) {
+	src := ldprand.New(233)
+	ms := NewMarkovStream(10000, 4, 0.9,
+		func(u int) int { return u % 4 },
+		func(t, cur int) int { return (cur + 1) % 4 },
+		src)
+	prev, _ := ms.Next(nil)
+	prevCopy := make([]int, len(prev))
+	copy(prevCopy, prev)
+	cur, _ := ms.Next(nil)
+	stayed := 0
+	for i := range cur {
+		if cur[i] == prevCopy[i] {
+			stayed++
+		}
+	}
+	rate := float64(stayed) / float64(len(cur))
+	if math.Abs(rate-0.9) > 0.02 {
+		t.Fatalf("stay rate %v want ~0.9", rate)
+	}
+}
+
+func TestMarkovStreamInitValues(t *testing.T) {
+	src := ldprand.New(239)
+	ms := NewMarkovStream(100, 5, 1.0,
+		func(u int) int { return u % 5 },
+		func(t, cur int) int { return cur },
+		src)
+	vals, _ := ms.Next(nil)
+	for u, v := range vals {
+		if v != u%5 {
+			t.Fatalf("user %d value %d want %d", u, v, u%5)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	src := ldprand.New(241)
+	s := Limit(NewBinaryStream(10, DefaultSin(), src), 3)
+	count := 0
+	for {
+		_, ok := s.Next(nil)
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("limited stream yielded %d timestamps, want 3", count)
+	}
+}
+
+func TestMaterializeAndHistograms(t *testing.T) {
+	src := ldprand.New(251)
+	s := NewBinaryStream(50, DefaultSin(), src)
+	snaps := Materialize(s, 5)
+	if len(snaps) != 5 {
+		t.Fatalf("materialized %d snapshots", len(snaps))
+	}
+	hs := Histograms(snaps, 2)
+	if len(hs) != 5 || len(hs[0]) != 2 {
+		t.Fatal("histograms shape")
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	src := ldprand.New(257)
+	orig := Materialize(NewBinaryStream(20, DefaultSin(), src), 4)
+	r := NewReplay(orig, 2)
+	if r.N() != 20 || r.Domain() != 2 {
+		t.Fatal("replay metadata")
+	}
+	for t2 := 0; t2 < 4; t2++ {
+		vals, ok := r.Next(nil)
+		if !ok {
+			t.Fatal("replay ended early")
+		}
+		for i := range vals {
+			if vals[i] != orig[t2][i] {
+				t.Fatal("replay mismatch")
+			}
+		}
+	}
+	if _, ok := r.Next(nil); ok {
+		t.Fatal("replay did not end")
+	}
+}
+
+func TestReplayPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged replay accepted")
+		}
+	}()
+	NewReplay([][]int{{1, 2}, {1}}, 3)
+}
+
+func TestNextReusesBuffer(t *testing.T) {
+	src := ldprand.New(263)
+	s := NewBinaryStream(100, DefaultSin(), src)
+	buf := make([]int, 100)
+	got, _ := s.Next(buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("Next did not reuse provided buffer")
+	}
+}
+
+func BenchmarkBinaryStreamNext(b *testing.B) {
+	src := ldprand.New(1)
+	s := NewBinaryStream(100000, DefaultLNS(src.Split()), src)
+	buf := make([]int, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(buf)
+	}
+}
+
+func BenchmarkMarkovStreamNext(b *testing.B) {
+	src := ldprand.New(1)
+	jsrc := src.Split()
+	s := NewMarkovStream(100000, 10, 0.95,
+		func(u int) int { return u % 10 },
+		func(t, cur int) int { return jsrc.Intn(10) },
+		src)
+	buf := make([]int, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(buf)
+	}
+}

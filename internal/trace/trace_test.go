@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"ldpids/internal/ldprand"
+	"ldpids/internal/stream"
+)
+
+// autocorr returns the mean per-user one-step agreement rate over steps.
+func autocorr(s stream.Stream, steps int) float64 {
+	prev, _ := s.Next(nil)
+	prevCopy := make([]int, len(prev))
+	copy(prevCopy, prev)
+	agree, total := 0, 0
+	buf := make([]int, len(prev))
+	for i := 0; i < steps; i++ {
+		cur, _ := s.Next(buf)
+		for u := range cur {
+			if cur[u] == prevCopy[u] {
+				agree++
+			}
+			total++
+		}
+		copy(prevCopy, cur)
+	}
+	return float64(agree) / float64(total)
+}
+
+func TestSpecs(t *testing.T) {
+	if TaxiSpec.D != 5 || TaxiSpec.T != 886 || TaxiSpec.N != 10357 {
+		t.Fatal("taxi spec mismatch with paper")
+	}
+	if FoursquareSpec.D != 77 || FoursquareSpec.T != 447 {
+		t.Fatal("foursquare spec mismatch with paper")
+	}
+	if TaobaoSpec.D != 117 || TaobaoSpec.T != 432 {
+		t.Fatal("taobao spec mismatch with paper")
+	}
+}
+
+func TestTaxiBasics(t *testing.T) {
+	src := ldprand.New(301)
+	s := Taxi(2000, 5, src)
+	if s.Domain() != 5 || s.N() != 2000 {
+		t.Fatal("taxi stream metadata")
+	}
+	vals, ok := s.Next(nil)
+	if !ok {
+		t.Fatal("taxi stream ended")
+	}
+	for _, v := range vals {
+		if v < 0 || v >= 5 {
+			t.Fatalf("taxi value %d out of domain", v)
+		}
+	}
+}
+
+func TestTaxiAutocorrelation(t *testing.T) {
+	src := ldprand.New(307)
+	got := autocorr(Taxi(3000, 5, src), 30)
+	if got < 0.85 || got > 0.99 {
+		t.Fatalf("taxi autocorrelation %v, want smooth (~0.92)", got)
+	}
+}
+
+func TestTaxiDiurnalDrift(t *testing.T) {
+	// Downtown (region 0) share should vary over a simulated day.
+	src := ldprand.New(311)
+	s := Taxi(20000, 5, src)
+	var shares []float64
+	buf := make([]int, 20000)
+	for i := 0; i < 144; i++ {
+		vals, _ := s.Next(buf)
+		shares = append(shares, stream.Histogram(vals, 5)[0])
+	}
+	minS, maxS := shares[0], shares[0]
+	for _, v := range shares {
+		minS = math.Min(minS, v)
+		maxS = math.Max(maxS, v)
+	}
+	if maxS-minS < 0.03 {
+		t.Fatalf("taxi downtown share flat: min %v max %v", minS, maxS)
+	}
+}
+
+func TestFoursquareSkew(t *testing.T) {
+	src := ldprand.New(313)
+	s := Foursquare(30000, 77, src)
+	// Warm up a few steps, then check Zipf-like skew.
+	var vals []int
+	buf := make([]int, 30000)
+	for i := 0; i < 5; i++ {
+		vals, _ = s.Next(buf)
+	}
+	h := stream.Histogram(vals, 77)
+	maxF, sumTop5 := 0.0, 0.0
+	top := make([]float64, len(h))
+	copy(top, h)
+	// Partial selection of top-5.
+	for i := 0; i < 5; i++ {
+		best := i
+		for j := i + 1; j < len(top); j++ {
+			if top[j] > top[best] {
+				best = j
+			}
+		}
+		top[i], top[best] = top[best], top[i]
+		sumTop5 += top[i]
+	}
+	for _, f := range h {
+		maxF = math.Max(maxF, f)
+	}
+	if maxF < 0.05 {
+		t.Fatalf("foursquare max frequency %v too flat for Zipf", maxF)
+	}
+	if sumTop5 < 0.2 {
+		t.Fatalf("foursquare top-5 mass %v too flat", sumTop5)
+	}
+}
+
+func TestFoursquareHighInertia(t *testing.T) {
+	src := ldprand.New(317)
+	got := autocorr(Foursquare(5000, 77, src), 20)
+	if got < 0.93 {
+		t.Fatalf("foursquare autocorrelation %v, want >= 0.93", got)
+	}
+}
+
+func TestTaobaoCampaignBursts(t *testing.T) {
+	// Track the max single-category share over time; campaigns should
+	// create visible spikes above the Zipf baseline head.
+	src := ldprand.New(331)
+	s := Taobao(20000, 117, src)
+	buf := make([]int, 20000)
+	var maxShare, minShare float64 = 0, 1
+	for i := 0; i < 200; i++ {
+		vals, _ := s.Next(buf)
+		h := stream.Histogram(vals, 117)
+		best := 0.0
+		for _, f := range h {
+			best = math.Max(best, f)
+		}
+		maxShare = math.Max(maxShare, best)
+		minShare = math.Min(minShare, best)
+	}
+	if maxShare-minShare < 0.02 {
+		t.Fatalf("taobao head share range [%v,%v] lacks bursts", minShare, maxShare)
+	}
+}
+
+func TestByName(t *testing.T) {
+	src := ldprand.New(337)
+	for _, name := range []string{"Taxi", "Foursquare", "Taobao", "taxi"} {
+		s, spec, ok := ByName(name, 500, src)
+		if !ok {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+		if s.N() != 500 || spec.N != 500 {
+			t.Fatalf("population override ignored for %q", name)
+		}
+		if s.Domain() != spec.D {
+			t.Fatalf("domain mismatch for %q", name)
+		}
+	}
+	if _, _, ok := ByName("nope", 0, src); ok {
+		t.Fatal("unknown trace accepted")
+	}
+	// n<=0 means full paper population.
+	_, spec, _ := ByName("Taxi", 0, src)
+	if spec.N != TaxiSpec.N {
+		t.Fatalf("default population %d want %d", spec.N, TaxiSpec.N)
+	}
+}
+
+func TestTracesDeterministic(t *testing.T) {
+	a, _, _ := ByName("Taobao", 1000, ldprand.New(99))
+	b, _, _ := ByName("Taobao", 1000, ldprand.New(99))
+	for i := 0; i < 10; i++ {
+		av, _ := a.Next(nil)
+		bv, _ := b.Next(nil)
+		for u := range av {
+			if av[u] != bv[u] {
+				t.Fatalf("same-seed traces diverged at t=%d user %d", i, u)
+			}
+		}
+	}
+}
+
+func BenchmarkTaxiNext(b *testing.B) {
+	s := Taxi(10357, 5, ldprand.New(1))
+	buf := make([]int, 10357)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(buf)
+	}
+}

@@ -1,0 +1,277 @@
+// Package transport runs the LDP-IDS collection protocol over real TCP
+// connections: an aggregator (Server) implements mechanism.Env by issuing
+// report requests to registered user clients, each of which perturbs its
+// current value locally — raw values never leave the client process. The
+// wire format is length-delimited gob.
+//
+// This is the distributed counterpart of the in-process simulation runner;
+// cmd/ldpids-server and cmd/ldpids-client wire it into a runnable demo, and
+// the package tests exercise the full protocol over loopback.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ldpids/internal/comm"
+	"ldpids/internal/fo"
+)
+
+// hello is the registration message a client sends on connect.
+type hello struct {
+	ID int
+}
+
+// request asks a client to report its value at timestamp T with budget Eps.
+type request struct {
+	T   int
+	Eps float64
+}
+
+// response carries one perturbed report back to the aggregator.
+type response struct {
+	Report fo.Report
+}
+
+// Server is the aggregator side: it accepts client registrations and
+// implements mechanism.Env by fanning report requests out to clients.
+type Server struct {
+	ln      net.Listener
+	oracle  fo.Oracle
+	counter *comm.Counter
+
+	mu      sync.Mutex
+	clients map[int]*clientConn
+	t       int
+	n       int
+
+	readyCh chan struct{}
+}
+
+// clientConn is one registered client connection. Request/response pairs
+// are serialized per connection.
+type clientConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") for a population of n
+// users reporting through the given oracle.
+func NewServer(addr string, oracle fo.Oracle, n int) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s := &Server{
+		ln:      ln,
+		oracle:  oracle,
+		counter: comm.NewCounter(n),
+		clients: make(map[int]*clientConn),
+		n:       n,
+		readyCh: make(chan struct{}),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.register(conn)
+	}
+}
+
+func (s *Server) register(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h.ID < 0 || h.ID >= s.n || s.clients[h.ID] != nil {
+		conn.Close()
+		return
+	}
+	s.clients[h.ID] = &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: dec}
+	if len(s.clients) == s.n {
+		close(s.readyCh)
+	}
+}
+
+// WaitReady blocks until all n users have registered or the timeout
+// elapses.
+func (s *Server) WaitReady(timeout time.Duration) error {
+	select {
+	case <-s.readyCh:
+		return nil
+	case <-time.After(timeout):
+		s.mu.Lock()
+		got := len(s.clients)
+		s.mu.Unlock()
+		return fmt.Errorf("transport: only %d/%d users registered after %v", got, s.n, timeout)
+	}
+}
+
+// Advance moves the server to timestamp t and opens a new communication
+// accounting period. The driver must call it once per timestamp before
+// the mechanism's Step.
+func (s *Server) Advance(t int) {
+	s.mu.Lock()
+	s.t = t
+	s.mu.Unlock()
+	s.counter.BeginTimestamp()
+}
+
+// T implements mechanism.Env.
+func (s *Server) T() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t
+}
+
+// N implements mechanism.Env.
+func (s *Server) N() int { return s.n }
+
+// Collect implements mechanism.Env: it requests a perturbed report from
+// every listed user (nil = all) and gathers the responses.
+func (s *Server) Collect(users []int, eps float64) ([]fo.Report, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("transport: collect with non-positive eps %v", eps)
+	}
+	s.mu.Lock()
+	t := s.t
+	if users == nil {
+		users = make([]int, 0, len(s.clients))
+		for id := range s.clients {
+			users = append(users, id)
+		}
+	}
+	conns := make([]*clientConn, len(users))
+	for i, id := range users {
+		cc := s.clients[id]
+		if cc == nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("transport: user %d not registered", id)
+		}
+		conns[i] = cc
+	}
+	s.mu.Unlock()
+
+	reports := make([]fo.Report, len(users))
+	errs := make([]error, len(users))
+	var wg sync.WaitGroup
+	for i := range conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc := conns[i]
+			cc.mu.Lock()
+			defer cc.mu.Unlock()
+			if err := cc.enc.Encode(request{T: t, Eps: eps}); err != nil {
+				errs[i] = err
+				return
+			}
+			var resp response
+			if err := cc.dec.Decode(&resp); err != nil {
+				errs[i] = err
+				return
+			}
+			reports[i] = resp.Report
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("transport: user %d: %w", users[i], err)
+		}
+	}
+	bytes := 0
+	for _, r := range reports {
+		bytes += r.Size()
+	}
+	s.counter.Observe(len(reports), bytes)
+	return reports, nil
+}
+
+// CommStats returns the accumulated communication statistics.
+func (s *Server) CommStats() comm.Stats { return s.counter.Stats() }
+
+// Close shuts the server and all client connections down.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cc := range s.clients {
+		cc.conn.Close()
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------------
+
+// Perturber is the client-side randomizer: it perturbs the user's true
+// value with the given budget. fo.Oracle satisfies the perturbation
+// contract through a bound source; see NewClient.
+type Perturber func(value int, eps float64) fo.Report
+
+// Client is one user's device: it registers with the aggregator and
+// answers report requests by perturbing its current value locally.
+type Client struct {
+	conn    net.Conn
+	id      int
+	value   func(t int) int
+	perturb Perturber
+}
+
+// NewClient connects to the aggregator at addr as user id. value returns
+// the user's TRUE value at a timestamp (it stays inside this process);
+// perturb applies the local randomizer.
+func NewClient(addr string, id int, value func(t int) int, perturb Perturber) (*Client, error) {
+	if value == nil || perturb == nil {
+		return nil, errors.New("transport: client needs value and perturb functions")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	if err := gob.NewEncoder(conn).Encode(hello{ID: id}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: register: %w", err)
+	}
+	return &Client{conn: conn, id: id, value: value, perturb: perturb}, nil
+}
+
+// Serve answers report requests until the connection closes.
+func (c *Client) Serve() error {
+	dec := gob.NewDecoder(c.conn)
+	enc := gob.NewEncoder(c.conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return err
+		}
+		rep := c.perturb(c.value(req.T), req.Eps)
+		if err := enc.Encode(response{Report: rep}); err != nil {
+			return err
+		}
+	}
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.conn.Close() }

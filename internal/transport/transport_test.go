@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+	"ldpids/internal/mechanism"
+	"ldpids/internal/stream"
+)
+
+// startCluster launches a loopback server plus n clients whose values come
+// from the given per-timestamp snapshots.
+func startCluster(t *testing.T, n int, oracle fo.Oracle, snapshots [][]int) (*Server, func()) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", oracle, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	clients := make([]*Client, n)
+	for id := 0; id < n; id++ {
+		id := id
+		src := ldprand.New(uint64(1000 + id))
+		value := func(ts int) int { return snapshots[ts-1][id] }
+		perturb := func(v int, eps float64) fo.Report { return oracle.Perturb(v, eps, src) }
+		c, err := NewClient(srv.Addr(), id, value, perturb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[id] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = c.Serve() // exits when connection closes
+		}()
+	}
+	if err := srv.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		srv.Close()
+		for _, c := range clients {
+			c.Close()
+		}
+		wg.Wait()
+	}
+	return srv, cleanup
+}
+
+func TestCollectAllOverTCP(t *testing.T) {
+	n := 60
+	oracle := fo.NewGRR(2)
+	// All users hold value 1 at every timestamp.
+	snaps := [][]int{make([]int, n)}
+	for i := range snaps[0] {
+		snaps[0][i] = 1
+	}
+	srv, cleanup := startCluster(t, n, oracle, snaps)
+	defer cleanup()
+
+	srv.Advance(1)
+	reports, err := srv.Collect(nil, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != n {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	est, err := oracle.Estimate(reports, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With eps=2 and 60 users, element 1 should dominate.
+	if est[1] < 0.6 {
+		t.Fatalf("estimate %v does not reflect all-ones population", est)
+	}
+}
+
+func TestCollectSubset(t *testing.T) {
+	n := 30
+	oracle := fo.NewGRR(2)
+	snaps := [][]int{make([]int, n)}
+	srv, cleanup := startCluster(t, n, oracle, snaps)
+	defer cleanup()
+
+	srv.Advance(1)
+	reports, err := srv.Collect([]int{0, 5, 7}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("subset collect returned %d reports", len(reports))
+	}
+	stats := srv.CommStats()
+	if stats.Reports != 3 {
+		t.Fatalf("comm recorded %d reports", stats.Reports)
+	}
+}
+
+func TestCollectUnknownUser(t *testing.T) {
+	n := 5
+	oracle := fo.NewGRR(2)
+	snaps := [][]int{make([]int, n)}
+	srv, cleanup := startCluster(t, n, oracle, snaps)
+	defer cleanup()
+	srv.Advance(1)
+	if _, err := srv.Collect([]int{99}, 1.0); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	if _, err := srv.Collect(nil, 0); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+}
+
+func TestWaitReadyTimeout(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", fo.NewGRR(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.WaitReady(50 * time.Millisecond); err == nil {
+		t.Fatal("WaitReady with no clients should time out")
+	}
+}
+
+func TestFullMechanismOverTCP(t *testing.T) {
+	// Run LPA end-to-end over the network env: the mechanism only sees
+	// FO reports from the wire.
+	n, w, T := 120, 4, 12
+	root := ldprand.New(54321)
+	oracle := fo.NewGRR(2)
+	s := stream.NewBinaryStream(n, stream.DefaultSin(), root.Split())
+	snaps := stream.Materialize(s, T)
+	truth := stream.Histograms(snaps, 2)
+
+	srv, cleanup := startCluster(t, n, oracle, snaps)
+	defer cleanup()
+
+	m, err := mechanism.NewLPA(mechanism.Params{
+		Eps: 2, W: w, N: n, Oracle: oracle, Src: root.Split()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var released [][]float64
+	for ts := 1; ts <= T; ts++ {
+		srv.Advance(ts)
+		r, err := m.Step(srv)
+		if err != nil {
+			t.Fatalf("step %d: %v", ts, err)
+		}
+		released = append(released, r)
+	}
+	if len(released) != T {
+		t.Fatal("missing releases")
+	}
+	// Releases should be in a sane range given truth stays near 0.075.
+	for ts := range released {
+		for k := range released[ts] {
+			if math.Abs(released[ts][k]-truth[ts][k]) > 1.5 {
+				t.Fatalf("wild release %v vs truth %v at t=%d", released[ts][k], truth[ts][k], ts+1)
+			}
+		}
+	}
+	// Population division over TCP: far fewer reports than n*T.
+	stats := srv.CommStats()
+	if stats.CFPU >= 1 {
+		t.Fatalf("LPA CFPU %v over TCP should be << 1", stats.CFPU)
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	n := 2
+	oracle := fo.NewGRR(2)
+	snaps := [][]int{make([]int, n)}
+	srv, cleanup := startCluster(t, n, oracle, snaps)
+	defer cleanup()
+	// A second client with id 0: the server must drop the connection.
+	src := ldprand.New(9)
+	c, err := NewClient(srv.Addr(), 0,
+		func(ts int) int { return 0 },
+		func(v int, eps float64) fo.Report { return oracle.Perturb(v, eps, src) })
+	if err != nil {
+		t.Fatal(err) // dial+register writes succeed; rejection is a close
+	}
+	defer c.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Serve() }()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("duplicate client served successfully")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("duplicate client not disconnected")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient("127.0.0.1:1", 0, nil, nil); err == nil {
+		t.Fatal("nil callbacks accepted")
+	}
+}

@@ -1,0 +1,154 @@
+// Package window provides sliding-window ledgers used by the w-event LDP
+// mechanisms to track per-timestamp resource consumption — privacy budget
+// for the budget-division methods and participating-user counts for the
+// population-division methods — and to answer windowed sums in O(1).
+//
+// The mechanisms and the privacy accountant consume the same ledger, so the
+// invariant the accountant audits (Σ over any w consecutive timestamps ≤
+// capacity) is exactly the one the mechanism enforced.
+package window
+
+import "fmt"
+
+// Ledger records one non-negative float per timestamp and maintains the
+// rolling sum over the most recent w entries. Timestamps are appended in
+// order starting at t=1.
+type Ledger struct {
+	w       int
+	entries []float64 // ring buffer of the last w entries
+	head    int       // index in entries of the oldest retained entry
+	n       int       // number of entries currently retained (≤ w)
+	t       int       // last appended timestamp (0 before first append)
+	sum     float64   // sum of retained entries
+	history []float64 // full history when retention is enabled
+	retain  bool
+}
+
+// NewLedger returns a ledger with window size w (w >= 1).
+func NewLedger(w int) *Ledger {
+	if w < 1 {
+		panic(fmt.Sprintf("window: window size must be >= 1, got %d", w))
+	}
+	return &Ledger{w: w, entries: make([]float64, w)}
+}
+
+// NewRetainingLedger returns a ledger that additionally keeps the full
+// history of appended values, for auditing.
+func NewRetainingLedger(w int) *Ledger {
+	l := NewLedger(w)
+	l.retain = true
+	return l
+}
+
+// W returns the window size.
+func (l *Ledger) W() int { return l.w }
+
+// T returns the last appended timestamp (0 if empty).
+func (l *Ledger) T() int { return l.t }
+
+// Append records value v (must be >= 0) for the next timestamp and returns
+// that timestamp.
+func (l *Ledger) Append(v float64) int {
+	if v < 0 {
+		panic(fmt.Sprintf("window: negative ledger entry %v", v))
+	}
+	if l.n == l.w {
+		l.sum -= l.entries[l.head]
+		l.entries[l.head] = v
+		l.head = (l.head + 1) % l.w
+	} else {
+		l.entries[(l.head+l.n)%l.w] = v
+		l.n++
+	}
+	l.sum += v
+	l.t++
+	if l.retain {
+		l.history = append(l.history, v)
+	}
+	return l.t
+}
+
+// WindowSum returns the sum of entries over the most recent min(w, t)
+// timestamps, i.e. the active window ending at the current timestamp.
+func (l *Ledger) WindowSum() float64 { return l.sum }
+
+// Remaining returns capacity - WindowSum(), clamped at zero.
+func (l *Ledger) Remaining(capacity float64) float64 {
+	r := capacity - l.sum
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// At returns the entry recorded at absolute timestamp ts (1-based). It
+// panics if ts is outside the retained window (or the full history when
+// retention is enabled).
+func (l *Ledger) At(ts int) float64 {
+	if l.retain {
+		if ts < 1 || ts > l.t {
+			panic(fmt.Sprintf("window: timestamp %d outside history [1,%d]", ts, l.t))
+		}
+		return l.history[ts-1]
+	}
+	oldest := l.t - l.n + 1
+	if ts < oldest || ts > l.t {
+		panic(fmt.Sprintf("window: timestamp %d outside retained window [%d,%d]", ts, oldest, l.t))
+	}
+	return l.entries[(l.head+(ts-oldest))%l.w]
+}
+
+// History returns a copy of the full appended history. It panics unless the
+// ledger was built with NewRetainingLedger.
+func (l *Ledger) History() []float64 {
+	if !l.retain {
+		panic("window: History on non-retaining ledger")
+	}
+	out := make([]float64, len(l.history))
+	copy(out, l.history)
+	return out
+}
+
+// MaxWindowSum scans the retained history and returns the maximum sum over
+// any window of w consecutive timestamps. It panics unless retaining.
+func (l *Ledger) MaxWindowSum() float64 {
+	if !l.retain {
+		panic("window: MaxWindowSum on non-retaining ledger")
+	}
+	maxSum, cur := 0.0, 0.0
+	for i, v := range l.history {
+		cur += v
+		if i >= l.w {
+			cur -= l.history[i-l.w]
+		}
+		if cur > maxSum {
+			maxSum = cur
+		}
+	}
+	return maxSum
+}
+
+// CheckCapacity verifies that no window of w consecutive timestamps in the
+// retained history exceeds capacity (within tol for float slack). It
+// returns an error naming the first violating window.
+func (l *Ledger) CheckCapacity(capacity, tol float64) error {
+	if !l.retain {
+		panic("window: CheckCapacity on non-retaining ledger")
+	}
+	cur := 0.0
+	for i, v := range l.history {
+		cur += v
+		if i >= l.w {
+			cur -= l.history[i-l.w]
+		}
+		if cur > capacity+tol {
+			start := i - l.w + 2 // 1-based window start
+			if start < 1 {
+				start = 1
+			}
+			return fmt.Errorf("window: window [%d,%d] consumed %.6g > capacity %.6g",
+				start, i+1, cur, capacity)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package window
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndWindowSum(t *testing.T) {
+	l := NewLedger(3)
+	if l.T() != 0 {
+		t.Fatal("fresh ledger has nonzero T")
+	}
+	l.Append(1)
+	l.Append(2)
+	l.Append(3)
+	if got := l.WindowSum(); got != 6 {
+		t.Fatalf("window sum %v want 6", got)
+	}
+	l.Append(4) // evicts the 1
+	if got := l.WindowSum(); got != 9 {
+		t.Fatalf("window sum %v want 9", got)
+	}
+	if l.T() != 4 {
+		t.Fatalf("T = %d want 4", l.T())
+	}
+}
+
+func TestWindowSumPartialWindow(t *testing.T) {
+	l := NewLedger(10)
+	l.Append(5)
+	l.Append(7)
+	if got := l.WindowSum(); got != 12 {
+		t.Fatalf("partial window sum %v want 12", got)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	l := NewLedger(4)
+	l.Append(0.3)
+	l.Append(0.4)
+	if got := l.Remaining(1.0); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("remaining %v want 0.3", got)
+	}
+	l.Append(0.5)
+	if got := l.Remaining(1.0); got != 0 {
+		t.Fatalf("remaining clamped %v want 0", got)
+	}
+}
+
+func TestAt(t *testing.T) {
+	l := NewLedger(3)
+	for i := 1; i <= 5; i++ {
+		l.Append(float64(i))
+	}
+	// Retained window is timestamps 3..5.
+	for ts := 3; ts <= 5; ts++ {
+		if got := l.At(ts); got != float64(ts) {
+			t.Fatalf("At(%d) = %v", ts, got)
+		}
+	}
+}
+
+func TestAtPanicsOutsideWindow(t *testing.T) {
+	l := NewLedger(2)
+	l.Append(1)
+	l.Append(2)
+	l.Append(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(1) outside retained window did not panic")
+		}
+	}()
+	l.At(1)
+}
+
+func TestRetainingHistory(t *testing.T) {
+	l := NewRetainingLedger(2)
+	vals := []float64{1, 0, 2, 0, 3}
+	for _, v := range vals {
+		l.Append(v)
+	}
+	h := l.History()
+	if len(h) != len(vals) {
+		t.Fatalf("history length %d", len(h))
+	}
+	for i, v := range vals {
+		if h[i] != v {
+			t.Fatalf("history[%d] = %v want %v", i, h[i], v)
+		}
+		if l.At(i+1) != v {
+			t.Fatalf("At(%d) = %v want %v", i+1, l.At(i+1), v)
+		}
+	}
+}
+
+func TestMaxWindowSum(t *testing.T) {
+	l := NewRetainingLedger(2)
+	for _, v := range []float64{1, 2, 3, 0, 0, 5} {
+		l.Append(v)
+	}
+	if got := l.MaxWindowSum(); got != 5 {
+		t.Fatalf("MaxWindowSum %v want 5 (window [2,3])", got)
+	}
+}
+
+func TestCheckCapacity(t *testing.T) {
+	l := NewRetainingLedger(3)
+	for _, v := range []float64{0.3, 0.3, 0.3, 0.3} {
+		l.Append(v)
+	}
+	if err := l.CheckCapacity(1.0, 1e-9); err != nil {
+		t.Fatalf("capacity 1.0 violated: %v", err)
+	}
+	if err := l.CheckCapacity(0.8, 1e-9); err == nil {
+		t.Fatal("capacity 0.8 should be violated (0.9 per window)")
+	}
+}
+
+func TestNegativeAppendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative append did not panic")
+		}
+	}()
+	NewLedger(2).Append(-1)
+}
+
+func TestBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLedger(0) did not panic")
+		}
+	}()
+	NewLedger(0)
+}
+
+func TestHistoryPanicsWithoutRetention(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("History on non-retaining ledger did not panic")
+		}
+	}()
+	NewLedger(2).History()
+}
+
+func TestQuickWindowSumMatchesNaive(t *testing.T) {
+	f := func(wRaw uint8, raw []uint8) bool {
+		w := int(wRaw%20) + 1
+		l := NewRetainingLedger(w)
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r) / 10
+			l.Append(vals[i])
+		}
+		// Naive rolling sum.
+		naive := 0.0
+		start := len(vals) - w
+		if start < 0 {
+			start = 0
+		}
+		for _, v := range vals[start:] {
+			naive += v
+		}
+		return math.Abs(naive-l.WindowSum()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaxWindowSumMatchesNaive(t *testing.T) {
+	f := func(wRaw uint8, raw []uint8) bool {
+		w := int(wRaw%10) + 1
+		l := NewRetainingLedger(w)
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+			l.Append(vals[i])
+		}
+		naiveMax := 0.0
+		for i := range vals {
+			sum := 0.0
+			for j := i; j < i+w && j < len(vals); j++ {
+				sum += vals[j]
+			}
+			if sum > naiveMax {
+				naiveMax = sum
+			}
+		}
+		return math.Abs(naiveMax-l.MaxWindowSum()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	l := NewLedger(50)
+	for i := 0; i < b.N; i++ {
+		l.Append(0.1)
+	}
+}

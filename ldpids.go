@@ -1,0 +1,247 @@
+// Package ldpids is a Go implementation of LDP-IDS (Ren et al., SIGMOD
+// 2022): local differential privacy for infinite data streams under
+// w-event privacy.
+//
+// A population of user devices each holds a categorical value per
+// timestamp; an untrusted aggregator continuously releases an estimated
+// frequency histogram while every user is guaranteed ε-LDP over any window
+// of w consecutive timestamps. The package provides the paper's seven
+// mechanisms —
+//
+//	budget division:     LBU, LSP, LBD, LBA
+//	population division: LPU, LPD, LPA
+//
+// — together with the frequency oracles they are built on (GRR, OUE, SUE,
+// OLH), synthetic and simulated-trace stream generators, evaluation
+// metrics (MRE, ROC/AUC event monitoring, CFPU communication cost), a
+// runtime w-event privacy auditor, and a TCP transport for running the
+// protocol across real processes.
+//
+// # Quick start
+//
+//	root := ldpids.NewSource(42)
+//	s := ldpids.NewBinaryStream(10000, ldpids.DefaultSin(), root.Split())
+//	oracle := ldpids.NewGRR(2)
+//	m, _ := ldpids.NewMechanism("LPA", ldpids.Params{
+//		Eps: 1, W: 20, N: 10000, Oracle: oracle, Src: root.Split(),
+//	})
+//	runner := &ldpids.Runner{Stream: s, Oracle: oracle, Src: root.Split()}
+//	res, _ := runner.Run(m, 100)
+//	fmt.Println("MRE:", ldpids.MRE(res.Released, res.True, 0))
+//
+// See the examples directory for complete programs and cmd/ldpids-bench
+// for the full reproduction of the paper's evaluation.
+package ldpids
+
+import (
+	"ldpids/internal/comm"
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+	"ldpids/internal/mechanism"
+	"ldpids/internal/metrics"
+	"ldpids/internal/monitor"
+	"ldpids/internal/privacy"
+	"ldpids/internal/stream"
+	"ldpids/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Randomness.
+// ---------------------------------------------------------------------------
+
+// Source is a deterministic, splittable randomness source; all stochastic
+// components consume one.
+type Source = ldprand.Source
+
+// NewSource returns a Source seeded from seed.
+func NewSource(seed uint64) *Source { return ldprand.New(seed) }
+
+// ---------------------------------------------------------------------------
+// Frequency oracles.
+// ---------------------------------------------------------------------------
+
+// Oracle is an LDP frequency-oracle protocol (client-side randomizer plus
+// server-side unbiased estimator).
+type Oracle = fo.Oracle
+
+// Report is one user's perturbed contribution.
+type Report = fo.Report
+
+// NewGRR returns the Generalized Randomized Response oracle for domain
+// size d.
+func NewGRR(d int) Oracle { return fo.NewGRR(d) }
+
+// NewOUE returns the Optimized Unary Encoding oracle for domain size d.
+func NewOUE(d int) Oracle { return fo.NewOUE(d) }
+
+// NewSUE returns the Symmetric Unary Encoding (basic RAPPOR) oracle.
+func NewSUE(d int) Oracle { return fo.NewSUE(d) }
+
+// NewOLH returns the Optimized Local Hashing oracle for domain size d.
+func NewOLH(d int) Oracle { return fo.NewOLH(d) }
+
+// NewOracle constructs an oracle by name ("GRR", "OUE", "SUE", "OLH").
+func NewOracle(name string, d int) (Oracle, error) { return fo.New(name, d) }
+
+// BestOracle returns the lower-variance choice between GRR and OUE for the
+// given domain size and budget.
+func BestOracle(d int, eps float64) Oracle { return fo.Best(d, eps) }
+
+// ---------------------------------------------------------------------------
+// Streams.
+// ---------------------------------------------------------------------------
+
+// Stream produces each user's true value per timestamp.
+type Stream = stream.Stream
+
+// Process is a scalar probability sequence driving a binary stream.
+type Process = stream.Process
+
+// NewBinaryStream realizes a probability process over n users on the
+// binary domain {0, 1}.
+func NewBinaryStream(n int, proc Process, src *Source) Stream {
+	return stream.NewBinaryStream(n, proc, src)
+}
+
+// NewLNS returns the paper's LNS Gaussian-walk process.
+func NewLNS(p0, std float64, src *Source) Process { return stream.NewLNS(p0, std, src) }
+
+// DefaultLNS returns the paper-default LNS process.
+func DefaultLNS(src *Source) Process { return stream.DefaultLNS(src) }
+
+// NewSin returns the paper's sine process A·sin(b·t)+h.
+func NewSin(a, b, h float64) Process { return stream.NewSin(a, b, h) }
+
+// DefaultSin returns the paper-default Sin process.
+func DefaultSin() Process { return stream.DefaultSin() }
+
+// NewLog returns the paper's logistic process A/(1+e^{-b·t}).
+func NewLog(a, b float64) Process { return stream.NewLog(a, b) }
+
+// DefaultLog returns the paper-default Log process.
+func DefaultLog() Process { return stream.DefaultLog() }
+
+// NewDistStream draws each user IID from a time-varying distribution.
+func NewDistStream(n, d int, dist func(t int) []float64, src *Source) Stream {
+	return stream.NewDistStream(n, d, dist, src)
+}
+
+// NewMarkovStream gives each user an independent sticky Markov chain over
+// the domain.
+func NewMarkovStream(n, d int, stay float64, init func(u int) int, jump func(t, cur int) int, src *Source) Stream {
+	return stream.NewMarkovStream(n, d, stay, init, jump, src)
+}
+
+// LimitStream truncates a stream after T timestamps.
+func LimitStream(s Stream, T int) Stream { return stream.Limit(s, T) }
+
+// Histogram computes the frequency vector of vals over domain size d.
+func Histogram(vals []int, d int) []float64 { return stream.Histogram(vals, d) }
+
+// TaxiTrace returns the simulated T-Drive-like mobility stream (see
+// DESIGN.md §4 for the substitution rationale).
+func TaxiTrace(n, d int, src *Source) Stream { return trace.Taxi(n, d, src) }
+
+// FoursquareTrace returns the simulated check-in stream.
+func FoursquareTrace(n, d int, src *Source) Stream { return trace.Foursquare(n, d, src) }
+
+// TaobaoTrace returns the simulated ad-click stream.
+func TaobaoTrace(n, d int, src *Source) Stream { return trace.Taobao(n, d, src) }
+
+// ---------------------------------------------------------------------------
+// Mechanisms.
+// ---------------------------------------------------------------------------
+
+// Mechanism releases one histogram per timestamp under w-event ε-LDP.
+type Mechanism = mechanism.Mechanism
+
+// Params configures a mechanism.
+type Params = mechanism.Params
+
+// Env is the world a mechanism steps through (population + oracle access).
+type Env = mechanism.Env
+
+// Runner drives a mechanism over a stream in-process.
+type Runner = mechanism.Runner
+
+// RunResult holds a run's releases, ground truth, communication stats and
+// audit findings.
+type RunResult = mechanism.RunResult
+
+// MechanismNames lists all seven methods in the paper's order.
+var MechanismNames = mechanism.Names
+
+// NewMechanism constructs a mechanism by its paper name (LBU, LSP, LBD,
+// LBA, LPU, LPD, LPA).
+func NewMechanism(name string, p Params) (Mechanism, error) { return mechanism.New(name, p) }
+
+// ---------------------------------------------------------------------------
+// Privacy auditing.
+// ---------------------------------------------------------------------------
+
+// Accountant audits per-user w-event privacy loss at runtime.
+type Accountant = privacy.Accountant
+
+// Violation is a detected w-event budget overrun.
+type Violation = privacy.Violation
+
+// NewAccountant returns an accountant for budget eps per window of w over
+// n users.
+func NewAccountant(eps float64, w, n int, src *Source) *Accountant {
+	return privacy.NewAccountant(eps, w, n, src)
+}
+
+// ---------------------------------------------------------------------------
+// Metrics and monitoring.
+// ---------------------------------------------------------------------------
+
+// CommStats summarizes communication cost (CFPU et al.).
+type CommStats = comm.Stats
+
+// ROCPoint is one operating point of a detector.
+type ROCPoint = metrics.ROCPoint
+
+// MRE returns the mean relative error between released and true streams.
+func MRE(released, truth [][]float64, bound float64) float64 {
+	return metrics.MRE(released, truth, bound)
+}
+
+// MAE returns the mean absolute error between released and true streams.
+func MAE(released, truth [][]float64) float64 { return metrics.MAE(released, truth) }
+
+// MSE returns the mean squared error between released and true streams.
+func MSE(released, truth [][]float64) float64 { return metrics.MSE(released, truth) }
+
+// ROC computes a detector's ROC curve from scores and ground-truth labels.
+func ROC(scores []float64, labels []bool) []ROCPoint { return metrics.ROC(scores, labels) }
+
+// AUC integrates a ROC curve.
+func AUC(curve []ROCPoint) float64 { return metrics.AUC(curve) }
+
+// PaperThreshold computes the paper's event threshold
+// δ = 0.75·(max−min)+min over a series.
+func PaperThreshold(series []float64) float64 { return metrics.PaperThreshold(series) }
+
+// MonitorTask is an above-threshold detection instance.
+type MonitorTask = monitor.Task
+
+// MonitorEvent is a detected threshold crossing.
+type MonitorEvent = monitor.Event
+
+// Detector watches a released stream online for threshold crossings.
+type Detector = monitor.Detector
+
+// NewDetector returns a detector with one threshold per histogram element.
+func NewDetector(thresholds []float64) *Detector { return monitor.NewDetector(thresholds) }
+
+// ScalarMonitorTask builds the event-monitoring task over one histogram
+// element.
+func ScalarMonitorTask(released, truth [][]float64, k int) MonitorTask {
+	return monitor.ScalarTask(released, truth, k)
+}
+
+// PooledMonitorTask builds the event-monitoring task pooled over all
+// histogram dimensions.
+func PooledMonitorTask(released, truth [][]float64) MonitorTask {
+	return monitor.PooledTask(released, truth)
+}
