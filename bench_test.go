@@ -152,6 +152,56 @@ func BenchmarkAblationSplit(b *testing.B) {
 	}
 }
 
+// BenchmarkGridSerial runs a Fig-4 grid (7 methods x 5 eps, 3 reps each)
+// on one worker: the pre-parallelization baseline.
+func BenchmarkGridSerial(b *testing.B) {
+	benchmarkGrid(b, 1)
+}
+
+// BenchmarkGridParallel runs the identical grid on the full worker pool.
+// The cells are independent seeded runs, so on an m-core machine this
+// should approach m-times the serial throughput while producing
+// bit-identical tables (asserted by TestParallelMatchesSerial).
+func BenchmarkGridParallel(b *testing.B) {
+	benchmarkGrid(b, 0)
+}
+
+func benchmarkGrid(b *testing.B, workers int) {
+	cfg := benchConfig()
+	cfg.Workers = workers
+	cfg.Reps = 3
+	cfg.Datasets = []string{"Sin"}
+	for i := 0; i < b.N; i++ {
+		tables, err := cfg.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, tables, "meanMRE")
+	}
+}
+
+// BenchmarkOracleWireFormat compares the full simulation cost and
+// bytes-per-report of the byte-wise vs bit-packed OUE wire format on the
+// largest-domain trace (Taobao, d=117).
+func BenchmarkOracleWireFormat(b *testing.B) {
+	for _, oracle := range []string{"OUE", "OUE-packed"} {
+		b.Run(oracle, func(b *testing.B) {
+			var out *experiment.Outcome
+			var err error
+			for i := 0; i < b.N; i++ {
+				out, err = experiment.Execute(experiment.RunSpec{
+					Stream: experiment.StreamSpec{Dataset: "Taobao", N: 2000, T: 20},
+					Method: "LBU", Eps: 1, W: 5, Seed: uint64(i), Oracle: oracle,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(out.Comm.Bytes)/float64(out.Comm.Reports), "bytes/report")
+		})
+	}
+}
+
 // BenchmarkMechanismStep measures the per-timestamp cost of each mechanism
 // on a 10k-user binary stream.
 func BenchmarkMechanismStep(b *testing.B) {

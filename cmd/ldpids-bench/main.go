@@ -30,7 +30,8 @@ func main() {
 		scale    = flag.Float64("scale", 0.1, "population scale relative to the paper's sizes")
 		reps     = flag.Int("reps", 1, "repetitions averaged per cell")
 		seed     = flag.Uint64("seed", 1, "root random seed")
-		oracle   = flag.String("oracle", "GRR", "frequency oracle: GRR OUE SUE OLH")
+		oracle   = flag.String("oracle", "GRR", "frequency oracle: GRR OUE SUE OLH OUE-packed SUE-packed")
+		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = one per CPU, 1 = serial; results are identical)")
 		methods  = flag.String("methods", "", "comma-separated method subset (default all)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default all)")
 		audit    = flag.Bool("audit", false, "run the w-event privacy accountant on every run")
@@ -44,6 +45,7 @@ func main() {
 		Seed:     *seed,
 		Oracle:   *oracle,
 		Audit:    *audit,
+		Workers:  *workers,
 	}
 	if *methods != "" {
 		cfg.Methods = strings.Split(*methods, ",")

@@ -1,0 +1,3 @@
+module ldpids
+
+go 1.21

@@ -20,22 +20,21 @@ func (c *Config) AblationFO() ([]Table, error) {
 		XLabel:   "oracle",
 		ColHeads: datasets,
 		RowHeads: oracles,
-		Cells:    make([][]float64, len(oracles)),
 	}
-	for r, oracle := range oracles {
-		tbl.Cells[r] = make([]float64, len(datasets))
-		for col, ds := range datasets {
-			out, err := ExecuteAveraged(RunSpec{
-				Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
-				Method: "LPA", Eps: 1, W: 20,
-				Oracle: oracle, Seed: c.cellSeed(7, r, col),
-				StreamSeed: c.cellSeed(107, col), Audit: c.Audit,
-			}, c.reps())
-			if err != nil {
-				return nil, err
-			}
-			tbl.Cells[r][col] = out.MRE
+	err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
+		out, err := ExecuteAveragedWorkers(RunSpec{
+			Stream: StreamSpec{Dataset: datasets[col], PopScale: c.popScale()},
+			Method: "LPA", Eps: 1, W: 20,
+			Oracle: oracles[r], Seed: c.cellSeed(7, r, col),
+			StreamSeed: c.cellSeed(107, col), Audit: c.Audit,
+		}, c.reps(), 1)
+		if err != nil {
+			return 0, err
 		}
+		return out.MRE, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []Table{tbl}, nil
 }
@@ -54,22 +53,21 @@ func (c *Config) AblationUMin() ([]Table, error) {
 		XLabel:   "dataset",
 		ColHeads: cols,
 		RowHeads: datasets,
-		Cells:    make([][]float64, len(datasets)),
 	}
-	for r, ds := range datasets {
-		tbl.Cells[r] = make([]float64, len(uMins))
-		for col, u := range uMins {
-			out, err := ExecuteAveraged(RunSpec{
-				Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
-				Method: "LPD", Eps: 1, W: 20, UMin: u,
-				Oracle: c.Oracle, Seed: c.cellSeed(8, r, col),
-				StreamSeed: c.cellSeed(108, r), Audit: c.Audit,
-			}, c.reps())
-			if err != nil {
-				return nil, err
-			}
-			tbl.Cells[r][col] = out.MRE
+	err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
+		out, err := ExecuteAveragedWorkers(RunSpec{
+			Stream: StreamSpec{Dataset: datasets[r], PopScale: c.popScale()},
+			Method: "LPD", Eps: 1, W: 20, UMin: uMins[col],
+			Oracle: c.Oracle, Seed: c.cellSeed(8, r, col),
+			StreamSeed: c.cellSeed(108, r), Audit: c.Audit,
+		}, c.reps(), 1)
+		if err != nil {
+			return 0, err
 		}
+		return out.MRE, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []Table{tbl}, nil
 }
@@ -83,27 +81,27 @@ func (c *Config) AblationSplit() ([]Table, error) {
 	methods := []string{"LBA", "LPA", "LBD", "LPD"}
 	var tables []Table
 	for _, ds := range []string{"LNS"} {
+		ds := ds
 		tbl := Table{
 			Title:    fmt.Sprintf("Ablation: M1 resource fraction on %s (eps=1, w=20), MRE", ds),
 			XLabel:   "M1 frac",
 			ColHeads: cols,
 			RowHeads: methods,
-			Cells:    make([][]float64, len(methods)),
 		}
-		for r, method := range methods {
-			tbl.Cells[r] = make([]float64, len(fracs))
-			for col, f := range fracs {
-				out, err := ExecuteAveraged(RunSpec{
-					Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
-					Method: method, Eps: 1, W: 20, DisFraction: f,
-					Oracle: c.Oracle, Seed: c.cellSeed(9, r, col),
-					StreamSeed: c.cellSeed(109, 0), Audit: c.Audit,
-				}, c.reps())
-				if err != nil {
-					return nil, err
-				}
-				tbl.Cells[r][col] = out.MRE
+		err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
+			out, err := ExecuteAveragedWorkers(RunSpec{
+				Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+				Method: methods[r], Eps: 1, W: 20, DisFraction: fracs[col],
+				Oracle: c.Oracle, Seed: c.cellSeed(9, r, col),
+				StreamSeed: c.cellSeed(109, 0), Audit: c.Audit,
+			}, c.reps(), 1)
+			if err != nil {
+				return 0, err
 			}
+			return out.MRE, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		tables = append(tables, tbl)
 	}

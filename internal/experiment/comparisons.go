@@ -31,14 +31,17 @@ func (c *Config) CompareCDP() ([]Table, error) {
 		tbl.Cells[r] = make([]float64, len(cols))
 	}
 
-	for col, eps := range epsVals {
+	// Columns are self-contained (own stream realization, own mechanism
+	// seeds) and write disjoint cells, so they fan out across the pool.
+	err := parallelFor(len(epsVals), c.workers(), func(col int) error {
+		eps := epsVals[col]
 		// Shared truth stream for the CDP mechanisms.
 		streamSeed := c.cellSeed(110, col)
 		sp := StreamSpec{Dataset: "Sin", PopScale: c.popScale()}
 		src := ldprand.New(streamSeed)
 		s, T, d, err := sp.Build(src.Split())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		truth := stream.Histograms(stream.Materialize(s, T), d)
 		n := s.N()
@@ -56,16 +59,20 @@ func (c *Config) CompareCDP() ([]Table, error) {
 				tbl.Cells[r][col] = metrics.MAE(cdp.Run(m, truth), truth)
 				continue
 			}
-			out, err := ExecuteAveraged(RunSpec{
+			out, err := ExecuteAveragedWorkers(RunSpec{
 				Stream: sp, Method: name, Eps: eps, W: w,
 				Oracle: c.Oracle, Seed: c.cellSeed(111, col, 10+r),
 				StreamSeed: streamSeed, Audit: c.Audit,
-			}, c.reps())
+			}, c.reps(), 1)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tbl.Cells[r][col] = out.MAE
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []Table{tbl}, nil
 }
@@ -88,40 +95,60 @@ func (c *Config) AblationFilter() ([]Table, error) {
 	for r := range rows {
 		tbl.Cells[r] = make([]float64, len(cols))
 	}
-	for col, ds := range cols {
-		for base, method := range map[int]string{0: "LPU", 3: "LBU"} {
-			out, err := ExecuteAveraged(RunSpec{
-				Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
-				Method: method, Eps: eps, W: w,
-				Oracle: c.Oracle, Seed: c.cellSeed(112, col, base),
-				StreamSeed: c.cellSeed(113, col), Audit: c.Audit,
-			}, c.reps())
-			if err != nil {
-				return nil, err
-			}
-			tbl.Cells[base][col] = metrics.MSE(out.Released, out.True)
-
-			// Per-release measurement variance: LPU reports with full
-			// eps from N/w users; LBU with eps/w from all N users.
-			oracle := fo.NewGRR(2)
-			var mv float64
-			if method == "LPU" {
-				mv = oracle.VarianceApprox(eps, out.N/w)
-			} else {
-				mv = oracle.VarianceApprox(eps/float64(w), out.N)
-			}
-			measVar := make([]float64, out.T)
-			for i := range measVar {
-				measVar[i] = mv
-			}
-			filtered := filter.KalmanStream(out.Released, measVar, 1e-5)
-			tbl.Cells[base+1][col] = metrics.MSE(filtered, out.True)
-
-			if method == "LPU" {
-				smoothed := filter.EWMAStream(out.Released, 0.3)
-				tbl.Cells[base+2][col] = metrics.MSE(smoothed, out.True)
-			}
+	// One work item per (dataset, base method) combination; each writes a
+	// disjoint set of rows in its own column.
+	bases := []struct {
+		base   int // row of the raw variant; filtered variants follow
+		method string
+	}{{0, "LPU"}, {3, "LBU"}}
+	type workItem struct {
+		col    int
+		base   int
+		method string
+	}
+	var combos []workItem
+	for col := range cols {
+		for _, b := range bases {
+			combos = append(combos, workItem{col, b.base, b.method})
 		}
+	}
+	err := parallelFor(len(combos), c.workers(), func(i int) error {
+		col, base, method := combos[i].col, combos[i].base, combos[i].method
+		out, err := ExecuteAveragedWorkers(RunSpec{
+			Stream: StreamSpec{Dataset: cols[col], PopScale: c.popScale()},
+			Method: method, Eps: eps, W: w,
+			Oracle: c.Oracle, Seed: c.cellSeed(112, col, base),
+			StreamSeed: c.cellSeed(113, col), Audit: c.Audit,
+		}, c.reps(), 1)
+		if err != nil {
+			return err
+		}
+		tbl.Cells[base][col] = metrics.MSE(out.Released, out.True)
+
+		// Per-release measurement variance: LPU reports with full
+		// eps from N/w users; LBU with eps/w from all N users.
+		oracle := fo.NewGRR(2)
+		var mv float64
+		if method == "LPU" {
+			mv = oracle.VarianceApprox(eps, out.N/w)
+		} else {
+			mv = oracle.VarianceApprox(eps/float64(w), out.N)
+		}
+		measVar := make([]float64, out.T)
+		for i := range measVar {
+			measVar[i] = mv
+		}
+		filtered := filter.KalmanStream(out.Released, measVar, 1e-5)
+		tbl.Cells[base+1][col] = metrics.MSE(filtered, out.True)
+
+		if method == "LPU" {
+			smoothed := filter.EWMAStream(out.Released, 0.3)
+			tbl.Cells[base+2][col] = metrics.MSE(smoothed, out.True)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []Table{tbl}, nil
 }

@@ -105,6 +105,108 @@ func TestExecuteAveragedReducesVariance(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerial is the determinism acceptance test: the
+// worker-pool executor must produce bit-identical metrics to the serial
+// path, both for averaged repetitions and for a whole figure grid.
+func TestParallelMatchesSerial(t *testing.T) {
+	spec := RunSpec{
+		Stream: StreamSpec{Dataset: "Sin", N: 1500, T: 30},
+		Method: "LPA", Eps: 1, W: 10, Seed: 11,
+	}
+	serial, err := ExecuteAveragedWorkers(spec, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ExecuteAveragedWorkers(spec, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.MRE != parallel.MRE || serial.MAE != parallel.MAE ||
+		serial.MSE != parallel.MSE || serial.CFPU != parallel.CFPU ||
+		serial.AUC != parallel.AUC || serial.PrivacyViolations != parallel.PrivacyViolations {
+		t.Fatalf("parallel averaged outcome differs from serial:\n%+v\nvs\n%+v", parallel, serial)
+	}
+
+	grid := func(workers int) []Table {
+		c := tinyConfig()
+		c.Workers = workers
+		c.Datasets = []string{"Sin"}
+		c.Methods = []string{"LBU", "LPU", "LPA"}
+		tables, err := c.Fig4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tables
+	}
+	a, b := grid(1), grid(4)
+	for ti := range a {
+		for r := range a[ti].Cells {
+			for col := range a[ti].Cells[r] {
+				if a[ti].Cells[r][col] != b[ti].Cells[r][col] {
+					t.Fatalf("grid cell [%d][%d][%d]: serial %v != parallel %v",
+						ti, r, col, a[ti].Cells[r][col], b[ti].Cells[r][col])
+				}
+			}
+		}
+	}
+}
+
+// TestPrivacyViolationsTotalAcrossReps pins the accumulation contract: the
+// EventLevel baseline deliberately overspends every w-window, and the
+// averaged outcome must report the TOTAL violation count across reps, not
+// a per-rep average.
+func TestPrivacyViolationsTotalAcrossReps(t *testing.T) {
+	spec := RunSpec{
+		Stream: StreamSpec{Dataset: "Sin", N: 300, T: 15},
+		Method: "EventLevel", Eps: 1, W: 5, Seed: 8, Audit: true,
+	}
+	single, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.PrivacyViolations == 0 {
+		t.Fatal("EventLevel run reported no violations; the audit should flag it")
+	}
+	const reps = 3
+	avg, err := ExecuteAveraged(spec, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EventLevel's exposure pattern (all users, every timestamp, full eps)
+	// does not depend on the seed, so every rep yields the same count.
+	if avg.PrivacyViolations != reps*single.PrivacyViolations {
+		t.Fatalf("averaged violations %d, want total %d across %d reps",
+			avg.PrivacyViolations, reps*single.PrivacyViolations, reps)
+	}
+}
+
+// TestPackedOracleCommBytes shows the wire win end-to-end: the same run
+// with the packed OUE format must move far fewer report bytes while
+// producing identically many reports. Taobao has the largest trace domain
+// (d=117: 121-byte plain reports vs 20-byte packed, 6.05x); the asymptotic
+// ~8x is pinned at d=1024 by fo's TestPackedReportSizeRatio.
+func TestPackedOracleCommBytes(t *testing.T) {
+	run := func(oracle string) *Outcome {
+		out, err := Execute(RunSpec{
+			Stream: StreamSpec{Dataset: "Taobao", N: 400, T: 10},
+			Method: "LBU", Eps: 1, W: 5, Seed: 21, Oracle: oracle,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	plain, packed := run("OUE"), run("OUE-packed")
+	if plain.Comm.Reports != packed.Comm.Reports {
+		t.Fatalf("report counts differ: %d vs %d", plain.Comm.Reports, packed.Comm.Reports)
+	}
+	ratio := float64(plain.Comm.Bytes) / float64(packed.Comm.Bytes)
+	if ratio < 5 {
+		t.Fatalf("packed OUE moved only %.2fx fewer bytes (plain %d, packed %d)",
+			ratio, plain.Comm.Bytes, packed.Comm.Bytes)
+	}
+}
+
 func TestExecuteDeterministic(t *testing.T) {
 	spec := RunSpec{
 		Stream: StreamSpec{Dataset: "LNS", N: 800, T: 25},

@@ -23,6 +23,10 @@ type Config struct {
 	Datasets []string
 	// Audit turns the w-event privacy accountant on for every run.
 	Audit bool
+	// Workers bounds the experiment worker pool fanning grid cells and
+	// averaged repetitions across CPUs (0 = GOMAXPROCS, 1 = serial).
+	// Results are bit-identical at any setting; see parallel.go.
+	Workers int
 }
 
 func (c *Config) popScale() float64 {
@@ -64,22 +68,24 @@ func (c *Config) cellSeed(parts ...int) uint64 {
 }
 
 // sweep runs every method over the given x-axis, extracting one metric per
-// run into a Table.
+// run into a Table. Cells are independent seeded runs and fan out across
+// the worker pool; repetitions within a cell stay serial so concurrency is
+// bounded by the pool alone.
 func (c *Config) sweep(title, xlabel string, cols []string, specAt func(method string, col int) RunSpec, metric func(*Outcome) float64) (Table, error) {
 	tbl := Table{Title: title, XLabel: xlabel, ColHeads: cols, RowHeads: c.methods()}
-	tbl.Cells = make([][]float64, len(tbl.RowHeads))
-	for r, method := range tbl.RowHeads {
-		tbl.Cells[r] = make([]float64, len(cols))
-		for col := range cols {
-			out, err := ExecuteAveraged(specAt(method, col), c.reps())
-			if err != nil {
-				return Table{}, err
-			}
-			if out.PrivacyViolations > 0 {
-				return Table{}, fmt.Errorf("experiment: %s violated w-event LDP in %q", method, title)
-			}
-			tbl.Cells[r][col] = metric(out)
+	err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
+		method := tbl.RowHeads[r]
+		out, err := ExecuteAveragedWorkers(specAt(method, col), c.reps(), 1)
+		if err != nil {
+			return 0, err
 		}
+		if out.PrivacyViolations > 0 {
+			return 0, fmt.Errorf("experiment: %s violated w-event LDP in %q", method, title)
+		}
+		return metric(out), nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
 	return tbl, nil
 }
@@ -220,22 +226,21 @@ func (c *Config) Fig7() ([]Table, error) {
 		XLabel:   "method",
 		ColHeads: ds,
 		RowHeads: methods,
-		Cells:    make([][]float64, len(methods)),
 	}
-	for r, method := range methods {
-		tbl.Cells[r] = make([]float64, len(ds))
-		for col, dataset := range ds {
-			out, err := ExecuteAveraged(RunSpec{
-				Stream: StreamSpec{Dataset: dataset, PopScale: c.popScale()},
-				Method: method, Eps: 1, W: 50,
-				Oracle: c.Oracle, Seed: c.cellSeed(4, r, col),
-				StreamSeed: c.cellSeed(104, col), Audit: c.Audit,
-			}, c.reps())
-			if err != nil {
-				return nil, err
-			}
-			tbl.Cells[r][col] = out.AUC
+	err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
+		out, err := ExecuteAveragedWorkers(RunSpec{
+			Stream: StreamSpec{Dataset: ds[col], PopScale: c.popScale()},
+			Method: methods[r], Eps: 1, W: 50,
+			Oracle: c.Oracle, Seed: c.cellSeed(4, r, col),
+			StreamSeed: c.cellSeed(104, col), Audit: c.Audit,
+		}, c.reps(), 1)
+		if err != nil {
+			return 0, err
 		}
+		return out.AUC, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []Table{tbl}, nil
 }
@@ -253,27 +258,27 @@ func (c *Config) Table2() ([]Table, error) {
 	}{{1, 20}, {2, 20}, {2, 40}}
 	var tables []Table
 	for ci, combo := range combos {
+		ci, combo := ci, combo
 		tbl := Table{
 			Title:    fmt.Sprintf("Table 2: CFPU (eps=%g, w=%d)", combo.eps, combo.w),
 			XLabel:   "method",
 			ColHeads: datasets,
 			RowHeads: c.methods(),
-			Cells:    make([][]float64, len(c.methods())),
 		}
-		for r, method := range tbl.RowHeads {
-			tbl.Cells[r] = make([]float64, len(datasets))
-			for col, dataset := range datasets {
-				out, err := ExecuteAveraged(RunSpec{
-					Stream: StreamSpec{Dataset: dataset, PopScale: c.popScale()},
-					Method: method, Eps: combo.eps, W: combo.w,
-					Oracle: c.Oracle, Seed: c.cellSeed(5, ci, r, col),
-					StreamSeed: c.cellSeed(105, col), Audit: c.Audit,
-				}, c.reps())
-				if err != nil {
-					return nil, err
-				}
-				tbl.Cells[r][col] = out.CFPU
+		err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
+			out, err := ExecuteAveragedWorkers(RunSpec{
+				Stream: StreamSpec{Dataset: datasets[col], PopScale: c.popScale()},
+				Method: tbl.RowHeads[r], Eps: combo.eps, W: combo.w,
+				Oracle: c.Oracle, Seed: c.cellSeed(5, ci, r, col),
+				StreamSeed: c.cellSeed(105, col), Audit: c.Audit,
+			}, c.reps(), 1)
+			if err != nil {
+				return 0, err
 			}
+			return out.CFPU, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		tables = append(tables, tbl)
 	}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment engine fans independent work items — averaged-run
+// repetitions and figure/table grid cells — across a bounded worker pool.
+// Determinism is preserved by construction: every item derives its own
+// seeds from the spec alone (never from execution order), each worker
+// writes only its own result slot, and any reduction over the slots
+// happens in item order afterwards. Parallel runs are therefore
+// bit-identical to serial ones.
+
+// defaultWorkers is the worker count used when a Config leaves Workers at
+// zero: one worker per available CPU.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// workers returns the effective worker-pool size (1 = serial).
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return defaultWorkers()
+}
+
+// parallelFor runs fn(0), ..., fn(n-1) on up to workers goroutines
+// (workers <= 0 means defaultWorkers; workers == 1 runs inline). Once any
+// item fails, not-yet-started items are skipped (in-flight ones finish);
+// the lowest-index recorded failure is returned.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fillCells sizes tbl.Cells to RowHeads x ColHeads and computes every cell
+// concurrently on the worker pool. Each cell is an independent seeded run,
+// so the produced table is identical to a serial row-major fill.
+func fillCells(tbl *Table, workers int, cell func(r, col int) (float64, error)) error {
+	rows, cols := len(tbl.RowHeads), len(tbl.ColHeads)
+	tbl.Cells = make([][]float64, rows)
+	for r := range tbl.Cells {
+		tbl.Cells[r] = make([]float64, cols)
+	}
+	return parallelFor(rows*cols, workers, func(i int) error {
+		r, col := i/cols, i%cols
+		v, err := cell(r, col)
+		if err != nil {
+			return err
+		}
+		tbl.Cells[r][col] = v
+		return nil
+	})
+}

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"ldpids/internal/comm"
 	"ldpids/internal/fo"
 	"ldpids/internal/ldprand"
 	"ldpids/internal/mechanism"
@@ -49,12 +50,18 @@ type Outcome struct {
 	MRE, MAE, MSE float64
 	// CFPU is the communication frequency per user.
 	CFPU float64
+	// Comm carries the full communication accounting (report and byte
+	// totals), from the last repetition in averaged outcomes.
+	Comm comm.Stats
 	// AUC is the above-threshold event-monitoring score (Fig. 7 task).
 	AUC float64
 	// Released and True hold the full streams for further analysis.
 	Released, True [][]float64
 	// PrivacyViolations counts audited w-event violations (0 when the
-	// audit is off or the invariant held).
+	// audit is off or the invariant held). Unlike the error metrics it is
+	// NEVER averaged: in an ExecuteAveraged outcome it is the TOTAL
+	// across all repetitions, so a single violation anywhere in the batch
+	// cannot be rounded away.
 	PrivacyViolations int
 }
 
@@ -108,6 +115,7 @@ func Execute(spec RunSpec) (*Outcome, error) {
 		MAE:      metrics.MAE(res.Released, res.True),
 		MSE:      metrics.MSE(res.Released, res.True),
 		CFPU:     res.Comm.CFPU,
+		Comm:     res.Comm,
 		Released: res.Released,
 		True:     res.True,
 	}
@@ -130,31 +138,62 @@ func Execute(spec RunSpec) (*Outcome, error) {
 }
 
 // ExecuteAveraged runs the spec reps times with derived seeds and averages
-// the scalar metrics (streams come from the last run).
+// the scalar metrics (streams come from the last run; PrivacyViolations is
+// the total across repetitions, see Outcome). Repetitions run in parallel
+// on up to GOMAXPROCS workers: each derives its seed as
+// spec.Seed + i*1000003 independently of scheduling, and the metric sums
+// are reduced in repetition order, so the outcome is bit-identical to a
+// serial run.
 func ExecuteAveraged(spec RunSpec, reps int) (*Outcome, error) {
+	return ExecuteAveragedWorkers(spec, reps, 0)
+}
+
+// ExecuteAveragedWorkers is ExecuteAveraged with an explicit worker bound:
+// 0 means one worker per CPU, 1 forces the serial path.
+func ExecuteAveragedWorkers(spec RunSpec, reps, workers int) (*Outcome, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	var acc *Outcome
-	for i := 0; i < reps; i++ {
+	// Only scalar metrics are kept per repetition; the full stream
+	// matrices are retained for the first outcome (the reduction carrier,
+	// as in the serial loop) and the last (whose streams the averaged
+	// outcome reports), bounding memory at two outcomes regardless of
+	// reps.
+	type repMetrics struct {
+		mre, mae, mse, cfpu, auc float64
+		violations               int
+	}
+	repResults := make([]repMetrics, reps)
+	var first, last *Outcome
+	if err := parallelFor(reps, workers, func(i int) error {
 		s := spec
 		s.Seed = spec.Seed + uint64(i)*1000003
 		o, err := Execute(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if acc == nil {
-			acc = o
-			continue
+		repResults[i] = repMetrics{o.MRE, o.MAE, o.MSE, o.CFPU, o.AUC, o.PrivacyViolations}
+		if i == 0 {
+			first = o
 		}
-		acc.MRE += o.MRE
-		acc.MAE += o.MAE
-		acc.MSE += o.MSE
-		acc.CFPU += o.CFPU
-		acc.AUC += o.AUC
-		acc.PrivacyViolations += o.PrivacyViolations
-		acc.Released, acc.True = o.Released, o.True
+		if i == reps-1 {
+			last = o
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	acc := first
+	for _, m := range repResults[1:] {
+		acc.MRE += m.mre
+		acc.MAE += m.mae
+		acc.MSE += m.mse
+		acc.CFPU += m.cfpu
+		acc.AUC += m.auc
+		acc.PrivacyViolations += m.violations
+	}
+	acc.Comm = last.Comm
+	acc.Released, acc.True = last.Released, last.True
 	inv := 1 / float64(reps)
 	acc.MRE *= inv
 	acc.MAE *= inv

@@ -1,0 +1,241 @@
+package fo
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Aggregator folds perturbed reports into O(d) server-side state as they
+// arrive, so the aggregator never retains an O(n·d) report slice. Add all
+// reports of one collection round (same oracle, same eps), then call
+// Estimate. The count arithmetic is shared with the batch
+// Oracle.Estimate, so streaming and batch aggregation produce exactly
+// identical estimates. An Aggregator is not safe for concurrent use;
+// serialize Add calls.
+type Aggregator interface {
+	// Add folds one report into the aggregate counters. It rejects
+	// reports whose Kind or shape does not match the oracle.
+	Add(r Report) error
+	// Reports returns the number of reports folded so far.
+	Reports() int
+	// Estimate returns the unbiased per-element frequency estimates from
+	// the folded counters. It returns ErrNoReports before any Add.
+	Estimate() ([]float64, error)
+}
+
+// packedWords returns the number of uint64 words holding d packed bits.
+func packedWords(d int) int { return (d + 63) / 64 }
+
+// PackBits converts a byte-per-element unary payload into the bit-packed
+// wire format: bit k of the word array is bits[k].
+func PackBits(unaryBits []byte) []uint64 {
+	words := make([]uint64, packedWords(len(unaryBits)))
+	for k, b := range unaryBits {
+		if b != 0 {
+			words[k>>6] |= 1 << (uint(k) & 63)
+		}
+	}
+	return words
+}
+
+// UnpackBits expands a bit-packed unary payload back into one byte per
+// domain element.
+func UnpackBits(words []uint64, d int) []byte {
+	out := make([]byte, d)
+	for k := range out {
+		if words[k>>6]&(1<<(uint(k)&63)) != 0 {
+			out[k] = 1
+		}
+	}
+	return out
+}
+
+// batchEstimate implements the batch Estimate of every oracle by folding
+// the slice through the oracle's streaming aggregator, guaranteeing the
+// two paths share count math exactly.
+func batchEstimate(o Oracle, reports []Report, eps float64) ([]float64, error) {
+	if len(reports) == 0 {
+		return nil, ErrNoReports
+	}
+	agg, err := o.NewAggregator(eps)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range reports {
+		if err := agg.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return agg.Estimate()
+}
+
+// finishEstimate is the shared unbiased estimator finish: counts are raw
+// per-element report counts, n the number of reports, and (p, q) the
+// scheme's keep/flip probabilities.
+func finishEstimate(counts []int64, n int, p, q float64) ([]float64, error) {
+	if n == 0 {
+		return nil, ErrNoReports
+	}
+	nn := float64(n)
+	est := make([]float64, len(counts))
+	for k, c := range counts {
+		est[k] = (float64(c)/nn - q) / (p - q)
+	}
+	return est, nil
+}
+
+// ---------------------------------------------------------------------------
+// GRR aggregator.
+// ---------------------------------------------------------------------------
+
+type grrAggregator struct {
+	d      int
+	p, q   float64
+	n      int
+	counts []int64
+}
+
+// NewAggregator implements Oracle.
+func (g *GRR) NewAggregator(eps float64) (Aggregator, error) {
+	if eps <= 0 {
+		return nil, ErrBadEpsilon
+	}
+	p, q := g.probs(eps)
+	return &grrAggregator{d: g.d, p: p, q: q, counts: make([]int64, g.d)}, nil
+}
+
+func (a *grrAggregator) Add(r Report) error {
+	if r.Kind != KindValue {
+		return fmt.Errorf("fo: GRR aggregator got %s report, want value", r.Kind)
+	}
+	if r.Value < 0 || r.Value >= a.d {
+		return fmt.Errorf("fo: GRR report value %d outside domain [0,%d)", r.Value, a.d)
+	}
+	a.counts[r.Value]++
+	a.n++
+	return nil
+}
+
+func (a *grrAggregator) Reports() int { return a.n }
+
+func (a *grrAggregator) Estimate() ([]float64, error) {
+	return finishEstimate(a.counts, a.n, a.p, a.q)
+}
+
+// ---------------------------------------------------------------------------
+// Unary (OUE/SUE) aggregator: accepts both wire formats.
+// ---------------------------------------------------------------------------
+
+type unaryAggregator struct {
+	d      int
+	name   string
+	p, q   float64
+	n      int
+	counts []int64
+}
+
+// NewAggregator implements Oracle for both unary schemes. The aggregator
+// accepts byte-per-element (KindUnary) and bit-packed (KindPacked) reports
+// interchangeably; the packed count loop walks only the set bits of each
+// word (math/bits), so sparse OUE reports fold far faster than the byte
+// scan.
+func (u *unary) NewAggregator(eps float64) (Aggregator, error) {
+	if eps <= 0 {
+		return nil, ErrBadEpsilon
+	}
+	p, q := u.probs(eps)
+	return &unaryAggregator{d: u.d, name: u.name, p: p, q: q, counts: make([]int64, u.d)}, nil
+}
+
+func (a *unaryAggregator) Add(r Report) error {
+	switch r.Kind {
+	case KindUnary:
+		if len(r.Bits) != a.d {
+			return fmt.Errorf("fo: %s report has %d bits, want %d", a.name, len(r.Bits), a.d)
+		}
+		for k, b := range r.Bits {
+			if b != 0 {
+				a.counts[k]++
+			}
+		}
+	case KindPacked:
+		if len(r.Packed) != packedWords(a.d) {
+			return fmt.Errorf("fo: %s packed report has %d words, want %d",
+				a.name, len(r.Packed), packedWords(a.d))
+		}
+		if tail := uint(a.d) & 63; tail != 0 {
+			if stray := r.Packed[len(r.Packed)-1] >> tail; stray != 0 {
+				return fmt.Errorf("fo: %s packed report sets bits beyond domain %d", a.name, a.d)
+			}
+		}
+		for wi, w := range r.Packed {
+			base := wi << 6
+			for ones := bits.OnesCount64(w); ones > 0; ones-- {
+				k := bits.TrailingZeros64(w)
+				a.counts[base+k]++
+				w &= w - 1
+			}
+		}
+	default:
+		return fmt.Errorf("fo: %s aggregator got %s report, want unary or packed", a.name, r.Kind)
+	}
+	a.n++
+	return nil
+}
+
+func (a *unaryAggregator) Reports() int { return a.n }
+
+func (a *unaryAggregator) Estimate() ([]float64, error) {
+	return finishEstimate(a.counts, a.n, a.p, a.q)
+}
+
+// ---------------------------------------------------------------------------
+// OLH aggregator.
+// ---------------------------------------------------------------------------
+
+type olhAggregator struct {
+	d      int
+	g      int
+	p, q   float64
+	n      int
+	counts []int64
+}
+
+// NewAggregator implements Oracle.
+func (o *OLH) NewAggregator(eps float64) (Aggregator, error) {
+	if eps <= 0 {
+		return nil, ErrBadEpsilon
+	}
+	g := o.g(eps)
+	e := math.Exp(eps)
+	return &olhAggregator{
+		d:      o.d,
+		g:      g,
+		p:      e / (e + float64(g) - 1),
+		q:      1.0 / float64(g),
+		counts: make([]int64, o.d),
+	}, nil
+}
+
+func (a *olhAggregator) Add(r Report) error {
+	if r.Kind != KindHash {
+		return fmt.Errorf("fo: OLH aggregator got %s report, want hash", r.Kind)
+	}
+	if r.Value < 0 || r.Value >= a.g {
+		return fmt.Errorf("fo: OLH report bucket %d outside [0,%d)", r.Value, a.g)
+	}
+	for k := 0; k < a.d; k++ {
+		if olhHash(r.Seed, k, a.g) == r.Value {
+			a.counts[k]++
+		}
+	}
+	a.n++
+	return nil
+}
+
+func (a *olhAggregator) Reports() int { return a.n }
+
+func (a *olhAggregator) Estimate() ([]float64, error) {
+	return finishEstimate(a.counts, a.n, a.p, a.q)
+}

@@ -17,27 +17,70 @@ import (
 	"ldpids/internal/ldprand"
 )
 
-// Report is one user's perturbed contribution. Exactly one of the fields is
-// meaningful, depending on the oracle: Value for GRR, Bits for unary
-// encodings, and (Seed, Value) for OLH where Value holds the hashed report.
+// Kind identifies a report's wire format. It is carried explicitly on
+// every Report so the server never has to infer the format from which
+// payload fields happen to be non-zero (an OLH report whose random per-user
+// seed is 0 is still an OLH report).
+type Kind uint8
+
+const (
+	// KindValue is a categorical report (GRR: the perturbed item).
+	KindValue Kind = iota
+	// KindUnary is a byte-per-element perturbed unary vector (OUE/SUE).
+	KindUnary
+	// KindPacked is a bit-packed perturbed unary vector (OUE/SUE): 64
+	// domain elements per uint64 word, 8x smaller on the wire.
+	KindPacked
+	// KindHash is a local-hashing report (OLH): (Seed, Value) where Value
+	// holds the perturbed hash bucket.
+	KindHash
+)
+
+// String returns the kind's short name.
+func (k Kind) String() string {
+	switch k {
+	case KindValue:
+		return "value"
+	case KindUnary:
+		return "unary"
+	case KindPacked:
+		return "packed"
+	case KindHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Report is one user's perturbed contribution. Kind selects which payload
+// fields are meaningful: Value for KindValue, Bits for KindUnary, Packed
+// for KindPacked, and (Seed, Value) for KindHash.
 type Report struct {
+	// Kind identifies the wire format.
+	Kind Kind
 	// Value is a categorical report (GRR: perturbed item; OLH: perturbed
 	// hash bucket).
 	Value int
-	// Bits is a perturbed unary-encoded vector (OUE/SUE).
+	// Bits is a perturbed unary-encoded vector (KindUnary).
 	Bits []byte
+	// Packed is a bit-packed perturbed unary vector (KindPacked): bit k of
+	// the flattened word array is domain element k.
+	Packed []uint64
 	// Seed carries the per-user hash seed for OLH reports.
 	Seed uint64
 }
 
 // Size returns the wire size of the report in bytes, used by the
 // communication accounting layer. Categorical reports cost 4 bytes; unary
-// reports cost one byte per domain element plus header; OLH costs 12.
+// reports cost one byte per domain element plus header; packed unary costs
+// 8 bytes per 64 domain elements plus header; OLH costs 12.
 func (r Report) Size() int {
-	switch {
-	case r.Bits != nil:
+	switch r.Kind {
+	case KindUnary:
 		return len(r.Bits) + 4
-	case r.Seed != 0:
+	case KindPacked:
+		return 8*len(r.Packed) + 4
+	case KindHash:
 		return 12
 	default:
 		return 4
@@ -55,8 +98,13 @@ type Oracle interface {
 	// Estimate aggregates perturbed reports into an unbiased estimate of
 	// the frequency (fraction in [0,1], possibly outside after noise) of
 	// each domain element. The reports must all have been produced with
-	// the same eps.
+	// the same eps. It is equivalent to folding every report through
+	// NewAggregator and calling Aggregator.Estimate.
 	Estimate(reports []Report, eps float64) ([]float64, error)
+	// NewAggregator returns a streaming aggregator for reports perturbed
+	// with budget eps: the server folds each report into O(d) counters as
+	// it arrives instead of retaining an O(n·d) report slice.
+	NewAggregator(eps float64) (Aggregator, error)
 	// Variance returns the estimator's per-element variance for n users
 	// and budget eps when the element's true frequency is fk (exact
 	// form; paper Eq. 2 for GRR).
@@ -118,38 +166,19 @@ func (g *GRR) Perturb(v int, eps float64, src *ldprand.Source) Report {
 	}
 	p, _ := g.probs(eps)
 	if src.Bernoulli(p) {
-		return Report{Value: v}
+		return Report{Kind: KindValue, Value: v}
 	}
 	// Uniform over the d-1 other values.
 	o := src.Intn(g.d - 1)
 	if o >= v {
 		o++
 	}
-	return Report{Value: o}
+	return Report{Kind: KindValue, Value: o}
 }
 
 // Estimate implements Oracle.
 func (g *GRR) Estimate(reports []Report, eps float64) ([]float64, error) {
-	if len(reports) == 0 {
-		return nil, ErrNoReports
-	}
-	if eps <= 0 {
-		return nil, ErrBadEpsilon
-	}
-	counts := make([]float64, g.d)
-	for _, r := range reports {
-		if r.Value < 0 || r.Value >= g.d {
-			return nil, fmt.Errorf("fo: GRR report value %d outside domain [0,%d)", r.Value, g.d)
-		}
-		counts[r.Value]++
-	}
-	n := float64(len(reports))
-	p, q := g.probs(eps)
-	est := make([]float64, g.d)
-	for k := range counts {
-		est[k] = (counts[k]/n - q) / (p - q)
-	}
-	return est, nil
+	return batchEstimate(g, reports, eps)
 }
 
 // Variance implements Oracle (paper Eq. 2):
@@ -178,11 +207,14 @@ func (g *GRR) VarianceApprox(eps float64, n int) float64 {
 // unary is the shared implementation of unary-encoding oracles. A user
 // encodes value v as a d-bit one-hot vector and flips each bit
 // independently: a 1-bit stays 1 with probability p, a 0-bit becomes 1 with
-// probability q.
+// probability q. With packed set, clients emit the bit-packed wire format
+// (KindPacked) instead of one byte per domain element; both formats fold
+// into the same aggregator and yield identical estimates.
 type unary struct {
-	d     int
-	name  string
-	probs func(eps float64) (p, q float64)
+	d      int
+	name   string
+	packed bool
+	probs  func(eps float64) (p, q float64)
 }
 
 func (u *unary) Name() string { return u.name }
@@ -193,9 +225,17 @@ func (u *unary) Perturb(v int, eps float64, src *ldprand.Source) Report {
 		panic(fmt.Sprintf("fo: %s value %d outside domain [0,%d)", u.name, v, u.d))
 	}
 	p, q := u.probs(eps)
-	bits := make([]byte, u.d)
+	var bits []byte
+	var words []uint64
+	set := func(k int) { bits[k] = 1 }
+	if u.packed {
+		words = make([]uint64, packedWords(u.d))
+		set = func(k int) { words[k>>6] |= 1 << (uint(k) & 63) }
+	} else {
+		bits = make([]byte, u.d)
+	}
 	if src.Bernoulli(p) {
-		bits[v] = 1
+		set(v)
 	}
 	// The d-1 non-true bits are 1 independently with probability q.
 	// Instead of d-1 Bernoulli draws, jump between set bits with
@@ -217,38 +257,18 @@ func (u *unary) Perturb(v int, eps float64, src *ldprand.Source) Report {
 			if real >= v {
 				real++
 			}
-			bits[real] = 1
+			set(real)
 			pos++
 		}
 	}
-	return Report{Value: -1, Bits: bits}
+	if u.packed {
+		return Report{Kind: KindPacked, Value: -1, Packed: words}
+	}
+	return Report{Kind: KindUnary, Value: -1, Bits: bits}
 }
 
 func (u *unary) Estimate(reports []Report, eps float64) ([]float64, error) {
-	if len(reports) == 0 {
-		return nil, ErrNoReports
-	}
-	if eps <= 0 {
-		return nil, ErrBadEpsilon
-	}
-	counts := make([]float64, u.d)
-	for _, r := range reports {
-		if len(r.Bits) != u.d {
-			return nil, fmt.Errorf("fo: %s report has %d bits, want %d", u.name, len(r.Bits), u.d)
-		}
-		for k, b := range r.Bits {
-			if b != 0 {
-				counts[k]++
-			}
-		}
-	}
-	n := float64(len(reports))
-	p, q := u.probs(eps)
-	est := make([]float64, u.d)
-	for k := range counts {
-		est[k] = (counts[k]/n - q) / (p - q)
-	}
-	return est, nil
+	return batchEstimate(u, reports, eps)
 }
 
 // variance for any (p,q) unary scheme:
@@ -272,25 +292,43 @@ func (u *unary) VarianceApprox(eps float64, n int) float64 {
 // q = 1-p.
 type SUE struct{ unary }
 
+func sueProbs(eps float64) (float64, float64) {
+	e := math.Exp(eps / 2)
+	return e / (e + 1), 1 / (e + 1)
+}
+
 // NewSUE returns an SUE oracle for domain size d.
 func NewSUE(d int) *SUE {
 	checkDomain(d)
-	return &SUE{unary{d: d, name: "SUE", probs: func(eps float64) (float64, float64) {
-		e := math.Exp(eps / 2)
-		return e / (e + 1), 1 / (e + 1)
-	}}}
+	return &SUE{unary{d: d, name: "SUE", probs: sueProbs}}
+}
+
+// NewSUEPacked returns an SUE oracle whose clients emit the bit-packed
+// wire format (8x smaller reports; identical estimates).
+func NewSUEPacked(d int) *SUE {
+	checkDomain(d)
+	return &SUE{unary{d: d, name: "SUE-packed", packed: true, probs: sueProbs}}
 }
 
 // OUE is Optimized Unary Encoding: p = 1/2, q = 1/(e^ε+1), which minimizes
 // estimator variance among unary schemes, giving Var ≈ 4e^ε/(n(e^ε-1)^2).
 type OUE struct{ unary }
 
+func oueProbs(eps float64) (float64, float64) {
+	return 0.5, 1 / (math.Exp(eps) + 1)
+}
+
 // NewOUE returns an OUE oracle for domain size d.
 func NewOUE(d int) *OUE {
 	checkDomain(d)
-	return &OUE{unary{d: d, name: "OUE", probs: func(eps float64) (float64, float64) {
-		return 0.5, 1 / (math.Exp(eps) + 1)
-	}}}
+	return &OUE{unary{d: d, name: "OUE", probs: oueProbs}}
+}
+
+// NewOUEPacked returns an OUE oracle whose clients emit the bit-packed
+// wire format (8x smaller reports; identical estimates).
+func NewOUEPacked(d int) *OUE {
+	checkDomain(d)
+	return &OUE{unary{d: d, name: "OUE-packed", packed: true, probs: oueProbs}}
 }
 
 // ---------------------------------------------------------------------------
@@ -344,9 +382,6 @@ func (o *OLH) Perturb(v int, eps float64, src *ldprand.Source) Report {
 	}
 	g := o.g(eps)
 	seed := src.Uint64()
-	if seed == 0 {
-		seed = 1 // 0 is reserved to mean "no seed" in Report
-	}
 	h := olhHash(seed, v, g)
 	// GRR over the g buckets.
 	e := math.Exp(eps)
@@ -358,41 +393,12 @@ func (o *OLH) Perturb(v int, eps float64, src *ldprand.Source) Report {
 			out++
 		}
 	}
-	return Report{Value: out, Seed: seed}
+	return Report{Kind: KindHash, Value: out, Seed: seed}
 }
 
 // Estimate implements Oracle.
 func (o *OLH) Estimate(reports []Report, eps float64) ([]float64, error) {
-	if len(reports) == 0 {
-		return nil, ErrNoReports
-	}
-	if eps <= 0 {
-		return nil, ErrBadEpsilon
-	}
-	g := o.g(eps)
-	e := math.Exp(eps)
-	p := e / (e + float64(g) - 1)
-	q := 1.0 / float64(g)
-	counts := make([]float64, o.d)
-	for _, r := range reports {
-		if r.Seed == 0 {
-			return nil, errors.New("fo: OLH report missing hash seed")
-		}
-		if r.Value < 0 || r.Value >= g {
-			return nil, fmt.Errorf("fo: OLH report bucket %d outside [0,%d)", r.Value, g)
-		}
-		for k := 0; k < o.d; k++ {
-			if olhHash(r.Seed, k, g) == r.Value {
-				counts[k]++
-			}
-		}
-	}
-	n := float64(len(reports))
-	est := make([]float64, o.d)
-	for k := range counts {
-		est[k] = (counts[k]/n - q) / (p - q)
-	}
-	return est, nil
+	return batchEstimate(o, reports, eps)
 }
 
 // Variance implements Oracle. For OLH the well-known approximation is
@@ -414,8 +420,9 @@ func (o *OLH) VarianceApprox(eps float64, n int) float64 {
 // Registry and adaptive selection.
 // ---------------------------------------------------------------------------
 
-// New constructs an oracle by name ("GRR", "OUE", "SUE", "OLH") for domain
-// size d. It returns an error for unknown names.
+// New constructs an oracle by name ("GRR", "OUE", "SUE", "OLH", plus the
+// bit-packed unary variants "OUE-packed" and "SUE-packed") for domain size
+// d. It returns an error for unknown names.
 func New(name string, d int) (Oracle, error) {
 	switch name {
 	case "GRR", "grr":
@@ -426,6 +433,10 @@ func New(name string, d int) (Oracle, error) {
 		return NewSUE(d), nil
 	case "OLH", "olh":
 		return NewOLH(d), nil
+	case "OUE-packed", "oue-packed":
+		return NewOUEPacked(d), nil
+	case "SUE-packed", "sue-packed":
+		return NewSUEPacked(d), nil
 	default:
 		return nil, fmt.Errorf("fo: unknown oracle %q", name)
 	}

@@ -40,7 +40,7 @@ func synthValues(freq []float64, n int, src *ldprand.Source) []int {
 }
 
 func oracles(d int) []Oracle {
-	return []Oracle{NewGRR(d), NewOUE(d), NewSUE(d), NewOLH(d)}
+	return []Oracle{NewGRR(d), NewOUE(d), NewSUE(d), NewOLH(d), NewOUEPacked(d), NewSUEPacked(d)}
 }
 
 func TestUnbiasedness(t *testing.T) {
@@ -261,12 +261,15 @@ func TestEstimateErrors(t *testing.T) {
 		t.Fatal("out-of-domain report not rejected")
 	}
 	u := NewOUE(3)
-	if _, err := u.Estimate([]Report{{Bits: []byte{1}}}, 1.0); err == nil {
+	if _, err := u.Estimate([]Report{{Kind: KindUnary, Bits: []byte{1}}}, 1.0); err == nil {
 		t.Fatal("short unary report not rejected")
 	}
+	if _, err := u.Estimate([]Report{{Kind: KindValue, Value: 1}}, 1.0); err == nil {
+		t.Fatal("wrong-kind report not rejected by unary aggregation")
+	}
 	o := NewOLH(3)
-	if _, err := o.Estimate([]Report{{Value: 0, Seed: 0}}, 1.0); err == nil {
-		t.Fatal("OLH report without seed not rejected")
+	if _, err := o.Estimate([]Report{{Kind: KindValue, Value: 0}}, 1.0); err == nil {
+		t.Fatal("non-hash report not rejected by OLH aggregation")
 	}
 }
 
@@ -285,7 +288,7 @@ func TestPerturbPanicsOutOfDomain(t *testing.T) {
 }
 
 func TestNewRegistry(t *testing.T) {
-	for _, name := range []string{"GRR", "OUE", "SUE", "OLH", "grr", "oue"} {
+	for _, name := range []string{"GRR", "OUE", "SUE", "OLH", "grr", "oue", "OUE-packed", "SUE-packed", "sue-packed"} {
 		o, err := New(name, 5)
 		if err != nil || o == nil {
 			t.Fatalf("New(%q): %v", name, err)
@@ -346,14 +349,23 @@ func TestOLHHashStability(t *testing.T) {
 }
 
 func TestReportSize(t *testing.T) {
-	if (Report{Value: 3}).Size() != 4 {
+	if (Report{Kind: KindValue, Value: 3}).Size() != 4 {
 		t.Fatal("categorical report size")
 	}
-	if (Report{Bits: make([]byte, 10)}).Size() != 14 {
+	if (Report{Kind: KindUnary, Bits: make([]byte, 10)}).Size() != 14 {
 		t.Fatal("unary report size")
 	}
-	if (Report{Value: 2, Seed: 9}).Size() != 12 {
+	if (Report{Kind: KindPacked, Packed: make([]uint64, 2)}).Size() != 20 {
+		t.Fatal("packed unary report size")
+	}
+	if (Report{Kind: KindHash, Value: 2, Seed: 9}).Size() != 12 {
 		t.Fatal("OLH report size")
+	}
+	// The kind is authoritative: an OLH report whose random per-user seed
+	// happens to be 0 still costs 12 bytes (the pre-Kind format inferred
+	// "categorical" from Seed == 0 and undercounted it as 4).
+	if (Report{Kind: KindHash, Value: 2, Seed: 0}).Size() != 12 {
+		t.Fatal("OLH report with zero seed misclassified")
 	}
 }
 

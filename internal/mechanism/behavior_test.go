@@ -44,6 +44,32 @@ func (o *noiselessOracle) Estimate(reports []fo.Report, eps float64) ([]float64,
 func (o *noiselessOracle) Variance(eps float64, n int, fk float64) float64 { return o.v }
 func (o *noiselessOracle) VarianceApprox(eps float64, n int) float64       { return o.v }
 
+// noiselessAggregator folds exact value counts, mirroring Estimate.
+type noiselessAggregator struct {
+	counts []float64
+	n      int
+}
+
+func (o *noiselessOracle) NewAggregator(eps float64) (fo.Aggregator, error) {
+	return &noiselessAggregator{counts: make([]float64, o.d)}, nil
+}
+
+func (a *noiselessAggregator) Add(r fo.Report) error {
+	a.counts[r.Value]++
+	a.n++
+	return nil
+}
+
+func (a *noiselessAggregator) Reports() int { return a.n }
+
+func (a *noiselessAggregator) Estimate() ([]float64, error) {
+	est := make([]float64, len(a.counts))
+	for k, c := range a.counts {
+		est[k] = c / float64(a.n)
+	}
+	return est, nil
+}
+
 // scriptedEnv serves values from a script (one histogram value per user per
 // timestamp) and records every Collect call.
 type scriptedEnv struct {

@@ -38,6 +38,20 @@ type Env interface {
 	Collect(users []int, eps float64) ([]fo.Report, error)
 }
 
+// StreamEnv is an optional Env extension for environments that can fold
+// each report into a streaming fo.Aggregator as it arrives, keeping
+// server-side memory at O(d) counters instead of the O(n·d) report slice
+// Collect materializes. The simulation runner and the TCP transport both
+// implement it; mechanisms use it automatically through estimate.
+type StreamEnv interface {
+	Env
+	// CollectStream behaves like Collect but adds every report to agg
+	// instead of returning a slice. Aggregation is order-independent
+	// (integer counts), so implementations may fold concurrently as long
+	// as Add calls are serialized.
+	CollectStream(users []int, eps float64, agg fo.Aggregator) error
+}
+
 // Mechanism releases one estimated frequency histogram per timestamp while
 // guaranteeing w-event ε-LDP to every user. Step must be called once per
 // timestamp, in order.
@@ -124,8 +138,21 @@ func dissimilarity(c1, rPrev []float64, estVariance float64) float64 {
 }
 
 // estimate collects from users with budget eps via env and aggregates with
-// the oracle. users == nil means all users.
+// the oracle. users == nil means all users. Environments implementing
+// StreamEnv are folded report-by-report into a streaming aggregator; the
+// two paths share count math exactly, so estimates are identical either
+// way.
 func estimate(env Env, o fo.Oracle, users []int, eps float64) ([]float64, error) {
+	if se, ok := env.(StreamEnv); ok {
+		agg, err := o.NewAggregator(eps)
+		if err != nil {
+			return nil, err
+		}
+		if err := se.CollectStream(users, eps, agg); err != nil {
+			return nil, err
+		}
+		return agg.Estimate()
+	}
 	reports, err := env.Collect(users, eps)
 	if err != nil {
 		return nil, err

@@ -30,6 +30,11 @@ func New(name string, p Params) (Mechanism, error) {
 		return NewLPD(p)
 	case "LPA":
 		return NewLPA(p)
+	case "EventLevel":
+		// Granularity baseline, not a w-event mechanism: it deliberately
+		// overspends any w-window (see granularity.go) and exists so the
+		// harness can exercise the privacy accountant's violation path.
+		return NewEventLevel(p)
 	default:
 		return nil, fmt.Errorf("mechanism: unknown method %q", name)
 	}

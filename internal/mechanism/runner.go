@@ -51,34 +51,69 @@ func (e *simEnv) T() int { return e.t }
 // N implements Env.
 func (e *simEnv) N() int { return e.n }
 
-// Collect implements Env.
-func (e *simEnv) Collect(users []int, eps float64) ([]fo.Report, error) {
+// collect drives one collection round: it perturbs each listed user's
+// current value in order and hands the report to sink. The caller observes
+// comm accounting through the returned (reports, bytes) totals.
+func (e *simEnv) collect(users []int, eps float64, sink func(fo.Report) error) (count, bytes int, err error) {
 	if eps <= 0 {
-		return nil, fmt.Errorf("mechanism: collect with non-positive eps %v", eps)
+		return 0, 0, fmt.Errorf("mechanism: collect with non-positive eps %v", eps)
 	}
 	if e.acct != nil {
 		e.acct.Observe(e.t, users, eps, e.n)
 	}
-	var reports []fo.Report
-	bytes := 0
+	one := func(u int) error {
+		r := e.oracle.Perturb(e.current[u], eps, e.src)
+		count++
+		bytes += r.Size()
+		return sink(r)
+	}
 	if users == nil {
-		reports = make([]fo.Report, e.n)
 		for u := 0; u < e.n; u++ {
-			reports[u] = e.oracle.Perturb(e.current[u], eps, e.src)
-			bytes += reports[u].Size()
+			if err := one(u); err != nil {
+				return 0, 0, err
+			}
 		}
 	} else {
-		reports = make([]fo.Report, len(users))
-		for i, u := range users {
+		for _, u := range users {
 			if u < 0 || u >= e.n {
-				return nil, fmt.Errorf("mechanism: collect from unknown user %d", u)
+				return 0, 0, fmt.Errorf("mechanism: collect from unknown user %d", u)
 			}
-			reports[i] = e.oracle.Perturb(e.current[u], eps, e.src)
-			bytes += reports[i].Size()
+			if err := one(u); err != nil {
+				return 0, 0, err
+			}
 		}
 	}
-	e.counter.Observe(len(reports), bytes)
+	return count, bytes, nil
+}
+
+// Collect implements Env by materializing the round's reports.
+func (e *simEnv) Collect(users []int, eps float64) ([]fo.Report, error) {
+	n := e.n
+	if users != nil {
+		n = len(users)
+	}
+	reports := make([]fo.Report, 0, n)
+	count, bytes, err := e.collect(users, eps, func(r fo.Report) error {
+		reports = append(reports, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.counter.Observe(count, bytes)
 	return reports, nil
+}
+
+// CollectStream implements StreamEnv: each report is folded straight into
+// agg, so a full-population round allocates no O(n) report buffer. The
+// per-user perturbation order and randomness are identical to Collect.
+func (e *simEnv) CollectStream(users []int, eps float64, agg fo.Aggregator) error {
+	count, bytes, err := e.collect(users, eps, agg.Add)
+	if err != nil {
+		return err
+	}
+	e.counter.Observe(count, bytes)
+	return nil
 }
 
 // Run executes m over at most T timestamps of the runner's stream and

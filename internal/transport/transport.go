@@ -146,11 +146,13 @@ func (s *Server) T() int {
 // N implements mechanism.Env.
 func (s *Server) N() int { return s.n }
 
-// Collect implements mechanism.Env: it requests a perturbed report from
-// every listed user (nil = all) and gathers the responses.
-func (s *Server) Collect(users []int, eps float64) ([]fo.Report, error) {
+// gather fans a report request out to every listed user (nil = all) and
+// hands each response to sink as it arrives. sink is called under an
+// internal mutex, so it may mutate shared state without further locking;
+// responses arrive in unspecified order.
+func (s *Server) gather(users []int, eps float64, sink func(fo.Report) error) (count, bytes int, err error) {
 	if eps <= 0 {
-		return nil, fmt.Errorf("transport: collect with non-positive eps %v", eps)
+		return 0, 0, fmt.Errorf("transport: collect with non-positive eps %v", eps)
 	}
 	s.mu.Lock()
 	t := s.t
@@ -165,13 +167,13 @@ func (s *Server) Collect(users []int, eps float64) ([]fo.Report, error) {
 		cc := s.clients[id]
 		if cc == nil {
 			s.mu.Unlock()
-			return nil, fmt.Errorf("transport: user %d not registered", id)
+			return 0, 0, fmt.Errorf("transport: user %d not registered", id)
 		}
 		conns[i] = cc
 	}
 	s.mu.Unlock()
 
-	reports := make([]fo.Report, len(users))
+	var sinkMu sync.Mutex
 	errs := make([]error, len(users))
 	var wg sync.WaitGroup
 	for i := range conns {
@@ -190,21 +192,52 @@ func (s *Server) Collect(users []int, eps float64) ([]fo.Report, error) {
 				errs[i] = err
 				return
 			}
-			reports[i] = resp.Report
+			sinkMu.Lock()
+			defer sinkMu.Unlock()
+			count++
+			bytes += resp.Report.Size()
+			errs[i] = sink(resp.Report)
 		}(i)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("transport: user %d: %w", users[i], err)
+			return 0, 0, fmt.Errorf("transport: user %d: %w", users[i], err)
 		}
 	}
-	bytes := 0
-	for _, r := range reports {
-		bytes += r.Size()
+	return count, bytes, nil
+}
+
+// Collect implements mechanism.Env: it requests a perturbed report from
+// every listed user (nil = all) and gathers the responses.
+func (s *Server) Collect(users []int, eps float64) ([]fo.Report, error) {
+	n := len(users)
+	if users == nil {
+		n = s.n
 	}
-	s.counter.Observe(len(reports), bytes)
+	reports := make([]fo.Report, 0, n)
+	count, bytes, err := s.gather(users, eps, func(r fo.Report) error {
+		reports = append(reports, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.counter.Observe(count, bytes)
 	return reports, nil
+}
+
+// CollectStream implements mechanism.StreamEnv: each report is folded into
+// agg as it comes off the wire, so the aggregator never buffers the
+// round's reports. Aggregation is order-independent integer counting, so
+// the arrival order over TCP does not affect the estimate.
+func (s *Server) CollectStream(users []int, eps float64, agg fo.Aggregator) error {
+	count, bytes, err := s.gather(users, eps, agg.Add)
+	if err != nil {
+		return err
+	}
+	s.counter.Observe(count, bytes)
+	return nil
 }
 
 // CommStats returns the accumulated communication statistics.

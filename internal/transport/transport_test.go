@@ -80,6 +80,42 @@ func TestCollectAllOverTCP(t *testing.T) {
 	}
 }
 
+func TestCollectStreamOverTCP(t *testing.T) {
+	// The streaming fold must see every report and yield a sane estimate
+	// without the server buffering a report slice.
+	n := 60
+	oracle := fo.NewGRR(2)
+	snaps := [][]int{make([]int, n)}
+	for i := range snaps[0] {
+		snaps[0][i] = 1
+	}
+	srv, cleanup := startCluster(t, n, oracle, snaps)
+	defer cleanup()
+
+	var env mechanism.StreamEnv = srv // compile-time interface check
+	srv.Advance(1)
+	agg, err := oracle.NewAggregator(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.CollectStream(nil, 2.0, agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Reports() != n {
+		t.Fatalf("aggregator folded %d reports, want %d", agg.Reports(), n)
+	}
+	est, err := agg.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[1] < 0.6 {
+		t.Fatalf("streamed estimate %v does not reflect all-ones population", est)
+	}
+	if stats := srv.CommStats(); stats.Reports != int64(n) || stats.Bytes == 0 {
+		t.Fatalf("comm accounting missed the streamed round: %+v", stats)
+	}
+}
+
 func TestCollectSubset(t *testing.T) {
 	n := 30
 	oracle := fo.NewGRR(2)

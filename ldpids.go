@@ -67,6 +67,14 @@ type Oracle = fo.Oracle
 // Report is one user's perturbed contribution.
 type Report = fo.Report
 
+// ReportKind identifies a report's wire format (value, unary, packed,
+// hash).
+type ReportKind = fo.Kind
+
+// Aggregator folds perturbed reports into O(d) server-side counters as
+// they arrive; streaming and batch aggregation yield identical estimates.
+type Aggregator = fo.Aggregator
+
 // NewGRR returns the Generalized Randomized Response oracle for domain
 // size d.
 func NewGRR(d int) Oracle { return fo.NewGRR(d) }
@@ -80,7 +88,15 @@ func NewSUE(d int) Oracle { return fo.NewSUE(d) }
 // NewOLH returns the Optimized Local Hashing oracle for domain size d.
 func NewOLH(d int) Oracle { return fo.NewOLH(d) }
 
-// NewOracle constructs an oracle by name ("GRR", "OUE", "SUE", "OLH").
+// NewOUEPacked returns an OUE oracle emitting the bit-packed wire format:
+// 8x smaller reports, identical estimates.
+func NewOUEPacked(d int) Oracle { return fo.NewOUEPacked(d) }
+
+// NewSUEPacked returns an SUE oracle emitting the bit-packed wire format.
+func NewSUEPacked(d int) Oracle { return fo.NewSUEPacked(d) }
+
+// NewOracle constructs an oracle by name ("GRR", "OUE", "SUE", "OLH",
+// "OUE-packed", "SUE-packed").
 func NewOracle(name string, d int) (Oracle, error) { return fo.New(name, d) }
 
 // BestOracle returns the lower-variance choice between GRR and OUE for the
@@ -160,6 +176,11 @@ type Params = mechanism.Params
 
 // Env is the world a mechanism steps through (population + oracle access).
 type Env = mechanism.Env
+
+// StreamEnv is an optional Env extension whose implementations fold each
+// report into a streaming Aggregator instead of buffering a report slice;
+// the simulation runner and the TCP transport both implement it.
+type StreamEnv = mechanism.StreamEnv
 
 // Runner drives a mechanism over a stream in-process.
 type Runner = mechanism.Runner
