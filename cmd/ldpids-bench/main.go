@@ -11,6 +11,10 @@
 // suite completes in minutes; shapes and orderings are population-invariant
 // (Fig. 6 sweeps N explicitly). Pass -audit to run the w-event privacy
 // accountant alongside every run.
+//
+// The -oracle flag accepts every registry name, including the bit-packed
+// unary wire formats OUE-packed and SUE-packed (same estimates as OUE/SUE,
+// ~8x smaller reports); ablation-fo compares all of them side by side.
 package main
 
 import (

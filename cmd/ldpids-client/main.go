@@ -1,8 +1,11 @@
 // Command ldpids-client simulates -n user devices connecting to an
-// ldpids-server aggregator. Each simulated user holds a private value
-// stream (a sticky Markov chain over the domain) and answers report
-// requests by perturbing its current value locally via the frequency
-// oracle — raw values never leave this process.
+// ldpids-server aggregator. The users are sharded across -conns TCP
+// connections (default 1), each hosting a contiguous id batch — the server
+// sends one batched request per connection per round. Each simulated user
+// holds a private value stream (a sticky Markov chain over the domain, and
+// a clamped random walk in [-1, 1] for -numeric mean rounds) and answers
+// report requests by perturbing locally — raw values never leave this
+// process.
 package main
 
 import (
@@ -12,55 +15,110 @@ import (
 
 	"ldpids/internal/fo"
 	"ldpids/internal/ldprand"
+	"ldpids/internal/numeric"
 	"ldpids/internal/transport"
 )
 
+// user is one simulated device's private state.
+type user struct {
+	src      *ldprand.Source
+	valueSrc *ldprand.Source
+	cur      int
+	walk     float64
+	lastT    int
+	d        int
+}
+
+// value advances the sticky Markov chain (and the numeric walk) to t and
+// returns the current categorical value.
+func (u *user) value(t int) int {
+	for u.lastT < t {
+		if !u.valueSrc.Bernoulli(0.9) {
+			u.cur = u.valueSrc.Intn(u.d)
+		}
+		u.walk += u.valueSrc.NormalScaled(0, 0.05)
+		if u.walk > 1 {
+			u.walk = 1
+		}
+		if u.walk < -1 {
+			u.walk = -1
+		}
+		u.lastT++
+	}
+	return u.cur
+}
+
+// numericValue advances to t and returns the current walk value.
+func (u *user) numericValue(t int) float64 {
+	u.value(t)
+	return u.walk
+}
+
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7788", "aggregator address")
-		n      = flag.Int("n", 100, "number of simulated users")
-		d      = flag.Int("d", 5, "domain size")
-		oracle = flag.String("oracle", "GRR", "frequency oracle (must match server)")
-		seed   = flag.Uint64("seed", 99, "client-side random seed")
-		first  = flag.Int("first", 0, "first user id (for sharding users across processes)")
+		addr        = flag.String("addr", "127.0.0.1:7788", "aggregator address")
+		n           = flag.Int("n", 100, "number of simulated users")
+		d           = flag.Int("d", 5, "domain size")
+		oracle      = flag.String("oracle", "GRR", "frequency oracle (must match server): GRR OUE SUE OLH OUE-packed SUE-packed")
+		seed        = flag.Uint64("seed", 99, "client-side random seed")
+		first       = flag.Int("first", 0, "first user id (for sharding users across processes)")
+		conns       = flag.Int("conns", 1, "TCP connections to shard the users across")
+		numericMode = flag.Bool("numeric", false, "answer numeric mean rounds in addition to frequency rounds")
 	)
 	flag.Parse()
+	if *conns < 1 || *conns > *n {
+		log.Fatalf("-conns must be in [1, %d], got %d", *n, *conns)
+	}
 
 	o, err := fo.New(*oracle, *d)
 	if err != nil {
 		log.Fatal(err)
 	}
 	root := ldprand.New(*seed)
-	var wg sync.WaitGroup
+	users := make(map[int]*user, *n)
 	for i := 0; i < *n; i++ {
-		id := *first + i
-		src := root.Split()
-		valueSrc := root.Split()
-		// The user's private value stream: sticky Markov chain.
-		cur := valueSrc.Intn(*d)
-		lastT := 0
-		value := func(t int) int {
-			for lastT < t {
-				if !valueSrc.Bernoulli(0.9) {
-					cur = valueSrc.Intn(*d)
-				}
-				lastT++
-			}
-			return cur
+		u := &user{src: root.Split(), valueSrc: root.Split(), d: *d}
+		u.cur = u.valueSrc.Intn(*d)
+		users[*first+i] = u
+	}
+	fns := transport.Funcs{
+		Report: func(id, t int, eps float64) fo.Report {
+			u := users[id]
+			return o.Perturb(u.value(t), eps, u.src)
+		},
+	}
+	if *numericMode {
+		fns.NumericReport = func(id, t int, eps float64) float64 {
+			u := users[id]
+			return numeric.BestPerturber(eps).Perturb(u.numericValue(t), eps, u.src)
 		}
-		perturb := func(v int, eps float64) fo.Report { return o.Perturb(v, eps, src) }
-		c, err := transport.NewClient(*addr, id, value, perturb)
+	}
+
+	var wg sync.WaitGroup
+	per := *n / *conns
+	extra := *n % *conns
+	start := *first
+	for i := 0; i < *conns; i++ {
+		count := per
+		if i < extra {
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		c, err := transport.NewClient(*addr, start, count, fns)
 		if err != nil {
-			log.Fatalf("user %d: %v", id, err)
+			log.Fatalf("users [%d,%d): %v", start, start+count, err)
 		}
 		wg.Add(1)
-		go func(id int) {
+		go func(firstID, count int) {
 			defer wg.Done()
 			if err := c.Serve(); err != nil {
-				log.Printf("user %d disconnected: %v", id, err)
+				log.Printf("users [%d,%d) disconnected: %v", firstID, firstID+count, err)
 			}
-		}(id)
+		}(start, count)
+		start += count
 	}
-	log.Printf("%d users connected to %s; serving report requests", *n, *addr)
+	log.Printf("%d users connected to %s over %d connections; serving report requests", *n, *addr, *conns)
 	wg.Wait()
 }

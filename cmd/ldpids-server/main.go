@@ -1,7 +1,13 @@
 // Command ldpids-server runs the aggregator side of the LDP-IDS protocol
-// over TCP: it waits for -n user clients (see cmd/ldpids-client), then
-// drives the chosen mechanism for -T timestamps, printing each released
-// histogram and the final communication statistics.
+// over TCP: it waits for -n users (hosted by one or more ldpids-client
+// processes, each holding a batch of users on a single connection), then
+// drives the chosen mechanism for -T timestamps through the pluggable
+// collection layer, printing each release and the final communication
+// statistics.
+//
+// With -numeric, the server runs a streaming mean mechanism (Mean-LPU or
+// Mean-LPA) instead of a frequency mechanism; clients must be started with
+// -numeric too.
 //
 // Demo (two shells):
 //
@@ -15,53 +21,53 @@ import (
 	"log"
 	"time"
 
+	"ldpids/internal/collect"
 	"ldpids/internal/fo"
 	"ldpids/internal/ldprand"
 	"ldpids/internal/mechanism"
+	"ldpids/internal/numeric"
 	"ldpids/internal/store"
 	"ldpids/internal/transport"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7788", "listen address")
-		n      = flag.Int("n", 100, "expected number of user clients")
-		d      = flag.Int("d", 5, "domain size")
-		method = flag.String("method", "LPA", "mechanism: LBU LSP LBD LBA LPU LPD LPA")
-		w      = flag.Int("w", 10, "window size")
-		eps    = flag.Float64("eps", 1.0, "privacy budget per window")
-		T      = flag.Int("T", 50, "timestamps to run")
-		oracle = flag.String("oracle", "GRR", "frequency oracle")
-		seed   = flag.Uint64("seed", 1, "server-side random seed")
-		wait   = flag.Duration("wait", 2*time.Minute, "registration timeout")
-		out    = flag.String("out", "", "optional path to persist releases as an append-only log")
+		addr    = flag.String("addr", "127.0.0.1:7788", "listen address")
+		n       = flag.Int("n", 100, "expected number of users across all client processes")
+		d       = flag.Int("d", 5, "domain size")
+		method  = flag.String("method", "LPA", "mechanism: LBU LSP LBD LBA LPU LPD LPA (with -numeric: LPU LPA)")
+		w       = flag.Int("w", 10, "window size")
+		eps     = flag.Float64("eps", 1.0, "privacy budget per window")
+		T       = flag.Int("T", 50, "timestamps to run")
+		oracle  = flag.String("oracle", "GRR", "frequency oracle: GRR OUE SUE OLH OUE-packed SUE-packed")
+		seed    = flag.Uint64("seed", 1, "server-side random seed")
+		wait    = flag.Duration("wait", 2*time.Minute, "registration timeout")
+		timeout = flag.Duration("timeout", transport.DefaultTimeout, "per-round request timeout")
+		isMean  = flag.Bool("numeric", false, "run a streaming mean mechanism instead of a frequency mechanism")
+		out     = flag.String("out", "", "optional path to persist releases as an append-only log")
 	)
 	flag.Parse()
 
-	o, err := fo.New(*oracle, *d)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv, err := transport.NewServer(*addr, o, *n)
+	srv, err := transport.NewServer(*addr, *n)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	srv.Timeout = *timeout
 	log.Printf("listening on %s, waiting for %d users...", srv.Addr(), *n)
 	if err := srv.WaitReady(*wait); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("all %d users registered", *n)
 
-	m, err := mechanism.New(*method, mechanism.Params{
-		Eps: *eps, W: *w, N: *n, Oracle: o, Src: ldprand.New(*seed),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	env := collect.NewEnv(srv)
 	var logW *store.Writer
 	if *out != "" {
-		logW, err = store.Create(*out, *d)
+		logD := *d
+		if *isMean {
+			logD = 1
+		}
+		logW, err = store.Create(*out, logD)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,17 +77,41 @@ func main() {
 			}
 		}()
 	}
-	for t := 1; t <= *T; t++ {
-		srv.Advance(t)
-		release, err := m.Step(srv)
+	persist := func(t int, release []float64) {
+		if logW == nil {
+			return
+		}
+		if err := logW.Append(t, release); err != nil {
+			log.Fatalf("persisting release at t=%d: %v", t, err)
+		}
+	}
+
+	if *isMean {
+		runMean(env, *method, *eps, *w, *n, *T, *seed, persist)
+	} else {
+		runFrequency(env, *method, *oracle, *d, *eps, *w, *n, *T, *seed, persist)
+	}
+	fmt.Printf("\ncommunication: %s\n", env.Stats())
+}
+
+func runFrequency(env *collect.Env, method, oracleName string, d int, eps float64, w, n, T int, seed uint64, persist func(int, []float64)) {
+	o, err := fo.New(oracleName, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := mechanism.New(method, mechanism.Params{
+		Eps: eps, W: w, N: n, Oracle: o, Src: ldprand.New(seed),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := 1; t <= T; t++ {
+		env.Advance(t)
+		release, err := m.Step(env)
 		if err != nil {
 			log.Fatalf("t=%d: %v", t, err)
 		}
-		if logW != nil {
-			if err := logW.Append(t, release); err != nil {
-				log.Fatalf("persisting release at t=%d: %v", t, err)
-			}
-		}
+		persist(t, release)
 		fmt.Printf("t=%-4d r_t = [", t)
 		for k, v := range release {
 			if k > 0 {
@@ -91,5 +121,32 @@ func main() {
 		}
 		fmt.Println("]")
 	}
-	fmt.Printf("\ncommunication: %s\n", srv.CommStats())
+}
+
+func runMean(env *collect.Env, method string, eps float64, w, n, T int, seed uint64, persist func(int, []float64)) {
+	p := numeric.MeanParams{Eps: eps, W: w, N: n, Src: ldprand.New(seed)}
+	var (
+		m   numeric.MeanMechanism
+		err error
+	)
+	switch method {
+	case "LPU", "Mean-LPU":
+		m, err = numeric.NewMeanLPU(p)
+	case "LPA", "Mean-LPA":
+		m, err = numeric.NewMeanLPA(p)
+	default:
+		log.Fatalf("unknown numeric method %q (want LPU or LPA)", method)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := 1; t <= T; t++ {
+		env.Advance(t)
+		mean, err := m.Step(env)
+		if err != nil {
+			log.Fatalf("t=%d: %v", t, err)
+		}
+		persist(t, []float64{mean})
+		fmt.Printf("t=%-4d mean = %.4f\n", t, mean)
+	}
 }

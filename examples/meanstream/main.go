@@ -3,6 +3,11 @@
 // tracks the population mean under w-event LDP using the population-
 // division framework, then sharpens the released series with a Kalman
 // filter (post-processing is free under DP).
+//
+// Mean mechanisms step through the same pluggable collection layer as the
+// frequency mechanisms: here they run on the in-process backend via
+// RunMean, but the identical Step loop drives them over the in-memory
+// channel backend or the TCP transport (ldpids-server -numeric).
 package main
 
 import (
@@ -34,13 +39,17 @@ func main() {
 	// Uniform population division: every timestamp is a fresh estimate
 	// from N/w reporters, so its measurement variance is known exactly —
 	// ideal for Kalman post-processing.
-	mLPU, err := ldpids.NewMeanLPU(ldpids.MeanParams{
+	lpuParams := ldpids.MeanParams{
 		Eps: eps, W: w, N: nUsers, Perturber: pert, Src: root.Split(),
-	})
+	}
+	mLPU, err := ldpids.NewMeanLPU(lpuParams)
 	if err != nil {
 		log.Fatal(err)
 	}
-	released, truth := ldpids.RunMean(mLPU, s, T)
+	released, truth, err := ldpids.RunMean(mLPU, s, T, lpuParams)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	measVar := make([]float64, len(released))
 	mv := pert.WorstVariance(eps) / float64(nUsers/w)
@@ -57,13 +66,17 @@ func main() {
 
 	// The adaptive mechanism, for comparison (same stream realization).
 	s2 := ldpids.NewWalkStream(nUsers, 0.002, 0.35, 0.06, ldpids.NewSource(77).Split())
-	mLPA, err := ldpids.NewMeanLPA(ldpids.MeanParams{
+	lpaParams := ldpids.MeanParams{
 		Eps: eps, W: w, N: nUsers, Perturber: pert, Src: root.Split(),
-	})
+	}
+	mLPA, err := ldpids.NewMeanLPA(lpaParams)
 	if err != nil {
 		log.Fatal(err)
 	}
-	lpaReleased, lpaTruth := ldpids.RunMean(mLPA, s2, T)
+	lpaReleased, lpaTruth, err := ldpids.RunMean(mLPA, s2, T, lpaParams)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("t     true mean   LPU raw    LPU+kalman   LPA")
 	fmt.Println("------------------------------------------------")

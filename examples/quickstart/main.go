@@ -1,6 +1,14 @@
 // Quickstart: collect a private frequency stream from 10,000 simulated
-// users with the LPA mechanism (population absorption — the paper's best
-// method) and compare the released estimates against the ground truth.
+// user devices with the LPA mechanism (population absorption — the paper's
+// best method) and compare the released estimates against the ground
+// truth.
+//
+// The devices run on the in-memory channel backend: every user is a
+// goroutine answering report requests through its own inbox, a stand-in
+// for a separate device process. The mechanism steps through a CollectEnv,
+// so swapping the backend for the TCP transport (see cmd/ldpids-server)
+// changes nothing in this loop — all backends produce bit-identical
+// estimates from identical seeds.
 package main
 
 import (
@@ -22,10 +30,25 @@ func main() {
 
 	// A binary stream: at each timestamp, a slowly oscillating fraction
 	// of users holds value 1 (e.g. "device is in the monitored state").
+	// Materialize T snapshots so the devices can answer from a script.
 	s := ldpids.NewBinaryStream(n, ldpids.DefaultSin(), root.Split())
+	snaps := ldpids.MaterializeStream(s, T)
+	truth := ldpids.Histograms(snaps, 2)
 
-	// Frequency oracle shared by all users (GRR is optimal for d=2).
+	// Frequency oracle shared by all users (GRR is optimal for d=2), and
+	// one private randomness source per device.
 	oracle := ldpids.NewGRR(2)
+	srcs := make([]*ldpids.Source, n)
+	for u := range srcs {
+		srcs[u] = root.Split()
+	}
+
+	// The backend: 10,000 device goroutines. Only perturbed reports ever
+	// leave a device.
+	backend := ldpids.NewChannelBackend(n, func(u, t int, eps float64) ldpids.Report {
+		return oracle.Perturb(snaps[t-1][u], eps, srcs[u])
+	}, nil)
+	defer backend.Close()
 
 	// The w-event LDP mechanism. Each user is guaranteed eps-LDP over
 	// any window of w consecutive timestamps, forever.
@@ -36,23 +59,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Run with the privacy accountant auditing every report.
+	// Drive the mechanism over the backend, with the privacy accountant
+	// auditing every collection round.
 	acct := ldpids.NewAccountant(eps, w, n, root.Split())
-	runner := &ldpids.Runner{Stream: s, Oracle: oracle, Src: root.Split(), Accountant: acct}
-	res, err := runner.Run(m, T)
-	if err != nil {
-		log.Fatal(err)
+	env := ldpids.NewCollectEnv(backend)
+	env.Observer = func(t int, users []int, eps float64) { acct.Observe(t, users, eps, n) }
+
+	released := make([][]float64, 0, T)
+	for t := 1; t <= T; t++ {
+		env.Advance(t)
+		r, err := m.Step(env)
+		if err != nil {
+			log.Fatalf("t=%d: %v", t, err)
+		}
+		released = append(released, r)
 	}
 
 	fmt.Println("t     true f(1)   released    |error|")
 	fmt.Println("---------------------------------------")
 	for t := 0; t < T; t += 10 {
-		tr, rl := res.True[t][1], res.Released[t][1]
+		tr, rl := truth[t][1], released[t][1]
 		fmt.Printf("%-4d  %8.4f   %8.4f   %8.4f\n", t+1, tr, rl, abs(tr-rl))
 	}
-	fmt.Printf("\nMRE over %d timestamps: %.4f\n", T, ldpids.MRE(res.Released, res.True, 0))
-	fmt.Printf("communication: %s\n", res.Comm)
-	fmt.Printf("w-event LDP violations found by audit: %d\n", len(res.Violations))
+	fmt.Printf("\nMRE over %d timestamps: %.4f\n", T, ldpids.MRE(released, truth, 0))
+	fmt.Printf("communication: %s\n", env.Stats())
+	fmt.Printf("w-event LDP violations found by audit: %d\n", len(acct.Check(1e-9)))
 }
 
 func abs(x float64) float64 {

@@ -1,0 +1,188 @@
+// Package collect is the transport-agnostic ingestion layer of LDP-IDS.
+//
+// A mechanism asks a Collector to gather perturbed contributions from a
+// subset of the user population under a privacy budget; the Collector folds
+// each contribution into a pluggable Sink as it arrives. Mechanisms never
+// see raw user data — only perturbed contributions — mirroring the paper's
+// untrusted-aggregator trust model, and they never see the transport: the
+// same mechanism runs unchanged over the in-process Sim backend, the
+// in-memory Channel backend (one goroutine per user "process"), or the TCP
+// gob transport in package transport.
+//
+// Contributions are either categorical frequency-oracle reports (frequency
+// rounds) or perturbed real values (numeric mean rounds), so both the
+// paper's histogram mechanisms and the numeric mean extension share one
+// ingestion pipeline. Sinks include SliceSink (legacy batch materialization),
+// AggregatorSink (streaming O(d) aggregation, including the shard-striped
+// fo.ShardedAggregator for large domains), and MeanSink (numeric mean
+// accumulation).
+//
+// Every backend must pass the conformance suite in collect/collecttest:
+// identical seeds produce bit-identical released histograms regardless of
+// backend, because per-round aggregation is order-independent integer
+// counting.
+package collect
+
+import (
+	"fmt"
+
+	"ldpids/internal/fo"
+)
+
+// Contribution is one user's perturbed datum flowing from a backend into a
+// Sink: a frequency-oracle report for frequency rounds, or a perturbed real
+// value for numeric (mean) rounds.
+type Contribution struct {
+	// Numeric selects the payload: false means Report, true means Value.
+	Numeric bool
+	// Report is the frequency-oracle report (frequency rounds).
+	Report fo.Report
+	// Value is the perturbed real value (numeric rounds).
+	Value float64
+}
+
+// Size returns the contribution's wire size in bytes for communication
+// accounting: a float64 for numeric rounds, the report's encoding otherwise.
+func (c Contribution) Size() int {
+	if c.Numeric {
+		return 8
+	}
+	return c.Report.Size()
+}
+
+// Sink folds one round's contributions into aggregate state. Collectors
+// serialize Absorb calls, so implementations need no internal locking;
+// contributions may arrive in any order.
+type Sink interface {
+	// Absorb folds one contribution. It rejects contributions whose kind
+	// does not match the sink.
+	Absorb(c Contribution) error
+	// Count returns the number of contributions absorbed so far.
+	Count() int
+}
+
+// Request describes one collection round: ask the listed users to perturb
+// their current value at timestamp T with budget Eps. A nil Users slice
+// means "all users" (an empty non-nil slice means none). Numeric selects a
+// numeric (mean) round instead of a frequency round.
+type Request struct {
+	T       int
+	Users   []int
+	Eps     float64
+	Numeric bool
+}
+
+// Validate checks the round against a population of n users: the budget
+// must be positive and every listed user in [0, n).
+func (r Request) Validate(n int) error {
+	if r.Eps <= 0 {
+		return fmt.Errorf("collect: non-positive eps %v", r.Eps)
+	}
+	for _, u := range r.Users {
+		if u < 0 || u >= n {
+			return fmt.Errorf("collect: unknown user %d (population %d)", u, n)
+		}
+	}
+	return nil
+}
+
+// forEachUser visits the round's users in request order (all n when Users
+// is nil), stopping at the first error.
+func (r Request) forEachUser(n int, fn func(u int) error) error {
+	if r.Users == nil {
+		for u := 0; u < n; u++ {
+			if err := fn(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, u := range r.Users {
+		if err := fn(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collector is a pluggable ingestion backend: it gathers one round of
+// perturbed contributions from the population and folds them into a sink.
+// Implementations must validate the request (Request.Validate), serialize
+// Absorb calls, and surface failures as errors rather than hangs.
+type Collector interface {
+	// N returns the population size.
+	N() int
+	// Collect runs one collection round, folding every gathered
+	// contribution into sink.
+	Collect(req Request, sink Sink) error
+}
+
+// ---------------------------------------------------------------------------
+// Sinks.
+// ---------------------------------------------------------------------------
+
+// SliceSink materializes a frequency round's reports — the legacy batch
+// path behind mechanism.Env.Collect.
+type SliceSink struct {
+	Reports []fo.Report
+}
+
+// Absorb implements Sink.
+func (s *SliceSink) Absorb(c Contribution) error {
+	if c.Numeric {
+		return fmt.Errorf("collect: SliceSink cannot absorb a numeric contribution")
+	}
+	s.Reports = append(s.Reports, c.Report)
+	return nil
+}
+
+// Count implements Sink.
+func (s *SliceSink) Count() int { return len(s.Reports) }
+
+// AggregatorSink folds a frequency round into a streaming fo.Aggregator
+// (the plain per-oracle aggregator or the sharded one), keeping server
+// state at O(d).
+type AggregatorSink struct {
+	Agg fo.Aggregator
+}
+
+// Absorb implements Sink.
+func (s AggregatorSink) Absorb(c Contribution) error {
+	if c.Numeric {
+		return fmt.Errorf("collect: AggregatorSink cannot absorb a numeric contribution")
+	}
+	return s.Agg.Add(c.Report)
+}
+
+// Count implements Sink.
+func (s AggregatorSink) Count() int { return s.Agg.Reports() }
+
+// MeanSink accumulates a numeric round into a running mean.
+type MeanSink struct {
+	sum float64
+	n   int
+}
+
+// Absorb implements Sink.
+func (s *MeanSink) Absorb(c Contribution) error {
+	if !c.Numeric {
+		return fmt.Errorf("collect: MeanSink cannot absorb a %s report", c.Report.Kind)
+	}
+	s.sum += c.Value
+	s.n++
+	return nil
+}
+
+// Count implements Sink.
+func (s *MeanSink) Count() int { return s.n }
+
+// Sum returns the running sum of absorbed values.
+func (s *MeanSink) Sum() float64 { return s.sum }
+
+// Mean returns the mean of the absorbed values, or 0 before any Absorb.
+func (s *MeanSink) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}

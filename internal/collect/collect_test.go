@@ -1,0 +1,159 @@
+package collect_test
+
+import (
+	"strings"
+	"testing"
+
+	"ldpids/internal/collect"
+	"ldpids/internal/collect/collecttest"
+	"ldpids/internal/fo"
+)
+
+func specs() map[string]collecttest.Spec {
+	return map[string]collecttest.Spec{
+		"GRR":        {N: 40, Oracle: fo.NewGRR(6), BaseSeed: 1000, Numeric: true},
+		"OUE-packed": {N: 30, Oracle: fo.NewOUEPacked(130), BaseSeed: 2000},
+		"OLH":        {N: 25, Oracle: fo.NewOLH(12), BaseSeed: 3000},
+	}
+}
+
+func TestConformanceSim(t *testing.T) {
+	for name, spec := range specs() {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			collecttest.Run(t, spec, func(t *testing.T) (collect.Collector, func()) {
+				report, numeric := spec.Reporters()
+				return &collect.Sim{Users: spec.N, Report: report, NumericReport: numeric}, nil
+			})
+		})
+	}
+}
+
+func TestConformanceChannel(t *testing.T) {
+	for name, spec := range specs() {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			collecttest.Run(t, spec, func(t *testing.T) (collect.Collector, func()) {
+				report, numeric := spec.Reporters()
+				ch := collect.NewChannel(spec.N, report, numeric)
+				return ch, ch.Close
+			})
+		})
+	}
+}
+
+func TestSinkKindMismatch(t *testing.T) {
+	numeric := collect.Contribution{Numeric: true, Value: 0.5}
+	freq := collect.Contribution{Report: fo.Report{Kind: fo.KindValue, Value: 1}}
+
+	if err := (&collect.SliceSink{}).Absorb(numeric); err == nil {
+		t.Error("SliceSink absorbed a numeric contribution")
+	}
+	if err := (&collect.MeanSink{}).Absorb(freq); err == nil {
+		t.Error("MeanSink absorbed a frequency report")
+	}
+	agg, err := fo.NewGRR(2).NewAggregator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (collect.AggregatorSink{Agg: agg}).Absorb(numeric); err == nil {
+		t.Error("AggregatorSink absorbed a numeric contribution")
+	}
+}
+
+func TestContributionSize(t *testing.T) {
+	if got := (collect.Contribution{Numeric: true, Value: 1}).Size(); got != 8 {
+		t.Errorf("numeric contribution size %d, want 8", got)
+	}
+	r := fo.Report{Kind: fo.KindValue, Value: 3}
+	if got := (collect.Contribution{Report: r}).Size(); got != r.Size() {
+		t.Errorf("frequency contribution size %d, want %d", got, r.Size())
+	}
+}
+
+func TestMeanSink(t *testing.T) {
+	s := &collect.MeanSink{}
+	if s.Mean() != 0 {
+		t.Error("empty mean not 0")
+	}
+	for _, v := range []float64{1, 2, 3} {
+		if err := s.Absorb(collect.Contribution{Numeric: true, Value: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Count() != 3 || s.Mean() != 2 || s.Sum() != 6 {
+		t.Errorf("mean sink state: count=%d sum=%v mean=%v", s.Count(), s.Sum(), s.Mean())
+	}
+}
+
+func TestEnvAccounting(t *testing.T) {
+	spec := collecttest.Spec{N: 10, Oracle: fo.NewGRR(4), BaseSeed: 7, Numeric: true}
+	report, numeric := spec.Reporters()
+	env := collect.NewEnv(&collect.Sim{Users: spec.N, Report: report, NumericReport: numeric})
+
+	var observed int
+	env.Observer = func(t int, users []int, eps float64) { observed++ }
+
+	env.Advance(1)
+	reports, err := env.Collect(nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != spec.N {
+		t.Fatalf("collected %d reports, want %d", len(reports), spec.N)
+	}
+	agg, err := spec.Oracle.NewAggregator(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.CollectStream([]int{1, 2, 3}, 1.0, agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Reports() != 3 {
+		t.Fatalf("streamed %d reports, want 3", agg.Reports())
+	}
+	env.Advance(2)
+	if _, count, err := env.CollectMean([]int{0, 4}, 1.0); err != nil || count != 2 {
+		t.Fatalf("CollectMean: count=%d err=%v", count, err)
+	}
+	if observed != 3 {
+		t.Fatalf("observer saw %d rounds, want 3", observed)
+	}
+	stats := env.Stats()
+	if stats.N != spec.N || stats.Timestamps != 2 || stats.Reports != int64(spec.N+3+2) || stats.Bytes == 0 {
+		t.Fatalf("comm stats: %+v", stats)
+	}
+	// Invalid rounds error before reaching the observer or the backend.
+	if _, err := env.Collect(nil, 0); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+	if _, err := env.Collect([]int{99}, 1); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	if observed != 3 {
+		t.Fatalf("observer saw invalid rounds: %d", observed)
+	}
+}
+
+func TestChannelErrorPaths(t *testing.T) {
+	// No numeric reporter: numeric rounds error cleanly.
+	ch := collect.NewChannel(4, func(u, ts int, eps float64) fo.Report {
+		return fo.Report{Kind: fo.KindValue, Value: 0}
+	}, nil)
+	defer ch.Close()
+	err := ch.Collect(collect.Request{T: 1, Eps: 1, Numeric: true}, &collect.MeanSink{})
+	if err == nil || !strings.Contains(err.Error(), "numeric") {
+		t.Fatalf("numeric round without reporter: %v", err)
+	}
+	// The backend stays usable after a failed round.
+	if err := ch.Collect(collect.Request{T: 2, Eps: 1}, &collect.SliceSink{}); err != nil {
+		t.Fatalf("frequency round after failed numeric round: %v", err)
+	}
+
+	// Collect on a closed backend errors instead of hanging.
+	ch2 := collect.NewChannel(2, nil, nil)
+	ch2.Close()
+	if err := ch2.Collect(collect.Request{T: 1, Eps: 1}, &collect.SliceSink{}); err == nil {
+		t.Fatal("collect on closed backend succeeded")
+	}
+}

@@ -1,0 +1,114 @@
+package collect
+
+import (
+	"ldpids/internal/comm"
+	"ldpids/internal/fo"
+)
+
+// Env drives a Collector one timestamp at a time and adapts it to the
+// mechanism-facing collection interfaces: it satisfies mechanism.Env and
+// mechanism.StreamEnv (frequency mechanisms) and numeric.Env (mean
+// mechanisms), layering communication accounting and an optional per-round
+// observer on top of any backend. The driver calls Advance once per
+// timestamp before the mechanism's Step.
+type Env struct {
+	// Observer, when non-nil, is invoked with every validated collection
+	// round before it reaches the backend. The privacy accountant hooks in
+	// here.
+	Observer func(t int, users []int, eps float64)
+
+	c       Collector
+	counter *comm.Counter
+	t       int
+}
+
+// NewEnv returns an Env over the given backend.
+func NewEnv(c Collector) *Env {
+	return &Env{c: c, counter: comm.NewCounter(c.N())}
+}
+
+// Advance moves the environment to timestamp t and opens a new
+// communication accounting period.
+func (e *Env) Advance(t int) {
+	e.t = t
+	e.counter.BeginTimestamp()
+}
+
+// T implements mechanism.Env and numeric.Env.
+func (e *Env) T() int { return e.t }
+
+// N implements mechanism.Env and numeric.Env.
+func (e *Env) N() int { return e.c.N() }
+
+// Backend returns the underlying Collector.
+func (e *Env) Backend() Collector { return e.c }
+
+// Stats returns the accumulated communication statistics.
+func (e *Env) Stats() comm.Stats { return e.counter.Stats() }
+
+// countingSink tracks report and byte totals on the way into the wrapped
+// sink, feeding the communication accountant.
+type countingSink struct {
+	inner   Sink
+	reports int
+	bytes   int
+}
+
+func (s *countingSink) Absorb(c Contribution) error {
+	if err := s.inner.Absorb(c); err != nil {
+		return err
+	}
+	s.reports++
+	s.bytes += c.Size()
+	return nil
+}
+
+func (s *countingSink) Count() int { return s.reports }
+
+// collect runs one validated, observed, accounted round through the
+// backend.
+func (e *Env) collect(users []int, eps float64, numeric bool, sink Sink) error {
+	req := Request{T: e.t, Users: users, Eps: eps, Numeric: numeric}
+	if err := req.Validate(e.c.N()); err != nil {
+		return err
+	}
+	if e.Observer != nil {
+		e.Observer(e.t, users, eps)
+	}
+	cs := &countingSink{inner: sink}
+	if err := e.c.Collect(req, cs); err != nil {
+		return err
+	}
+	e.counter.Observe(cs.reports, cs.bytes)
+	return nil
+}
+
+// Collect implements mechanism.Env by materializing the round's reports.
+func (e *Env) Collect(users []int, eps float64) ([]fo.Report, error) {
+	n := len(users)
+	if users == nil {
+		n = e.c.N()
+	}
+	sink := &SliceSink{Reports: make([]fo.Report, 0, n)}
+	if err := e.collect(users, eps, false, sink); err != nil {
+		return nil, err
+	}
+	return sink.Reports, nil
+}
+
+// CollectStream implements mechanism.StreamEnv: each report folds straight
+// into agg, so a full-population round allocates no O(n) report buffer.
+func (e *Env) CollectStream(users []int, eps float64, agg fo.Aggregator) error {
+	return e.collect(users, eps, false, AggregatorSink{Agg: agg})
+}
+
+// CollectMean implements numeric.Env: a numeric round folded into a mean
+// accumulator. It returns the mean of the perturbed values and the
+// contribution count.
+func (e *Env) CollectMean(users []int, eps float64) (mean float64, count int, err error) {
+	sink := &MeanSink{}
+	if err := e.collect(users, eps, true, sink); err != nil {
+		return 0, 0, err
+	}
+	return sink.Mean(), sink.Count(), nil
+}

@@ -1,0 +1,48 @@
+package collect
+
+import (
+	"fmt"
+
+	"ldpids/internal/fo"
+)
+
+// Sim is the in-process simulation backend: it calls the report closures
+// synchronously for each requested user, in request order. It is the
+// reference implementation of Collector — the conformance suite compares
+// every other backend against it — and the backbone of mechanism.Runner
+// and numeric.RunMean. The closures own the users' true values and
+// perturbation randomness; only perturbed contributions cross the boundary.
+type Sim struct {
+	// Users is the population size.
+	Users int
+	// Report produces user u's perturbed frequency report at timestamp t
+	// with budget eps (nil disables frequency rounds).
+	Report func(u, t int, eps float64) fo.Report
+	// NumericReport produces user u's perturbed real value (nil disables
+	// numeric rounds).
+	NumericReport func(u, t int, eps float64) float64
+}
+
+// N implements Collector.
+func (s *Sim) N() int { return s.Users }
+
+// Collect implements Collector: users are visited synchronously in request
+// order, so runs driven through Sim are fully deterministic even with a
+// single shared randomness source.
+func (s *Sim) Collect(req Request, sink Sink) error {
+	if err := req.Validate(s.Users); err != nil {
+		return err
+	}
+	if req.Numeric && s.NumericReport == nil {
+		return fmt.Errorf("collect: sim backend has no numeric reporter")
+	}
+	if !req.Numeric && s.Report == nil {
+		return fmt.Errorf("collect: sim backend has no frequency reporter")
+	}
+	return req.forEachUser(s.Users, func(u int) error {
+		if req.Numeric {
+			return sink.Absorb(Contribution{Numeric: true, Value: s.NumericReport(u, req.T, req.Eps)})
+		}
+		return sink.Absorb(Contribution{Report: s.Report(u, req.T, req.Eps)})
+	})
+}

@@ -7,10 +7,12 @@ import "fmt"
 
 // AblationFO swaps the frequency oracle under the best adaptive method on
 // each dataset family: MRE of LPA with GRR vs OUE vs SUE vs OLH (ε = 1,
-// w = 20). GRR should win on d = 2; OUE/OLH should close the gap (or win)
-// on the large-domain traces.
+// w = 20), plus the bit-packed unary wire formats, which must match their
+// unpacked counterparts' accuracy while shrinking reports ~8x. GRR should
+// win on d = 2; OUE/OLH should close the gap (or win) on the large-domain
+// traces.
 func (c *Config) AblationFO() ([]Table, error) {
-	oracles := []string{"GRR", "OUE", "SUE", "OLH"}
+	oracles := []string{"GRR", "OUE", "SUE", "OLH", "OUE-packed", "SUE-packed"}
 	datasets := []string{"Sin", "Taxi", "Foursquare"}
 	if len(c.Datasets) > 0 {
 		datasets = c.Datasets

@@ -22,7 +22,8 @@ type RunSpec struct {
 	Eps float64
 	// W is the window size.
 	W int
-	// Oracle names the frequency oracle ("GRR", "OUE", "SUE", "OLH");
+	// Oracle names the frequency oracle ("GRR", "OUE", "SUE", "OLH", or
+	// the bit-packed unary variants "OUE-packed", "SUE-packed");
 	// empty selects GRR, matching the paper's analysis.
 	Oracle string
 	// Seed makes the run replayable (mechanism + perturbation noise).

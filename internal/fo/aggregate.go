@@ -85,15 +85,51 @@ func finishEstimate(counts []int64, n int, p, q float64) ([]float64, error) {
 	return est, nil
 }
 
+// countCore is the counter state shared by every built-in aggregator: raw
+// per-element counts, the report total, and the scheme's (p, q)
+// probabilities. Keeping it in one place gives all schemes a common
+// Estimate finish and lets ShardedAggregator merge per-shard counters
+// exactly (integer addition commutes, so shard layout cannot change the
+// estimate).
+type countCore struct {
+	p, q   float64
+	n      int
+	counts []int64
+}
+
+// Reports implements the corresponding Aggregator method for embedders.
+func (c *countCore) Reports() int { return c.n }
+
+// Estimate implements the corresponding Aggregator method for embedders.
+func (c *countCore) Estimate() ([]float64, error) {
+	return finishEstimate(c.counts, c.n, c.p, c.q)
+}
+
+// core exposes the counter state to ShardedAggregator.
+func (c *countCore) core() *countCore { return c }
+
+// mergeFrom folds another shard's counters into c.
+func (c *countCore) mergeFrom(o *countCore) {
+	c.n += o.n
+	for k, v := range o.counts {
+		c.counts[k] += v
+	}
+}
+
+// coreAggregator is satisfied by the built-in aggregators; ShardedAggregator
+// needs it to merge per-shard counters at Estimate time.
+type coreAggregator interface {
+	Aggregator
+	core() *countCore
+}
+
 // ---------------------------------------------------------------------------
 // GRR aggregator.
 // ---------------------------------------------------------------------------
 
 type grrAggregator struct {
-	d      int
-	p, q   float64
-	n      int
-	counts []int64
+	d int
+	countCore
 }
 
 // NewAggregator implements Oracle.
@@ -102,7 +138,7 @@ func (g *GRR) NewAggregator(eps float64) (Aggregator, error) {
 		return nil, ErrBadEpsilon
 	}
 	p, q := g.probs(eps)
-	return &grrAggregator{d: g.d, p: p, q: q, counts: make([]int64, g.d)}, nil
+	return &grrAggregator{d: g.d, countCore: countCore{p: p, q: q, counts: make([]int64, g.d)}}, nil
 }
 
 func (a *grrAggregator) Add(r Report) error {
@@ -117,22 +153,14 @@ func (a *grrAggregator) Add(r Report) error {
 	return nil
 }
 
-func (a *grrAggregator) Reports() int { return a.n }
-
-func (a *grrAggregator) Estimate() ([]float64, error) {
-	return finishEstimate(a.counts, a.n, a.p, a.q)
-}
-
 // ---------------------------------------------------------------------------
 // Unary (OUE/SUE) aggregator: accepts both wire formats.
 // ---------------------------------------------------------------------------
 
 type unaryAggregator struct {
-	d      int
-	name   string
-	p, q   float64
-	n      int
-	counts []int64
+	d    int
+	name string
+	countCore
 }
 
 // NewAggregator implements Oracle for both unary schemes. The aggregator
@@ -145,7 +173,7 @@ func (u *unary) NewAggregator(eps float64) (Aggregator, error) {
 		return nil, ErrBadEpsilon
 	}
 	p, q := u.probs(eps)
-	return &unaryAggregator{d: u.d, name: u.name, p: p, q: q, counts: make([]int64, u.d)}, nil
+	return &unaryAggregator{d: u.d, name: u.name, countCore: countCore{p: p, q: q, counts: make([]int64, u.d)}}, nil
 }
 
 func (a *unaryAggregator) Add(r Report) error {
@@ -184,22 +212,14 @@ func (a *unaryAggregator) Add(r Report) error {
 	return nil
 }
 
-func (a *unaryAggregator) Reports() int { return a.n }
-
-func (a *unaryAggregator) Estimate() ([]float64, error) {
-	return finishEstimate(a.counts, a.n, a.p, a.q)
-}
-
 // ---------------------------------------------------------------------------
 // OLH aggregator.
 // ---------------------------------------------------------------------------
 
 type olhAggregator struct {
-	d      int
-	g      int
-	p, q   float64
-	n      int
-	counts []int64
+	d int
+	g int
+	countCore
 }
 
 // NewAggregator implements Oracle.
@@ -210,11 +230,13 @@ func (o *OLH) NewAggregator(eps float64) (Aggregator, error) {
 	g := o.g(eps)
 	e := math.Exp(eps)
 	return &olhAggregator{
-		d:      o.d,
-		g:      g,
-		p:      e / (e + float64(g) - 1),
-		q:      1.0 / float64(g),
-		counts: make([]int64, o.d),
+		d: o.d,
+		g: g,
+		countCore: countCore{
+			p:      e / (e + float64(g) - 1),
+			q:      1.0 / float64(g),
+			counts: make([]int64, o.d),
+		},
 	}, nil
 }
 
@@ -232,10 +254,4 @@ func (a *olhAggregator) Add(r Report) error {
 	}
 	a.n++
 	return nil
-}
-
-func (a *olhAggregator) Reports() int { return a.n }
-
-func (a *olhAggregator) Estimate() ([]float64, error) {
-	return finishEstimate(a.counts, a.n, a.p, a.q)
 }

@@ -1,0 +1,148 @@
+package fo
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ShardedAggregator fans report folding across parallel shard goroutines,
+// each owning a private counter set built from the same oracle; Estimate
+// merges the per-shard counters and finishes with the shared estimator.
+// Integer counter addition commutes, so a sharded fold is bit-identical to
+// the unsharded Aggregator on the same reports regardless of shard count
+// or scheduling — the conformance suite asserts this for every oracle.
+//
+// Use it when the per-report fold is expensive at large d (unary bit scans,
+// OLH's O(d) hash inversion): Add costs one channel send and the O(d) work
+// proceeds on the shard goroutines. Like the plain aggregators it is not
+// safe for concurrent use — serialize Add calls — and Estimate is terminal:
+// it drains the shards, and later Adds fail. Call Close when abandoning an
+// aggregator without estimating, or the shard goroutines leak.
+type ShardedAggregator struct {
+	shards []coreAggregator
+	ch     []chan Report
+	wg     sync.WaitGroup
+
+	next    int
+	added   int
+	drained bool
+	merged  bool
+
+	mu  sync.Mutex // guards err between Add callers and shard workers
+	err error
+}
+
+// errShardedDrained reports an Add after Estimate.
+var errShardedDrained = errors.New("fo: sharded aggregator already estimated")
+
+// NewShardedAggregator returns an aggregator for reports perturbed with
+// budget eps that folds across the given number of shards (shards < 1
+// selects one per CPU). The oracle's aggregator must be one of the
+// built-in counter-based implementations.
+func NewShardedAggregator(o Oracle, eps float64, shards int) (*ShardedAggregator, error) {
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	s := &ShardedAggregator{
+		shards: make([]coreAggregator, shards),
+		ch:     make([]chan Report, shards),
+	}
+	for i := range s.shards {
+		agg, err := o.NewAggregator(eps)
+		if err != nil {
+			return nil, err
+		}
+		ca, ok := agg.(coreAggregator)
+		if !ok {
+			return nil, fmt.Errorf("fo: %s aggregator %T does not support sharded merging", o.Name(), agg)
+		}
+		s.shards[i] = ca
+		s.ch[i] = make(chan Report, 128)
+		s.wg.Add(1)
+		go s.fold(i)
+	}
+	return s, nil
+}
+
+// fold is shard i's worker loop: it folds its stripe of the report stream
+// into its private counters, recording the first validation error and
+// draining the rest so Add never blocks on a poisoned shard.
+func (s *ShardedAggregator) fold(i int) {
+	defer s.wg.Done()
+	for r := range s.ch[i] {
+		if err := s.shards[i].Add(r); err != nil {
+			s.mu.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.mu.Unlock()
+			for range s.ch[i] {
+			}
+			return
+		}
+	}
+}
+
+// firstErr returns the first error recorded by any shard worker.
+func (s *ShardedAggregator) firstErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Add implements Aggregator by dispatching the report to the next shard
+// round-robin. Shape validation happens on the shard goroutine, so an
+// invalid report may surface on a later Add or at Estimate.
+func (s *ShardedAggregator) Add(r Report) error {
+	if s.drained {
+		return errShardedDrained
+	}
+	if err := s.firstErr(); err != nil {
+		return err
+	}
+	s.ch[s.next] <- r
+	s.next = (s.next + 1) % len(s.ch)
+	s.added++
+	return nil
+}
+
+// Reports implements Aggregator: the number of reports dispatched so far.
+func (s *ShardedAggregator) Reports() int { return s.added }
+
+// drain closes the shard channels and waits for the workers to exit
+// (idempotent).
+func (s *ShardedAggregator) drain() {
+	if s.drained {
+		return
+	}
+	s.drained = true
+	for _, ch := range s.ch {
+		close(ch)
+	}
+	s.wg.Wait()
+}
+
+// Close releases the shard goroutines without estimating. Estimate also
+// releases them, so Close is only needed when abandoning an aggregator
+// before Estimate (e.g. a collection round that failed mid-way); it is
+// safe to call in either order.
+func (s *ShardedAggregator) Close() { s.drain() }
+
+// Estimate implements Aggregator: it drains the shards, merges their
+// counters, and finishes with the shared unbiased estimator. Further Adds
+// fail after the first Estimate; repeated Estimates return the same result.
+func (s *ShardedAggregator) Estimate() ([]float64, error) {
+	s.drain()
+	if err := s.firstErr(); err != nil {
+		return nil, err
+	}
+	if !s.merged {
+		s.merged = true
+		for _, sh := range s.shards[1:] {
+			s.shards[0].core().mergeFrom(sh.core())
+		}
+	}
+	return s.shards[0].Estimate()
+}

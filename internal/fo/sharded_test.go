@@ -1,0 +1,205 @@
+package fo
+
+import (
+	"strings"
+	"testing"
+
+	"ldpids/internal/ldprand"
+)
+
+// foldBoth feeds identical report streams to a plain and a sharded
+// aggregator and returns both estimates.
+func foldBoth(t *testing.T, o Oracle, eps float64, shards, n int, seed uint64) (plain, sharded []float64) {
+	t.Helper()
+	pa, err := o.NewAggregator(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewShardedAggregator(o, eps, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ldprand.New(seed)
+	d := o.Domain()
+	for i := 0; i < n; i++ {
+		r := o.Perturb(i%d, eps, src)
+		if err := pa.Add(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := sa.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain, err = pa.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err = sa.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plain, sharded
+}
+
+func TestShardedConformance(t *testing.T) {
+	// Acceptance: sharded vs unsharded estimates are bit-identical for
+	// every oracle family and shard count.
+	d := 129 // exercises the packed-word tail
+	oracles := []Oracle{
+		NewGRR(d), NewOUE(d), NewSUE(d), NewOLH(d),
+		NewOUEPacked(d), NewSUEPacked(d),
+	}
+	for _, o := range oracles {
+		for _, shards := range []int{1, 3, 8} {
+			plain, sharded := foldBoth(t, o, 1.0, shards, 500, 42)
+			for k := range plain {
+				if plain[k] != sharded[k] {
+					t.Fatalf("%s shards=%d: estimate diverged at k=%d: %v != %v",
+						o.Name(), shards, k, sharded[k], plain[k])
+				}
+			}
+		}
+	}
+}
+
+func TestShardedReportsAndTerminalEstimate(t *testing.T) {
+	o := NewOUEPacked(256)
+	sa, err := NewShardedAggregator(o, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ldprand.New(7)
+	for i := 0; i < 40; i++ {
+		if err := sa.Add(o.Perturb(i%256, 1.0, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sa.Reports() != 40 {
+		t.Fatalf("Reports() = %d, want 40", sa.Reports())
+	}
+	a, err := sa.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sa.Estimate() // repeated Estimate is stable
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatal("repeated Estimate changed the result")
+		}
+	}
+	if err := sa.Add(Report{Kind: KindValue}); err == nil {
+		t.Fatal("Add after Estimate accepted")
+	}
+}
+
+func TestShardedSurfacesShardErrors(t *testing.T) {
+	o := NewGRR(4)
+	sa, err := NewShardedAggregator(o, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A report of the wrong kind poisons its shard; the error must surface
+	// at Estimate (and on later Adds), never hang.
+	if err := sa.Add(Report{Kind: KindUnary, Bits: make([]byte, 4)}); err != nil {
+		t.Fatalf("async Add returned validation error early: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := sa.Add(Report{Kind: KindValue, Value: i % 4}); err != nil {
+			break // error surfaced on a later Add: acceptable
+		}
+	}
+	if _, err := sa.Estimate(); err == nil || !strings.Contains(err.Error(), "GRR aggregator") {
+		t.Fatalf("shard error not surfaced at Estimate: %v", err)
+	}
+}
+
+func TestShardedClose(t *testing.T) {
+	o := NewGRR(3)
+	sa, err := NewShardedAggregator(o, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ldprand.New(11)
+	for i := 0; i < 10; i++ {
+		if err := sa.Add(o.Perturb(i%3, 1.0, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa.Close()
+	sa.Close() // idempotent
+	if err := sa.Add(Report{Kind: KindValue}); err == nil {
+		t.Fatal("Add after Close accepted")
+	}
+	// Estimate after Close still merges and finishes.
+	est, err := sa.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := foldBothReference(t, o, 1.0, 10, 11)
+	for k := range want {
+		if est[k] != want[k] {
+			t.Fatalf("estimate after Close diverged at k=%d", k)
+		}
+	}
+}
+
+// foldBothReference folds the same deterministic report stream into a
+// plain aggregator.
+func foldBothReference(t *testing.T, o Oracle, eps float64, n int, seed uint64) ([]float64, error) {
+	t.Helper()
+	pa, err := o.NewAggregator(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ldprand.New(seed)
+	d := o.Domain()
+	for i := 0; i < n; i++ {
+		if err := pa.Add(o.Perturb(i%d, eps, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pa.Estimate()
+}
+
+func TestShardedEmpty(t *testing.T) {
+	sa, err := NewShardedAggregator(NewGRR(2), 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.Estimate(); err != ErrNoReports {
+		t.Fatalf("empty sharded estimate: %v, want ErrNoReports", err)
+	}
+	if _, err := NewShardedAggregator(NewGRR(2), 0, 2); err == nil {
+		t.Fatal("bad eps accepted")
+	}
+}
+
+func BenchmarkShardedAggregator(b *testing.B) {
+	const d = 4096
+	o := NewOUEPacked(d)
+	src := ldprand.New(3)
+	reports := make([]Report, 2000)
+	for i := range reports {
+		reports[i] = o.Perturb(i%d, 1.0, src)
+	}
+	for _, shards := range []int{1, 4} {
+		name := "shards=1"
+		if shards == 4 {
+			name = "shards=4"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sa, _ := NewShardedAggregator(o, 1.0, shards)
+				for _, r := range reports {
+					_ = sa.Add(r)
+				}
+				if _, err := sa.Estimate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

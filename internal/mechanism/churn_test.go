@@ -104,13 +104,13 @@ func TestChurnLPARunsUnderHeavyChurn(t *testing.T) {
 	acct := privacy.NewAccountant(1, w, n, root.Split())
 	churnSrc := root.Split()
 
-	env := &simEnv{n: n, oracle: oracle, src: root.Split(),
-		counter: newTestCounter(n), acct: acct}
+	var current []int
+	env := newSimEnv(n, oracle, root.Split(), &current, acct)
 	buf := make([]int, n)
 	for ts := 1; ts <= T; ts++ {
 		vals, _ := s.Next(buf)
-		env.t = ts
-		env.current = vals
+		current = vals
+		env.Advance(ts)
 		// 2% of users leave and 2% rejoin every timestamp.
 		for i := 0; i < n/50; i++ {
 			m.Pool().Leave(churnSrc.Intn(n))

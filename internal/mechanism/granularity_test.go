@@ -71,8 +71,9 @@ func TestUserLevelFiniteHorizon(t *testing.T) {
 		t.Fatalf("within horizon: %v", err)
 	}
 	// The 11th step must fail: budget exhausted.
-	env := &simEnv{n: n, oracle: oracle, src: root.Split(),
-		counter: newTestCounter(n), current: make([]int, n), t: 11}
+	current := make([]int, n)
+	env := newSimEnv(n, oracle, root.Split(), &current, nil)
+	env.Advance(11)
 	if _, err := m.Step(env); err == nil {
 		t.Fatal("user-level mechanism ran past its horizon")
 	}

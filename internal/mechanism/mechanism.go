@@ -10,9 +10,10 @@
 // abstracts "ask this set of users to perturb their current value with
 // budget ε via the frequency oracle and return the reports". The mechanism
 // never sees raw user data — only FO reports — mirroring the paper's
-// untrusted-aggregator trust model. Env implementations include the
-// in-process simulation runner in this package and the TCP transport in
-// package transport.
+// untrusted-aggregator trust model. Env is a thin view over the pluggable
+// collection layer in package collect: collect.Env satisfies it for any
+// collect.Collector backend (the in-process simulation, the in-memory
+// channel backend, or the TCP transport in package transport).
 package mechanism
 
 import (
@@ -41,8 +42,8 @@ type Env interface {
 // StreamEnv is an optional Env extension for environments that can fold
 // each report into a streaming fo.Aggregator as it arrives, keeping
 // server-side memory at O(d) counters instead of the O(n·d) report slice
-// Collect materializes. The simulation runner and the TCP transport both
-// implement it; mechanisms use it automatically through estimate.
+// Collect materializes. collect.Env implements it for every backend;
+// mechanisms use it automatically through estimate.
 type StreamEnv interface {
 	Env
 	// CollectStream behaves like Collect but adds every report to agg
@@ -82,8 +83,8 @@ type Params struct {
 	UMin int
 	// DisFraction is the fraction of the per-window resource (budget or
 	// population) devoted to the dissimilarity sub-mechanism M1; the
-	// remainder funds publications. Zero means the paper's even split
-	// of 1/2 (§5.3.3, §6.2.1). Must lie in (0, 1).
+	// remainder funds publications. Nonzero values must lie in (0, 1);
+	// zero selects the paper's even split of 1/2 (§5.3.3, §6.2.1).
 	DisFraction float64
 }
 
@@ -109,7 +110,7 @@ func (p *Params) validate() error {
 	case p.Src == nil:
 		return errors.New("mechanism: randomness source is required")
 	case p.DisFraction < 0 || p.DisFraction >= 1:
-		return fmt.Errorf("mechanism: DisFraction must lie in (0, 1), got %v", p.DisFraction)
+		return fmt.Errorf("mechanism: DisFraction must lie in (0, 1), or be 0 to select the default 1/2, got %v", p.DisFraction)
 	}
 	return nil
 }

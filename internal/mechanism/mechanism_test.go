@@ -406,8 +406,9 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestCollectRejectsBadRequests(t *testing.T) {
-	env := &simEnv{n: 10, oracle: fo.NewGRR(2), src: ldprand.New(1),
-		counter: newTestCounter(10), current: make([]int, 10)}
+	current := make([]int, 10)
+	env := newSimEnv(10, fo.NewGRR(2), ldprand.New(1), &current, nil)
+	env.Advance(1)
 	if _, err := env.Collect(nil, 0); err == nil {
 		t.Fatal("zero eps accepted")
 	}

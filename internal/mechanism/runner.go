@@ -3,6 +3,7 @@ package mechanism
 import (
 	"fmt"
 
+	"ldpids/internal/collect"
 	"ldpids/internal/comm"
 	"ldpids/internal/fo"
 	"ldpids/internal/ldprand"
@@ -10,10 +11,10 @@ import (
 	"ldpids/internal/stream"
 )
 
-// Runner drives a Mechanism over a Stream through an in-process Env,
-// collecting released histograms, ground truth, communication statistics,
-// and (optionally) a privacy audit. It is the simulation backbone used by
-// tests, examples, and the benchmark harness.
+// Runner drives a Mechanism over a Stream through the in-process collect
+// backend, collecting released histograms, ground truth, communication
+// statistics, and (optionally) a privacy audit. It is the simulation
+// backbone used by tests, examples, and the benchmark harness.
 type Runner struct {
 	Stream     stream.Stream
 	Oracle     fo.Oracle
@@ -34,86 +35,25 @@ type RunResult struct {
 	Violations []privacy.Violation
 }
 
-// simEnv implements Env over an in-memory stream snapshot.
-type simEnv struct {
-	t       int
-	n       int
-	current []int
-	oracle  fo.Oracle
-	src     *ldprand.Source
-	counter *comm.Counter
-	acct    *privacy.Accountant
-}
-
-// T implements Env.
-func (e *simEnv) T() int { return e.t }
-
-// N implements Env.
-func (e *simEnv) N() int { return e.n }
-
-// collect drives one collection round: it perturbs each listed user's
-// current value in order and hands the report to sink. The caller observes
-// comm accounting through the returned (reports, bytes) totals.
-func (e *simEnv) collect(users []int, eps float64, sink func(fo.Report) error) (count, bytes int, err error) {
-	if eps <= 0 {
-		return 0, 0, fmt.Errorf("mechanism: collect with non-positive eps %v", eps)
+// newSimEnv wires the in-process simulation environment Runner.Run uses: a
+// collect.Sim backend whose users perturb the snapshot behind *current with
+// the shared source, adapted through a collect.Env. Callers update *current
+// and call env.Advance once per timestamp. The per-user perturbation order
+// and randomness match the historical simulation exactly.
+func newSimEnv(n int, oracle fo.Oracle, src *ldprand.Source, current *[]int, acct *privacy.Accountant) *collect.Env {
+	sim := &collect.Sim{
+		Users: n,
+		Report: func(u, _ int, eps float64) fo.Report {
+			return oracle.Perturb((*current)[u], eps, src)
+		},
 	}
-	if e.acct != nil {
-		e.acct.Observe(e.t, users, eps, e.n)
-	}
-	one := func(u int) error {
-		r := e.oracle.Perturb(e.current[u], eps, e.src)
-		count++
-		bytes += r.Size()
-		return sink(r)
-	}
-	if users == nil {
-		for u := 0; u < e.n; u++ {
-			if err := one(u); err != nil {
-				return 0, 0, err
-			}
-		}
-	} else {
-		for _, u := range users {
-			if u < 0 || u >= e.n {
-				return 0, 0, fmt.Errorf("mechanism: collect from unknown user %d", u)
-			}
-			if err := one(u); err != nil {
-				return 0, 0, err
-			}
+	env := collect.NewEnv(sim)
+	if acct != nil {
+		env.Observer = func(t int, users []int, eps float64) {
+			acct.Observe(t, users, eps, n)
 		}
 	}
-	return count, bytes, nil
-}
-
-// Collect implements Env by materializing the round's reports.
-func (e *simEnv) Collect(users []int, eps float64) ([]fo.Report, error) {
-	n := e.n
-	if users != nil {
-		n = len(users)
-	}
-	reports := make([]fo.Report, 0, n)
-	count, bytes, err := e.collect(users, eps, func(r fo.Report) error {
-		reports = append(reports, r)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	e.counter.Observe(count, bytes)
-	return reports, nil
-}
-
-// CollectStream implements StreamEnv: each report is folded straight into
-// agg, so a full-population round allocates no O(n) report buffer. The
-// per-user perturbation order and randomness are identical to Collect.
-func (e *simEnv) CollectStream(users []int, eps float64, agg fo.Aggregator) error {
-	count, bytes, err := e.collect(users, eps, agg.Add)
-	if err != nil {
-		return err
-	}
-	e.counter.Observe(count, bytes)
-	return nil
+	return env
 }
 
 // Run executes m over at most T timestamps of the runner's stream and
@@ -121,13 +61,8 @@ func (e *simEnv) CollectStream(users []int, eps float64, agg fo.Aggregator) erro
 func (r *Runner) Run(m Mechanism, T int) (*RunResult, error) {
 	d := r.Stream.Domain()
 	n := r.Stream.N()
-	env := &simEnv{
-		n:       n,
-		oracle:  r.Oracle,
-		src:     r.Src,
-		counter: comm.NewCounter(n),
-		acct:    r.Accountant,
-	}
+	var current []int
+	env := newSimEnv(n, r.Oracle, r.Src, &current, r.Accountant)
 	res := &RunResult{}
 	buf := make([]int, n)
 	for t := 1; t <= T; t++ {
@@ -135,9 +70,8 @@ func (r *Runner) Run(m Mechanism, T int) (*RunResult, error) {
 		if !ok {
 			break
 		}
-		env.t = t
-		env.current = vals
-		env.counter.BeginTimestamp()
+		current = vals
+		env.Advance(t)
 		release, err := m.Step(env)
 		if err != nil {
 			return nil, fmt.Errorf("mechanism %s at t=%d: %w", m.Name(), t, err)
@@ -149,7 +83,7 @@ func (r *Runner) Run(m Mechanism, T int) (*RunResult, error) {
 		res.Released = append(res.Released, release)
 		res.True = append(res.True, stream.Histogram(vals, d))
 	}
-	res.Comm = env.counter.Stats()
+	res.Comm = env.Stats()
 	if r.Accountant != nil {
 		res.Violations = r.Accountant.Check(1e-9)
 	}

@@ -7,7 +7,10 @@
 // Two standard one-dimensional LDP mean perturbers are provided — Duchi et
 // al.'s binary mechanism and the Piecewise Mechanism (PM) of Wang et al. —
 // plus streaming mean mechanisms that port the paper's population-division
-// framework (uniform and absorption variants) to the numeric setting.
+// framework (uniform and absorption variants) to the numeric setting. Mean
+// mechanisms step through a backend-agnostic Env, so they run over any
+// collect.Collector — the in-process simulation, the in-memory channel
+// backend, or the TCP transport.
 package numeric
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"ldpids/internal/collect"
 	"ldpids/internal/ldprand"
 	"ldpids/internal/window"
 )
@@ -209,15 +213,31 @@ func Mean(xs []float64) float64 {
 // Streaming mean mechanisms under w-event LDP (population division).
 // ---------------------------------------------------------------------------
 
+// Env is the world a mean mechanism interacts with at one timestamp: the
+// user population reachable through a numeric LDP perturber. collect.Env
+// satisfies it for any collect.Collector backend, so the same mechanism
+// runs over the in-process simulation, the in-memory channel backend, or
+// the TCP transport.
+type Env interface {
+	// T returns the current (1-based) timestamp.
+	T() int
+	// N returns the total user population size.
+	N() int
+	// CollectMean asks the given users (nil means all) to perturb their
+	// current value with budget eps and returns the mean of the perturbed
+	// contributions together with the contribution count.
+	CollectMean(users []int, eps float64) (mean float64, count int, err error)
+}
+
 // MeanMechanism releases one mean estimate per timestamp under w-event
-// ε-LDP.
+// ε-LDP. Step must be called once per timestamp, in order; the mechanism
+// only ever sees perturbed contributions through env.
 type MeanMechanism interface {
 	// Name returns the method's short name.
 	Name() string
-	// Step consumes the next timestamp's true values (the simulation
-	// holds them; only perturbed values feed the estimate) and returns
-	// the released mean.
-	Step(vals []float64) float64
+	// Step processes the next timestamp through env and returns the
+	// released mean.
+	Step(env Env) (float64, error)
 }
 
 // MeanParams configures a streaming mean mechanism.
@@ -240,18 +260,6 @@ func (p *MeanParams) validate() error {
 		p.Perturber = BestPerturber(p.Eps)
 	}
 	return nil
-}
-
-// meanOf collects perturbed reports from the users at indices ids.
-func meanOf(vals []float64, ids []int, pert Perturber, eps float64, src *ldprand.Source) float64 {
-	if len(ids) == 0 {
-		return 0
-	}
-	s := 0.0
-	for _, u := range ids {
-		s += pert.Perturb(vals[u], eps, src)
-	}
-	return s / float64(len(ids))
 }
 
 // MeanLPU is the population-uniform streaming mean: w disjoint groups,
@@ -282,10 +290,11 @@ func NewMeanLPU(p MeanParams) (*MeanLPU, error) {
 func (m *MeanLPU) Name() string { return "MeanLPU" }
 
 // Step implements MeanMechanism.
-func (m *MeanLPU) Step(vals []float64) float64 {
+func (m *MeanLPU) Step(env Env) (float64, error) {
 	g := m.t % m.p.W
 	m.t++
-	return meanOf(vals, m.groups[g], m.p.Perturber, m.p.Eps, m.p.Src)
+	mean, _, err := env.CollectMean(m.groups[g], m.p.Eps)
+	return mean, err
 }
 
 // MeanLPA ports the population-absorption strategy (Algorithm 4) to mean
@@ -363,28 +372,34 @@ func NewMeanLPA(p MeanParams) (*MeanLPA, error) {
 func (m *MeanLPA) Name() string { return "MeanLPA" }
 
 // Step implements MeanMechanism.
-func (m *MeanLPA) Step(vals []float64) float64 {
+func (m *MeanLPA) Step(env Env) (float64, error) {
 	m.t++
 	// M1: dissimilarity estimate, debiased by the estimator variance.
 	u1 := m.pool.draw(m.t, m.m1Size)
-	est := meanOf(vals, u1, m.p.Perturber, m.p.Eps, m.p.Src)
+	est, _, err := env.CollectMean(u1, m.p.Eps)
+	if err != nil {
+		return 0, err
+	}
 	estVar := m.p.Perturber.WorstVariance(m.p.Eps) / float64(len(u1))
 	dis := (est-m.last)*(est-m.last) - estVar
 
-	release := m.step2(vals, dis)
+	release, err := m.step2(env, dis)
+	if err != nil {
+		return 0, err
+	}
 	if m.t >= m.p.W {
 		m.pool.recycle(m.t - m.p.W + 1)
 	}
-	return release
+	return release, nil
 }
 
-func (m *MeanLPA) step2(vals []float64, dis float64) float64 {
+func (m *MeanLPA) step2(env Env, dis float64) (float64, error) {
 	tN := 0
 	if m.lastPubUsers > 0 {
 		tN = m.lastPubUsers/m.pubUnit - 1
 	}
 	if m.lastPub > 0 && m.t-m.lastPub <= tN {
-		return m.last
+		return m.last, nil
 	}
 	tA := m.t - (m.lastPub + tN)
 	if tA > m.p.W {
@@ -397,24 +412,59 @@ func (m *MeanLPA) step2(vals []float64, dis float64) float64 {
 	}
 	if dis > errPub {
 		u2 := m.pool.draw(m.t, nPP)
-		m.last = meanOf(vals, u2, m.p.Perturber, m.p.Eps, m.p.Src)
+		mean, count, err := env.CollectMean(u2, m.p.Eps)
+		if err != nil {
+			return 0, err
+		}
+		m.last = mean
 		m.lastPub = m.t
-		m.lastPubUsers = len(u2)
+		m.lastPubUsers = count
 	}
-	return m.last
+	return m.last, nil
 }
 
-// RunMean drives a mean mechanism over T timestamps of a numeric stream,
-// returning released and true mean series.
-func RunMean(m MeanMechanism, s Stream, T int) (released, truth []float64) {
+// SimEnv returns an in-process collect environment for mean mechanisms:
+// user u perturbs the value behind (*current)[u] with p's perturber and
+// randomness. Callers update *current and call Advance once per timestamp.
+// Pass the same MeanParams the mechanism was built with so the
+// perturbation randomness is shared with its sampling source, keeping runs
+// deterministic.
+func SimEnv(p MeanParams, current *[]float64) (*collect.Env, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	sim := &collect.Sim{
+		Users: p.N,
+		NumericReport: func(u, _ int, eps float64) float64 {
+			return p.Perturber.Perturb((*current)[u], eps, p.Src)
+		},
+	}
+	return collect.NewEnv(sim), nil
+}
+
+// RunMean drives a mean mechanism over T timestamps of a numeric stream
+// through the in-process backend, returning released and true mean series.
+// p is normally the same MeanParams the mechanism was constructed with.
+func RunMean(m MeanMechanism, s Stream, T int, p MeanParams) (released, truth []float64, err error) {
+	var current []float64
+	env, err := SimEnv(p, &current)
+	if err != nil {
+		return nil, nil, err
+	}
 	buf := make([]float64, s.N())
-	for t := 0; t < T; t++ {
+	for t := 1; t <= T; t++ {
 		vals, ok := s.Next(buf)
 		if !ok {
 			break
 		}
-		released = append(released, m.Step(vals))
+		current = vals
+		env.Advance(t)
+		r, err := m.Step(env)
+		if err != nil {
+			return nil, nil, fmt.Errorf("numeric: %s at t=%d: %w", m.Name(), t, err)
+		}
+		released = append(released, r)
 		truth = append(truth, Mean(vals))
 	}
-	return released, truth
+	return released, truth, nil
 }

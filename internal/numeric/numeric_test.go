@@ -152,11 +152,15 @@ func TestMeanLPUTracksTruth(t *testing.T) {
 	root := ldprand.New(37)
 	n := 20000
 	s := NewWalkStream(n, 0.001, 0.3, 0.05, root.Split())
-	m, err := NewMeanLPU(MeanParams{Eps: 1, W: 10, N: n, Src: root.Split()})
+	p := MeanParams{Eps: 1, W: 10, N: n, Src: root.Split()}
+	m, err := NewMeanLPU(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	released, truth := RunMean(m, s, 100)
+	released, truth, err := RunMean(m, s, 100, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(released) != 100 {
 		t.Fatal("run length")
 	}
@@ -173,9 +177,13 @@ func TestMeanLPUTracksTruth(t *testing.T) {
 func TestMeanLPABeatsLPUOnFlatStream(t *testing.T) {
 	root := ldprand.New(41)
 	n := 20000
-	run := func(mk func() MeanMechanism) float64 {
+	run := func(mk func() (MeanMechanism, MeanParams)) float64 {
 		s := NewWalkStream(n, 0.0001, 0.0, 0, ldprand.New(43).Split())
-		released, truth := RunMean(mk(), s, 150)
+		m, p := mk()
+		released, truth, err := RunMean(m, s, 150, p)
+		if err != nil {
+			t.Fatal(err)
+		}
 		mse := 0.0
 		for i := range released {
 			d := released[i] - truth[i]
@@ -183,13 +191,15 @@ func TestMeanLPABeatsLPUOnFlatStream(t *testing.T) {
 		}
 		return mse / float64(len(released))
 	}
-	lpu := run(func() MeanMechanism {
-		m, _ := NewMeanLPU(MeanParams{Eps: 1, W: 20, N: n, Src: root.Split()})
-		return m
+	lpu := run(func() (MeanMechanism, MeanParams) {
+		p := MeanParams{Eps: 1, W: 20, N: n, Src: root.Split()}
+		m, _ := NewMeanLPU(p)
+		return m, p
 	})
-	lpa := run(func() MeanMechanism {
-		m, _ := NewMeanLPA(MeanParams{Eps: 1, W: 20, N: n, Src: root.Split()})
-		return m
+	lpa := run(func() (MeanMechanism, MeanParams) {
+		p := MeanParams{Eps: 1, W: 20, N: n, Src: root.Split()}
+		m, _ := NewMeanLPA(p)
+		return m, p
 	})
 	if lpa >= lpu {
 		t.Fatalf("MeanLPA MSE %v should beat MeanLPU %v on a flat stream", lpa, lpu)
@@ -204,11 +214,15 @@ func TestMeanLPAUserOncePerWindow(t *testing.T) {
 	root := ldprand.New(47)
 	n, w := 4000, 8
 	s := NewWalkStream(n, 0.01, 0.3, 0.1, root.Split())
-	m, err := NewMeanLPA(MeanParams{Eps: 1, W: w, N: n, Src: root.Split()})
+	p := MeanParams{Eps: 1, W: w, N: n, Src: root.Split()}
+	m, err := NewMeanLPA(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	released, _ := RunMean(m, s, 200)
+	released, _, err := RunMean(m, s, 200, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(released) != 200 {
 		t.Fatal("mechanism stalled (pool exhaustion?)")
 	}

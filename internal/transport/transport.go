@@ -1,12 +1,24 @@
 // Package transport runs the LDP-IDS collection protocol over real TCP
-// connections: an aggregator (Server) implements mechanism.Env by issuing
-// report requests to registered user clients, each of which perturbs its
-// current value locally — raw values never leave the client process. The
-// wire format is length-delimited gob.
+// connections: the aggregator (Server) implements collect.Collector by
+// fanning batched report requests out to registered user clients, each of
+// which perturbs its values locally — raw values never leave the client
+// process. Drive mechanisms over it through collect.NewEnv(server).
 //
-// This is the distributed counterpart of the in-process simulation runner;
-// cmd/ldpids-server and cmd/ldpids-client wire it into a runnable demo, and
-// the package tests exercise the full protocol over loopback.
+// The wire format is length-delimited gob. One connection can host many
+// users (a client process registers a contiguous id range), and the server
+// sends a single batched request per connection per round, so a simulated
+// population of thousands of users costs a handful of round-trips per
+// timestamp instead of one per user. Both frequency rounds (fo.Report) and
+// numeric mean rounds (perturbed float64) travel over the same protocol.
+//
+// Failure paths surface as errors, never hangs: registration conflicts are
+// rejected with an explicit ack, per-round exchanges honor Server.Timeout,
+// and a connection that dies mid-round is dropped from the registry so the
+// next round fails fast.
+//
+// cmd/ldpids-server and cmd/ldpids-client wire the package into a runnable
+// demo; the package tests exercise the full protocol — including the
+// backend conformance suite — over loopback.
 package transport
 
 import (
@@ -17,63 +29,93 @@ import (
 	"sync"
 	"time"
 
-	"ldpids/internal/comm"
+	"ldpids/internal/collect"
 	"ldpids/internal/fo"
 )
 
-// hello is the registration message a client sends on connect.
+// DefaultTimeout bounds each per-connection round-trip (and registration
+// handshake) unless Server.Timeout overrides it.
+const DefaultTimeout = 30 * time.Second
+
+// hello is the registration message a client sends on connect: it claims
+// the contiguous user id range [First, First+Count).
 type hello struct {
-	ID int
+	First int
+	Count int
 }
 
-// request asks a client to report its value at timestamp T with budget Eps.
+// helloAck answers a registration. A non-empty Err means the claim was
+// rejected (id out of range, or already registered).
+type helloAck struct {
+	Err string
+}
+
+// request asks a connection to report for its listed users at timestamp T
+// with budget Eps. Users holds absolute ids, all owned by the connection.
+// Numeric selects a numeric mean round instead of a frequency round.
 type request struct {
-	T   int
-	Eps float64
+	T       int
+	Eps     float64
+	Users   []int
+	Numeric bool
 }
 
-// response carries one perturbed report back to the aggregator.
+// response carries one batch of perturbed contributions back to the
+// aggregator, in the same order as request.Users. A non-empty Err reports
+// a client-side failure for the whole batch.
 type response struct {
-	Report fo.Report
+	Reports []fo.Report
+	Values  []float64
+	Err     string
 }
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
 
 // Server is the aggregator side: it accepts client registrations and
-// implements mechanism.Env by fanning report requests out to clients.
+// implements collect.Collector by fanning batched report requests out to
+// client connections.
 type Server struct {
-	ln      net.Listener
-	oracle  fo.Oracle
-	counter *comm.Counter
+	// Timeout bounds each per-connection request/response exchange. Zero
+	// selects DefaultTimeout; negative disables deadlines.
+	Timeout time.Duration
 
-	mu      sync.Mutex
-	clients map[int]*clientConn
-	t       int
-	n       int
+	ln net.Listener
+	n  int
 
-	readyCh chan struct{}
+	mu         sync.Mutex
+	conns      map[int]*clientConn // user id -> owning connection
+	registered int
+	ready      bool // readyCh closed (latches across drop/re-register)
+	readyCh    chan struct{}
 }
 
-// clientConn is one registered client connection. Request/response pairs
-// are serialized per connection.
+// clientConn is one registered client connection hosting a batch of users.
+// Request/response exchanges are serialized per connection.
 type clientConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu    sync.Mutex
+	conn  net.Conn
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	first int
+	count int
 }
 
 // NewServer listens on addr (e.g. "127.0.0.1:0") for a population of n
-// users reporting through the given oracle.
-func NewServer(addr string, oracle fo.Oracle, n int) (*Server, error) {
+// users.
+func NewServer(addr string, n int) (*Server, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: population must be positive, got %d", n)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	s := &Server{
 		ln:      ln,
-		oracle:  oracle,
-		counter: comm.NewCounter(n),
-		clients: make(map[int]*clientConn),
 		n:       n,
+		conns:   make(map[int]*clientConn),
 		readyCh: make(chan struct{}),
 	}
 	go s.acceptLoop()
@@ -82,6 +124,9 @@ func NewServer(addr string, oracle fo.Oracle, n int) (*Server, error) {
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// N implements collect.Collector.
+func (s *Server) N() int { return s.n }
 
 func (s *Server) acceptLoop() {
 	for {
@@ -93,23 +138,61 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// register runs the registration handshake on a new connection: decode the
+// hello, claim the id range, and ack. Rejected connections receive the
+// reason before being closed. The connection's mutex is held from before
+// it becomes visible to Collect until the ack is on the wire, so the ack
+// always precedes the first round's request on the stream.
 func (s *Server) register(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
 	var h hello
 	if err := dec.Decode(&h); err != nil {
 		conn.Close()
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if h.ID < 0 || h.ID >= s.n || s.clients[h.ID] != nil {
+	if h.Count == 0 {
+		h.Count = 1 // single-user client
+	}
+	cc := &clientConn{conn: conn, enc: enc, dec: dec, first: h.First, count: h.Count}
+	cc.mu.Lock()
+	if err := s.claim(cc, h); err != nil {
+		cc.mu.Unlock()
+		_ = enc.Encode(helloAck{Err: err.Error()})
 		conn.Close()
 		return
 	}
-	s.clients[h.ID] = &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: dec}
-	if len(s.clients) == s.n {
+	err := enc.Encode(helloAck{})
+	cc.mu.Unlock()
+	if err != nil {
+		s.drop(cc)
+	}
+}
+
+// claim validates and records a registration under the server lock. The
+// hello comes off the network: bounds are checked without trusting the
+// arithmetic (First+Count could overflow).
+func (s *Server) claim(cc *clientConn, h hello) error {
+	if h.First < 0 || h.Count < 1 || h.First >= s.n || h.Count > s.n-h.First {
+		return fmt.Errorf("transport: id range starting at %d (count %d) outside population [0,%d)",
+			h.First, h.Count, s.n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := h.First; id < h.First+h.Count; id++ {
+		if s.conns[id] != nil {
+			return fmt.Errorf("transport: user %d already registered", id)
+		}
+	}
+	for id := h.First; id < h.First+h.Count; id++ {
+		s.conns[id] = cc
+	}
+	s.registered += h.Count
+	if s.registered == s.n && !s.ready {
+		s.ready = true
 		close(s.readyCh)
 	}
+	return nil
 }
 
 // WaitReady blocks until all n users have registered or the timeout
@@ -120,135 +203,171 @@ func (s *Server) WaitReady(timeout time.Duration) error {
 		return nil
 	case <-time.After(timeout):
 		s.mu.Lock()
-		got := len(s.clients)
+		got := s.registered
 		s.mu.Unlock()
 		return fmt.Errorf("transport: only %d/%d users registered after %v", got, s.n, timeout)
 	}
 }
 
-// Advance moves the server to timestamp t and opens a new communication
-// accounting period. The driver must call it once per timestamp before
-// the mechanism's Step.
-func (s *Server) Advance(t int) {
-	s.mu.Lock()
-	s.t = t
-	s.mu.Unlock()
-	s.counter.BeginTimestamp()
+// batch is one connection's share of a round.
+type batch struct {
+	cc    *clientConn
+	users []int
 }
 
-// T implements mechanism.Env.
-func (s *Server) T() int {
+// batches groups the round's users by owning connection, preserving first-
+// appearance order, under the server lock.
+func (s *Server) batches(users []int) ([]batch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.t
+	if users == nil {
+		users = make([]int, s.n)
+		for id := range users {
+			users[id] = id
+		}
+	}
+	var out []batch
+	index := make(map[*clientConn]int)
+	for _, id := range users {
+		cc := s.conns[id]
+		if cc == nil {
+			return nil, fmt.Errorf("transport: user %d not registered", id)
+		}
+		i, ok := index[cc]
+		if !ok {
+			i = len(out)
+			index[cc] = i
+			out = append(out, batch{cc: cc})
+		}
+		out[i].users = append(out[i].users, id)
+	}
+	return out, nil
 }
 
-// N implements mechanism.Env.
-func (s *Server) N() int { return s.n }
-
-// gather fans a report request out to every listed user (nil = all) and
-// hands each response to sink as it arrives. sink is called under an
-// internal mutex, so it may mutate shared state without further locking;
-// responses arrive in unspecified order.
-func (s *Server) gather(users []int, eps float64, sink func(fo.Report) error) (count, bytes int, err error) {
-	if eps <= 0 {
-		return 0, 0, fmt.Errorf("transport: collect with non-positive eps %v", eps)
-	}
+// drop removes a failed connection from the registry and closes it, so the
+// next round fails fast with "not registered" instead of reusing a dead
+// socket.
+func (s *Server) drop(cc *clientConn) {
 	s.mu.Lock()
-	t := s.t
-	if users == nil {
-		users = make([]int, 0, len(s.clients))
-		for id := range s.clients {
-			users = append(users, id)
+	for id, c := range s.conns {
+		if c == cc {
+			delete(s.conns, id)
+			s.registered--
 		}
-	}
-	conns := make([]*clientConn, len(users))
-	for i, id := range users {
-		cc := s.clients[id]
-		if cc == nil {
-			s.mu.Unlock()
-			return 0, 0, fmt.Errorf("transport: user %d not registered", id)
-		}
-		conns[i] = cc
 	}
 	s.mu.Unlock()
+	cc.conn.Close()
+}
 
-	var sinkMu sync.Mutex
-	errs := make([]error, len(users))
-	var wg sync.WaitGroup
-	for i := range conns {
+// appError is a client-reported, in-band failure: the connection answered
+// with a complete (if unusable) response, so the stream is still in sync
+// and the registration stays valid.
+type appError struct{ msg string }
+
+func (e appError) Error() string { return e.msg }
+
+// exchange runs one batched request/response round-trip on a connection.
+// Transport failures (encode/decode errors, deadline expiry) come back as
+// plain errors; client-reported failures come back as appError.
+func (s *Server) exchange(cc *clientConn, req request) (*response, error) {
+	timeout := s.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if timeout > 0 {
+		cc.conn.SetDeadline(time.Now().Add(timeout))
+		defer cc.conn.SetDeadline(time.Time{})
+	}
+	if err := cc.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := cc.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, appError{msg: resp.Err}
+	}
+	want := len(req.Users)
+	if req.Numeric {
+		if len(resp.Values) != want {
+			return nil, appError{msg: fmt.Sprintf("transport: batch returned %d values, want %d", len(resp.Values), want)}
+		}
+	} else if len(resp.Reports) != want {
+		return nil, appError{msg: fmt.Sprintf("transport: batch returned %d reports, want %d", len(resp.Reports), want)}
+	}
+	return &resp, nil
+}
+
+// Collect implements collect.Collector: the round is split into one
+// batched request per client connection, exchanges run concurrently, and
+// contributions fold into sink as each batch arrives (Absorb calls are
+// serialized). A connection that fails mid-round is dropped from the
+// registry and the round returns its error.
+func (s *Server) Collect(req collect.Request, sink collect.Sink) error {
+	if err := req.Validate(s.n); err != nil {
+		return err
+	}
+	bs, err := s.batches(req.Users)
+	if err != nil {
+		return err
+	}
+	var (
+		sinkMu sync.Mutex
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, len(bs))
+	for i := range bs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cc := conns[i]
-			cc.mu.Lock()
-			defer cc.mu.Unlock()
-			if err := cc.enc.Encode(request{T: t, Eps: eps}); err != nil {
-				errs[i] = err
-				return
-			}
-			var resp response
-			if err := cc.dec.Decode(&resp); err != nil {
-				errs[i] = err
+			b := bs[i]
+			resp, err := s.exchange(b.cc, request{
+				T: req.T, Eps: req.Eps, Users: b.users, Numeric: req.Numeric,
+			})
+			if err != nil {
+				// Only a broken stream costs the connection its
+				// registration; in-band client failures leave it usable.
+				var app appError
+				if !errors.As(err, &app) {
+					s.drop(b.cc)
+				}
+				errs[i] = fmt.Errorf("transport: users %v: %w", b.users, err)
 				return
 			}
 			sinkMu.Lock()
 			defer sinkMu.Unlock()
-			count++
-			bytes += resp.Report.Size()
-			errs[i] = sink(resp.Report)
+			for j := range b.users {
+				c := collect.Contribution{Numeric: req.Numeric}
+				if req.Numeric {
+					c.Value = resp.Values[j]
+				} else {
+					c.Report = resp.Reports[j]
+				}
+				if err := sink.Absorb(c); err != nil {
+					errs[i] = err
+					return
+				}
+			}
 		}(i)
 	}
 	wg.Wait()
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return 0, 0, fmt.Errorf("transport: user %d: %w", users[i], err)
+			return err
 		}
 	}
-	return count, bytes, nil
-}
-
-// Collect implements mechanism.Env: it requests a perturbed report from
-// every listed user (nil = all) and gathers the responses.
-func (s *Server) Collect(users []int, eps float64) ([]fo.Report, error) {
-	n := len(users)
-	if users == nil {
-		n = s.n
-	}
-	reports := make([]fo.Report, 0, n)
-	count, bytes, err := s.gather(users, eps, func(r fo.Report) error {
-		reports = append(reports, r)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.counter.Observe(count, bytes)
-	return reports, nil
-}
-
-// CollectStream implements mechanism.StreamEnv: each report is folded into
-// agg as it comes off the wire, so the aggregator never buffers the
-// round's reports. Aggregation is order-independent integer counting, so
-// the arrival order over TCP does not affect the estimate.
-func (s *Server) CollectStream(users []int, eps float64, agg fo.Aggregator) error {
-	count, bytes, err := s.gather(users, eps, agg.Add)
-	if err != nil {
-		return err
-	}
-	s.counter.Observe(count, bytes)
 	return nil
 }
-
-// CommStats returns the accumulated communication statistics.
-func (s *Server) CommStats() comm.Stats { return s.counter.Stats() }
 
 // Close shuts the server and all client connections down.
 func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, cc := range s.clients {
+	for _, cc := range s.conns {
 		cc.conn.Close()
 	}
 	return err
@@ -258,49 +377,98 @@ func (s *Server) Close() error {
 // Client.
 // ---------------------------------------------------------------------------
 
-// Perturber is the client-side randomizer: it perturbs the user's true
-// value with the given budget. fo.Oracle satisfies the perturbation
-// contract through a bound source; see NewClient.
-type Perturber func(value int, eps float64) fo.Report
-
-// Client is one user's device: it registers with the aggregator and
-// answers report requests by perturbing its current value locally.
-type Client struct {
-	conn    net.Conn
-	id      int
-	value   func(t int) int
-	perturb Perturber
+// Funcs holds a client process's local randomizers. Report answers
+// frequency rounds; NumericReport answers numeric mean rounds. A nil
+// function rejects that round kind with a clean protocol error. Both
+// receive the absolute user id, the timestamp, and the round budget; the
+// user's true value stays inside the client process.
+type Funcs struct {
+	Report        func(id, t int, eps float64) fo.Report
+	NumericReport func(id, t int, eps float64) float64
 }
 
-// NewClient connects to the aggregator at addr as user id. value returns
-// the user's TRUE value at a timestamp (it stays inside this process);
-// perturb applies the local randomizer.
-func NewClient(addr string, id int, value func(t int) int, perturb Perturber) (*Client, error) {
-	if value == nil || perturb == nil {
-		return nil, errors.New("transport: client needs value and perturb functions")
+// Client hosts a contiguous range of users on one aggregator connection
+// and answers batched report requests by perturbing locally.
+type Client struct {
+	conn net.Conn
+	// enc/dec are created once at registration: gob buffers ahead on the
+	// connection, so the handshake and serve loop must share them.
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	first int
+	count int
+	fns   Funcs
+}
+
+// NewClient connects to the aggregator at addr and registers users
+// [first, first+count). It returns an error if the aggregator rejects the
+// registration (out-of-range ids, or ids already registered).
+func NewClient(addr string, first, count int, fns Funcs) (*Client, error) {
+	if fns.Report == nil && fns.NumericReport == nil {
+		return nil, errors.New("transport: client needs at least one report function")
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("transport: client needs a positive user count, got %d", count)
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial: %w", err)
 	}
-	if err := gob.NewEncoder(conn).Encode(hello{ID: id}); err != nil {
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	conn.SetDeadline(time.Now().Add(DefaultTimeout))
+	if err := enc.Encode(hello{First: first, Count: count}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("transport: register: %w", err)
 	}
-	return &Client{conn: conn, id: id, value: value, perturb: perturb}, nil
+	var ack helloAck
+	if err := dec.Decode(&ack); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: register: %w", err)
+	}
+	if ack.Err != "" {
+		conn.Close()
+		return nil, fmt.Errorf("transport: register: %s", ack.Err)
+	}
+	conn.SetDeadline(time.Time{})
+	return &Client{conn: conn, enc: enc, dec: dec, first: first, count: count, fns: fns}, nil
 }
 
-// Serve answers report requests until the connection closes.
+// answer builds the response for one batched request.
+func (c *Client) answer(req request) response {
+	var resp response
+	if req.Numeric {
+		resp.Values = make([]float64, 0, len(req.Users))
+	} else {
+		resp.Reports = make([]fo.Report, 0, len(req.Users))
+	}
+	for _, id := range req.Users {
+		if id < c.first || id >= c.first+c.count {
+			return response{Err: fmt.Sprintf("transport: user %d not hosted by this client", id)}
+		}
+		if req.Numeric {
+			if c.fns.NumericReport == nil {
+				return response{Err: "transport: client does not support numeric rounds"}
+			}
+			resp.Values = append(resp.Values, c.fns.NumericReport(id, req.T, req.Eps))
+		} else {
+			if c.fns.Report == nil {
+				return response{Err: "transport: client does not support frequency rounds"}
+			}
+			resp.Reports = append(resp.Reports, c.fns.Report(id, req.T, req.Eps))
+		}
+	}
+	return resp
+}
+
+// Serve answers batched report requests until the connection closes.
 func (c *Client) Serve() error {
-	dec := gob.NewDecoder(c.conn)
-	enc := gob.NewEncoder(c.conn)
 	for {
 		var req request
-		if err := dec.Decode(&req); err != nil {
+		if err := c.dec.Decode(&req); err != nil {
 			return err
 		}
-		rep := c.perturb(c.value(req.T), req.Eps)
-		if err := enc.Encode(response{Report: rep}); err != nil {
+		if err := c.enc.Encode(c.answer(req)); err != nil {
 			return err
 		}
 	}

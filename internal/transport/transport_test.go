@@ -1,165 +1,113 @@
 package transport
 
 import (
+	"encoding/gob"
 	"math"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"ldpids/internal/collect"
+	"ldpids/internal/collect/collecttest"
 	"ldpids/internal/fo"
 	"ldpids/internal/ldprand"
 	"ldpids/internal/mechanism"
+	"ldpids/internal/numeric"
 	"ldpids/internal/stream"
 )
 
-// startCluster launches a loopback server plus n clients whose values come
-// from the given per-timestamp snapshots.
-func startCluster(t *testing.T, n int, oracle fo.Oracle, snapshots [][]int) (*Server, func()) {
+// cluster is a loopback server plus the client processes hosting its
+// population.
+type cluster struct {
+	srv     *Server
+	clients []*Client
+	wg      sync.WaitGroup
+}
+
+// startCluster launches a loopback server for n users answering through
+// fns, sharding the population across connections of the given sizes
+// (sizes summing to n; nil means one connection per user). Batching is
+// therefore exercised whenever a size exceeds 1.
+func startCluster(t *testing.T, n int, fns Funcs, sizes []int) *cluster {
 	t.Helper()
-	srv, err := NewServer("127.0.0.1:0", oracle, n)
+	srv, err := NewServer("127.0.0.1:0", n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var wg sync.WaitGroup
-	clients := make([]*Client, n)
-	for id := 0; id < n; id++ {
-		id := id
-		src := ldprand.New(uint64(1000 + id))
-		value := func(ts int) int { return snapshots[ts-1][id] }
-		perturb := func(v int, eps float64) fo.Report { return oracle.Perturb(v, eps, src) }
-		c, err := NewClient(srv.Addr(), id, value, perturb)
+	if sizes == nil {
+		for i := 0; i < n; i++ {
+			sizes = append(sizes, 1)
+		}
+	}
+	c := &cluster{srv: srv}
+	first := 0
+	for _, size := range sizes {
+		cl, err := NewClient(srv.Addr(), first, size, fns)
 		if err != nil {
 			t.Fatal(err)
 		}
-		clients[id] = c
-		wg.Add(1)
+		first += size
+		c.clients = append(c.clients, cl)
+		c.wg.Add(1)
 		go func() {
-			defer wg.Done()
-			_ = c.Serve() // exits when connection closes
+			defer c.wg.Done()
+			_ = cl.Serve() // exits when the connection closes
 		}()
+	}
+	if first != n {
+		t.Fatalf("connection sizes sum to %d, want %d", first, n)
 	}
 	if err := srv.WaitReady(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	cleanup := func() {
-		srv.Close()
-		for _, c := range clients {
-			c.Close()
-		}
-		wg.Wait()
-	}
-	return srv, cleanup
+	return c
 }
 
-func TestCollectAllOverTCP(t *testing.T) {
-	n := 60
-	oracle := fo.NewGRR(2)
-	// All users hold value 1 at every timestamp.
-	snaps := [][]int{make([]int, n)}
-	for i := range snaps[0] {
-		snaps[0][i] = 1
+func (c *cluster) stop() {
+	c.srv.Close()
+	for _, cl := range c.clients {
+		cl.Close()
 	}
-	srv, cleanup := startCluster(t, n, oracle, snaps)
-	defer cleanup()
+	c.wg.Wait()
+}
 
-	srv.Advance(1)
-	reports, err := srv.Collect(nil, 2.0)
-	if err != nil {
-		t.Fatal(err)
+// snapshotFuncs builds per-user deterministic reporters over oracle with
+// per-user sources, users answering from fixed per-timestamp snapshots.
+func snapshotFuncs(oracle fo.Oracle, snaps [][]int, baseSeed uint64, n int) Funcs {
+	srcs := make([]*ldprand.Source, n)
+	for u := range srcs {
+		srcs[u] = ldprand.New(baseSeed + uint64(u))
 	}
-	if len(reports) != n {
-		t.Fatalf("got %d reports", len(reports))
-	}
-	est, err := oracle.Estimate(reports, 2.0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// With eps=2 and 60 users, element 1 should dominate.
-	if est[1] < 0.6 {
-		t.Fatalf("estimate %v does not reflect all-ones population", est)
+	return Funcs{
+		Report: func(id, ts int, eps float64) fo.Report {
+			return oracle.Perturb(snaps[ts-1][id], eps, srcs[id])
+		},
 	}
 }
 
-func TestCollectStreamOverTCP(t *testing.T) {
-	// The streaming fold must see every report and yield a sane estimate
-	// without the server buffering a report slice.
-	n := 60
-	oracle := fo.NewGRR(2)
-	snaps := [][]int{make([]int, n)}
-	for i := range snaps[0] {
-		snaps[0][i] = 1
+func TestConformanceTCP(t *testing.T) {
+	// The acceptance bar: the TCP backend produces bit-identical estimates
+	// to the in-process reference, across single-user and batched
+	// connections.
+	specs := map[string]struct {
+		spec  collecttest.Spec
+		sizes []int
+	}{
+		"GRR-batched":        {collecttest.Spec{N: 24, Oracle: fo.NewGRR(5), BaseSeed: 500, Numeric: true}, []int{1, 7, 16}},
+		"OUE-packed-batched": {collecttest.Spec{N: 18, Oracle: fo.NewOUEPacked(100), BaseSeed: 600}, []int{9, 9}},
+		"OLH-single":         {collecttest.Spec{N: 6, Oracle: fo.NewOLH(8), BaseSeed: 700}, nil},
 	}
-	srv, cleanup := startCluster(t, n, oracle, snaps)
-	defer cleanup()
-
-	var env mechanism.StreamEnv = srv // compile-time interface check
-	srv.Advance(1)
-	agg, err := oracle.NewAggregator(2.0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := env.CollectStream(nil, 2.0, agg); err != nil {
-		t.Fatal(err)
-	}
-	if agg.Reports() != n {
-		t.Fatalf("aggregator folded %d reports, want %d", agg.Reports(), n)
-	}
-	est, err := agg.Estimate()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if est[1] < 0.6 {
-		t.Fatalf("streamed estimate %v does not reflect all-ones population", est)
-	}
-	if stats := srv.CommStats(); stats.Reports != int64(n) || stats.Bytes == 0 {
-		t.Fatalf("comm accounting missed the streamed round: %+v", stats)
-	}
-}
-
-func TestCollectSubset(t *testing.T) {
-	n := 30
-	oracle := fo.NewGRR(2)
-	snaps := [][]int{make([]int, n)}
-	srv, cleanup := startCluster(t, n, oracle, snaps)
-	defer cleanup()
-
-	srv.Advance(1)
-	reports, err := srv.Collect([]int{0, 5, 7}, 1.0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(reports) != 3 {
-		t.Fatalf("subset collect returned %d reports", len(reports))
-	}
-	stats := srv.CommStats()
-	if stats.Reports != 3 {
-		t.Fatalf("comm recorded %d reports", stats.Reports)
-	}
-}
-
-func TestCollectUnknownUser(t *testing.T) {
-	n := 5
-	oracle := fo.NewGRR(2)
-	snaps := [][]int{make([]int, n)}
-	srv, cleanup := startCluster(t, n, oracle, snaps)
-	defer cleanup()
-	srv.Advance(1)
-	if _, err := srv.Collect([]int{99}, 1.0); err == nil {
-		t.Fatal("unknown user accepted")
-	}
-	if _, err := srv.Collect(nil, 0); err == nil {
-		t.Fatal("zero eps accepted")
-	}
-}
-
-func TestWaitReadyTimeout(t *testing.T) {
-	srv, err := NewServer("127.0.0.1:0", fo.NewGRR(2), 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	if err := srv.WaitReady(50 * time.Millisecond); err == nil {
-		t.Fatal("WaitReady with no clients should time out")
+	for name, tc := range specs {
+		tc := tc
+		t.Run(name, func(t *testing.T) {
+			collecttest.Run(t, tc.spec, func(t *testing.T) (collect.Collector, func()) {
+				report, numeric := tc.spec.Reporters()
+				c := startCluster(t, tc.spec.N, Funcs{Report: report, NumericReport: numeric}, tc.sizes)
+				return c.srv, c.stop
+			})
+		})
 	}
 }
 
@@ -173,18 +121,19 @@ func TestFullMechanismOverTCP(t *testing.T) {
 	snaps := stream.Materialize(s, T)
 	truth := stream.Histograms(snaps, 2)
 
-	srv, cleanup := startCluster(t, n, oracle, snaps)
-	defer cleanup()
+	c := startCluster(t, n, snapshotFuncs(oracle, snaps, 1000, n), []int{40, 40, 40})
+	defer c.stop()
 
 	m, err := mechanism.NewLPA(mechanism.Params{
 		Eps: 2, W: w, N: n, Oracle: oracle, Src: root.Split()})
 	if err != nil {
 		t.Fatal(err)
 	}
+	env := collect.NewEnv(c.srv)
 	var released [][]float64
 	for ts := 1; ts <= T; ts++ {
-		srv.Advance(ts)
-		r, err := m.Step(srv)
+		env.Advance(ts)
+		r, err := m.Step(env)
 		if err != nil {
 			t.Fatalf("step %d: %v", ts, err)
 		}
@@ -202,41 +151,280 @@ func TestFullMechanismOverTCP(t *testing.T) {
 		}
 	}
 	// Population division over TCP: far fewer reports than n*T.
-	stats := srv.CommStats()
+	stats := env.Stats()
 	if stats.CFPU >= 1 {
 		t.Fatalf("LPA CFPU %v over TCP should be << 1", stats.CFPU)
 	}
 }
 
-func TestDuplicateRegistrationRejected(t *testing.T) {
-	n := 2
+func TestMeanMechanismOverTCP(t *testing.T) {
+	// Acceptance: a numeric mean mechanism runs end-to-end over the TCP
+	// backend — the "simulation-only" gap is closed.
+	n, w, T := 300, 3, 9
+	root := ldprand.New(99)
+	pert := numeric.Duchi{}
+
+	// Each user's true value drifts deterministically around 0.4.
+	value := func(id, ts int) float64 {
+		return 0.4 + 0.2*math.Sin(float64(id)+float64(ts)*0.5)
+	}
+	srcs := make([]*ldprand.Source, n)
+	for u := range srcs {
+		srcs[u] = ldprand.New(4000 + uint64(u))
+	}
+	c := startCluster(t, n, Funcs{
+		NumericReport: func(id, ts int, eps float64) float64 {
+			return pert.Perturb(value(id, ts), eps, srcs[id])
+		},
+	}, []int{100, 100, 100})
+	defer c.stop()
+
+	m, err := numeric.NewMeanLPU(numeric.MeanParams{
+		Eps: 1, W: w, N: n, Perturber: pert, Src: root.Split()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := collect.NewEnv(c.srv)
+	for ts := 1; ts <= T; ts++ {
+		env.Advance(ts)
+		mean, err := m.Step(env)
+		if err != nil {
+			t.Fatalf("t=%d: %v", ts, err)
+		}
+		// n/w = 100 reporters with Duchi at eps=1: stderr ≈ 0.22; stay
+		// within 5 sigma of the true mean band around 0.4.
+		if math.Abs(mean-0.4) > 1.2 {
+			t.Fatalf("t=%d: released mean %v wildly off", ts, mean)
+		}
+	}
+	stats := env.Stats()
+	if stats.Reports != int64(T*(n/w)) {
+		t.Fatalf("numeric rounds uploaded %d reports, want %d", stats.Reports, T*(n/w))
+	}
+	if stats.Bytes != 8*stats.Reports {
+		t.Fatalf("numeric rounds accounted %d bytes, want %d", stats.Bytes, 8*stats.Reports)
+	}
+}
+
+func TestCollectSubsetAndUnknownUser(t *testing.T) {
+	n := 12
 	oracle := fo.NewGRR(2)
 	snaps := [][]int{make([]int, n)}
-	srv, cleanup := startCluster(t, n, oracle, snaps)
-	defer cleanup()
-	// A second client with id 0: the server must drop the connection.
-	src := ldprand.New(9)
-	c, err := NewClient(srv.Addr(), 0,
-		func(ts int) int { return 0 },
-		func(v int, eps float64) fo.Report { return oracle.Perturb(v, eps, src) })
+	c := startCluster(t, n, snapshotFuncs(oracle, snaps, 1, n), []int{6, 6})
+	defer c.stop()
+
+	env := collect.NewEnv(c.srv)
+	env.Advance(1)
+	reports, err := env.Collect([]int{0, 5, 7}, 1.0)
 	if err != nil {
-		t.Fatal(err) // dial+register writes succeed; rejection is a close
+		t.Fatal(err)
 	}
-	defer c.Close()
-	errCh := make(chan error, 1)
-	go func() { errCh <- c.Serve() }()
+	if len(reports) != 3 {
+		t.Fatalf("subset collect returned %d reports", len(reports))
+	}
+	if stats := env.Stats(); stats.Reports != 3 {
+		t.Fatalf("comm recorded %d reports", stats.Reports)
+	}
+	if _, err := env.Collect([]int{99}, 1.0); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	if _, err := env.Collect(nil, 0); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+}
+
+func TestWaitReadyTimeout(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.WaitReady(50 * time.Millisecond); err == nil {
+		t.Fatal("WaitReady with no clients should time out")
+	}
+}
+
+func TestDoubleRegistrationRejected(t *testing.T) {
+	n := 4
+	oracle := fo.NewGRR(2)
+	snaps := [][]int{make([]int, n)}
+	c := startCluster(t, n, snapshotFuncs(oracle, snaps, 1, n), []int{4})
+	defer c.stop()
+
+	// A second client overlapping id 2: the server must reject the
+	// registration with an explicit error, not a silent close.
+	_, err := NewClient(c.srv.Addr(), 2, 1, Funcs{
+		Report: func(id, ts int, eps float64) fo.Report {
+			return fo.Report{Kind: fo.KindValue}
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration error = %v", err)
+	}
+	// Out-of-range claims are rejected too.
+	_, err = NewClient(c.srv.Addr(), n-1, 2, Funcs{
+		Report: func(id, ts int, eps float64) fo.Report {
+			return fo.Report{Kind: fo.KindValue}
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "outside population") {
+		t.Fatalf("out-of-range registration error = %v", err)
+	}
+}
+
+func TestClientDisconnectMidRound(t *testing.T) {
+	// A raw connection that registers, then closes as soon as a request
+	// arrives: the round must error cleanly, and the next round must fail
+	// fast because the dead connection was dropped from the registry.
+	n := 3
+	srv, err := NewServer("127.0.0.1:0", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Timeout = 2 * time.Second
+
+	oracle := fo.NewGRR(2)
+	src := ldprand.New(5)
+	good, err := NewClient(srv.Addr(), 0, 2, Funcs{
+		Report: func(id, ts int, eps float64) fo.Report {
+			return oracle.Perturb(0, eps, src)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	go good.Serve()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(hello{First: 2, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var ack helloAck
+	if err := dec.Decode(&ack); err != nil || ack.Err != "" {
+		t.Fatalf("registration failed: %v %q", err, ack.Err)
+	}
+	go func() {
+		var req request
+		_ = dec.Decode(&req) // wait for the round to start...
+		conn.Close()         // ...then die mid-round
+	}()
+	if err := srv.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	err = srv.Collect(collect.Request{T: 1, Eps: 1}, &collect.SliceSink{})
+	if err == nil {
+		t.Fatal("round with a dying client succeeded")
+	}
+	// The dead connection is gone from the registry: the next round fails
+	// fast with a clean "not registered" error instead of reusing it.
+	err = srv.Collect(collect.Request{T: 2, Eps: 1}, &collect.SliceSink{})
+	if err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("round after disconnect = %v, want not-registered error", err)
+	}
+
+	// A replacement client can reclaim the freed id without tripping the
+	// ready latch (regression: re-registration after a drop used to
+	// double-close readyCh and panic the server).
+	replacement, err := NewClient(srv.Addr(), 2, 1, Funcs{
+		Report: func(id, ts int, eps float64) fo.Report {
+			return oracle.Perturb(1, eps, src)
+		},
+	})
+	if err != nil {
+		t.Fatalf("re-registration after drop: %v", err)
+	}
+	defer replacement.Close()
+	go replacement.Serve()
+	sink := &collect.SliceSink{}
+	if err := srv.Collect(collect.Request{T: 3, Eps: 1}, sink); err != nil {
+		t.Fatalf("round after re-registration: %v", err)
+	}
+	if len(sink.Reports) != n {
+		t.Fatalf("round after re-registration folded %d reports, want %d", len(sink.Reports), n)
+	}
+}
+
+func TestInBandErrorKeepsRegistration(t *testing.T) {
+	// A frequency-only client asked for a numeric round reports an in-band
+	// error; the connection must stay registered and serve later frequency
+	// rounds (regression: application-level errors used to drop the conn).
+	n := 2
+	oracle := fo.NewGRR(2)
+	snaps := [][]int{make([]int, n), make([]int, n)}
+	c := startCluster(t, n, snapshotFuncs(oracle, snaps, 1, n), []int{2})
+	defer c.stop()
+
+	err := c.srv.Collect(collect.Request{T: 1, Eps: 1, Numeric: true}, &collect.MeanSink{})
+	if err == nil || !strings.Contains(err.Error(), "numeric") {
+		t.Fatalf("numeric round against frequency-only client = %v", err)
+	}
+	sink := &collect.SliceSink{}
+	if err := c.srv.Collect(collect.Request{T: 2, Eps: 1}, sink); err != nil {
+		t.Fatalf("frequency round after in-band error: %v", err)
+	}
+	if len(sink.Reports) != n {
+		t.Fatalf("folded %d reports after in-band error, want %d", len(sink.Reports), n)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A client that registers but never answers: the round must return a
+	// deadline error within Server.Timeout instead of hanging.
+	n := 1
+	srv, err := NewServer("127.0.0.1:0", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Timeout = 200 * time.Millisecond
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(hello{First: 0, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var ack helloAck
+	if err := dec.Decode(&ack); err != nil || ack.Err != "" {
+		t.Fatalf("registration failed: %v %q", err, ack.Err)
+	}
+	if err := srv.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.Collect(collect.Request{T: 1, Eps: 1}, &collect.SliceSink{})
+	}()
 	select {
-	case err := <-errCh:
+	case err := <-done:
 		if err == nil {
-			t.Fatal("duplicate client served successfully")
+			t.Fatal("silent client round succeeded")
 		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("duplicate client not disconnected")
+	case <-time.After(5 * time.Second):
+		t.Fatal("round with a silent client hung past the timeout")
 	}
 }
 
 func TestClientValidation(t *testing.T) {
-	if _, err := NewClient("127.0.0.1:1", 0, nil, nil); err == nil {
-		t.Fatal("nil callbacks accepted")
+	if _, err := NewClient("127.0.0.1:1", 0, 1, Funcs{}); err == nil {
+		t.Fatal("client without report functions accepted")
+	}
+	if _, err := NewClient("127.0.0.1:1", 0, 0, Funcs{
+		Report: func(id, ts int, eps float64) fo.Report { return fo.Report{} },
+	}); err == nil {
+		t.Fatal("non-positive user count accepted")
 	}
 }

@@ -14,8 +14,11 @@
 // — together with the frequency oracles they are built on (GRR, OUE, SUE,
 // OLH), synthetic and simulated-trace stream generators, evaluation
 // metrics (MRE, ROC/AUC event monitoring, CFPU communication cost), a
-// runtime w-event privacy auditor, and a TCP transport for running the
-// protocol across real processes.
+// runtime w-event privacy auditor, and a pluggable collection layer:
+// mechanisms step through a CollectEnv over any Collector backend — the
+// in-process simulation, the in-memory channel backend (one goroutine per
+// user device), or the TCP transport for real processes — all producing
+// bit-identical estimates from identical seeds.
 //
 // # Quick start
 //
@@ -34,6 +37,7 @@
 package ldpids
 
 import (
+	"ldpids/internal/collect"
 	"ldpids/internal/comm"
 	"ldpids/internal/fo"
 	"ldpids/internal/ldprand"
@@ -74,6 +78,16 @@ type ReportKind = fo.Kind
 // Aggregator folds perturbed reports into O(d) server-side counters as
 // they arrive; streaming and batch aggregation yield identical estimates.
 type Aggregator = fo.Aggregator
+
+// ShardedAggregator fans report folding across parallel shard goroutines;
+// estimates are bit-identical to the plain Aggregator.
+type ShardedAggregator = fo.ShardedAggregator
+
+// NewShardedAggregator returns a parallel aggregator for the oracle at
+// budget eps across the given shard count (< 1 selects one per CPU).
+func NewShardedAggregator(o Oracle, eps float64, shards int) (*ShardedAggregator, error) {
+	return fo.NewShardedAggregator(o, eps, shards)
+}
 
 // NewGRR returns the Generalized Randomized Response oracle for domain
 // size d.
@@ -154,6 +168,14 @@ func LimitStream(s Stream, T int) Stream { return stream.Limit(s, T) }
 // Histogram computes the frequency vector of vals over domain size d.
 func Histogram(vals []int, d int) []float64 { return stream.Histogram(vals, d) }
 
+// MaterializeStream snapshots the first T timestamps of a stream as
+// per-timestamp value slices — handy for backends whose users answer from
+// a fixed script.
+func MaterializeStream(s Stream, T int) [][]int { return stream.Materialize(s, T) }
+
+// Histograms computes the ground-truth histogram of every snapshot.
+func Histograms(snaps [][]int, d int) [][]float64 { return stream.Histograms(snaps, d) }
+
 // TaxiTrace returns the simulated T-Drive-like mobility stream (see
 // DESIGN.md §4 for the substitution rationale).
 func TaxiTrace(n, d int, src *Source) Stream { return trace.Taxi(n, d, src) }
@@ -179,8 +201,55 @@ type Env = mechanism.Env
 
 // StreamEnv is an optional Env extension whose implementations fold each
 // report into a streaming Aggregator instead of buffering a report slice;
-// the simulation runner and the TCP transport both implement it.
+// CollectEnv implements it for every backend.
 type StreamEnv = mechanism.StreamEnv
+
+// ---------------------------------------------------------------------------
+// Pluggable collection backends.
+// ---------------------------------------------------------------------------
+
+// Collector is a pluggable ingestion backend: it gathers one round of
+// perturbed contributions from the user population and folds them into a
+// sink. Backends include the in-process SimBackend, the in-memory
+// ChannelBackend (one goroutine per user "process"), and the TCP transport
+// in internal/transport; all produce bit-identical estimates from
+// identical seeds (see internal/collect/collecttest).
+type Collector = collect.Collector
+
+// Sink folds one collection round's contributions into aggregate state.
+type Sink = collect.Sink
+
+// Contribution is one user's perturbed datum: a frequency-oracle report or
+// a perturbed numeric value.
+type Contribution = collect.Contribution
+
+// CollectRequest describes one collection round against a Collector.
+type CollectRequest = collect.Request
+
+// CollectEnv drives any Collector one timestamp at a time, layering
+// communication accounting and an optional observer; it satisfies Env,
+// StreamEnv, and MeanEnv, so both histogram and mean mechanisms step
+// through it unchanged.
+type CollectEnv = collect.Env
+
+// NewCollectEnv returns a CollectEnv over the given backend. Call Advance
+// once per timestamp before the mechanism's Step.
+func NewCollectEnv(c Collector) *CollectEnv { return collect.NewEnv(c) }
+
+// SimBackend is the in-process simulation backend: report closures run
+// synchronously in request order.
+type SimBackend = collect.Sim
+
+// ChannelBackend is the in-memory queue backend: every user is a goroutine
+// answering report requests through its own inbox channel.
+type ChannelBackend = collect.Channel
+
+// NewChannelBackend starts n user goroutines answering frequency rounds
+// via report and numeric rounds via numeric (either may be nil). Close the
+// backend to release the goroutines.
+func NewChannelBackend(n int, report func(u, t int, eps float64) Report, numeric func(u, t int, eps float64) float64) *ChannelBackend {
+	return collect.NewChannel(n, report, numeric)
+}
 
 // Runner drives a mechanism over a stream in-process.
 type Runner = mechanism.Runner

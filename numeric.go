@@ -31,8 +31,13 @@ func NewWalkStream(n int, step, amp, rate float64, src *Source) NumericStream {
 }
 
 // MeanMechanism releases one mean estimate per timestamp under w-event
-// ε-LDP.
+// ε-LDP. It steps through a MeanEnv, so it runs over any Collector
+// backend — in-process, channel, or TCP.
 type MeanMechanism = numeric.MeanMechanism
+
+// MeanEnv is the backend-agnostic world a mean mechanism steps through;
+// CollectEnv satisfies it for every Collector.
+type MeanEnv = numeric.Env
 
 // MeanParams configures a streaming mean mechanism.
 type MeanParams = numeric.MeanParams
@@ -44,9 +49,18 @@ func NewMeanLPU(p MeanParams) (MeanMechanism, error) { return numeric.NewMeanLPU
 // mechanism.
 func NewMeanLPA(p MeanParams) (MeanMechanism, error) { return numeric.NewMeanLPA(p) }
 
-// RunMean drives a mean mechanism over T timestamps of a numeric stream.
-func RunMean(m MeanMechanism, s NumericStream, T int) (released, truth []float64) {
-	return numeric.RunMean(m, s, T)
+// RunMean drives a mean mechanism over T timestamps of a numeric stream
+// through the in-process backend. Pass the same MeanParams the mechanism
+// was built with so perturbation randomness stays deterministic.
+func RunMean(m MeanMechanism, s NumericStream, T int, p MeanParams) (released, truth []float64, err error) {
+	return numeric.RunMean(m, s, T, p)
+}
+
+// NewMeanSimEnv returns an in-process CollectEnv for mean mechanisms: user
+// u perturbs the value behind (*current)[u]. Update *current and call
+// Advance once per timestamp.
+func NewMeanSimEnv(p MeanParams, current *[]float64) (*CollectEnv, error) {
+	return numeric.SimEnv(p, current)
 }
 
 // ---------------------------------------------------------------------------
