@@ -12,9 +12,12 @@
 // (Fig. 6 sweeps N explicitly). Pass -audit to run the w-event privacy
 // accountant alongside every run.
 //
-// The -oracle flag accepts every registry name, including the bit-packed
-// unary wire formats OUE-packed and SUE-packed (same estimates as OUE/SUE,
-// ~8x smaller reports); ablation-fo compares all of them side by side.
+// The -oracle flag accepts every name registered in the fo oracle
+// registry (the usage text is derived from it, so it can never go stale):
+// the bit-packed unary wire formats OUE-packed and SUE-packed (same
+// estimates as OUE/SUE, ~8x smaller reports) and cohort-hashed OLH-C
+// (O(1) server folds); ablation-fo compares all of them side by side, and
+// ablation-olh times the OLH vs OLH-C server fold across domain sizes.
 package main
 
 import (
@@ -26,15 +29,27 @@ import (
 	"time"
 
 	"ldpids/internal/experiment"
+	"ldpids/internal/fo"
 )
+
+// experimentIDs returns the sorted ids of every registered experiment, so
+// the -exp usage text always matches the registry.
+func experimentIDs() []string {
+	var ids []string
+	for id := range (&experiment.Config{}).Experiments() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig4 fig5 fig6 fig7 fig8 table2 ablation-fo ablation-umin ablation-split, or 'all'")
+		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(experimentIDs(), " ")+", or 'all'")
 		scale    = flag.Float64("scale", 0.1, "population scale relative to the paper's sizes")
 		reps     = flag.Int("reps", 1, "repetitions averaged per cell")
 		seed     = flag.Uint64("seed", 1, "root random seed")
-		oracle   = flag.String("oracle", "GRR", "frequency oracle: GRR OUE SUE OLH OUE-packed SUE-packed")
+		oracle   = flag.String("oracle", "GRR", "frequency oracle: "+strings.Join(fo.Names(), " "))
 		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = one per CPU, 1 = serial; results are identical)")
 		methods  = flag.String("methods", "", "comma-separated method subset (default all)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default all)")

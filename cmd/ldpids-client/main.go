@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"log"
+	"strings"
 	"sync"
 
 	"ldpids/internal/fo"
@@ -59,7 +60,7 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:7788", "aggregator address")
 		n           = flag.Int("n", 100, "number of simulated users")
 		d           = flag.Int("d", 5, "domain size")
-		oracle      = flag.String("oracle", "GRR", "frequency oracle (must match server): GRR OUE SUE OLH OUE-packed SUE-packed")
+		oracle      = flag.String("oracle", "GRR", "frequency oracle (must match server): "+strings.Join(fo.Names(), " "))
 		seed        = flag.Uint64("seed", 99, "client-side random seed")
 		first       = flag.Int("first", 0, "first user id (for sharding users across processes)")
 		conns       = flag.Int("conns", 1, "TCP connections to shard the users across")

@@ -1,0 +1,80 @@
+// Command ldpids-doccheck enforces the repo's documentation floor: every
+// package under internal/ (and the root package) must carry a package-level
+// doc comment, so `go doc` reads as a coherent tour of the codebase. CI
+// runs it in the docs job next to gofmt and go vet; it exits non-zero
+// listing every package that lacks a comment.
+//
+// Usage: go run ./cmd/ldpids-doccheck [dir]   (dir defaults to ".")
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// hasPackageDoc reports whether any non-test Go file in dir carries a
+// package doc comment.
+func hasPackageDoc(dir string) (bool, error) {
+	pkgs, err := parser.ParseDir(token.NewFileSet(), dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return false, err
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var missing []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		// Skip hidden trees (.git, .github) — but not the root itself,
+		// which is "." when run with the default argument.
+		if path != root && strings.HasPrefix(d.Name(), ".") {
+			return fs.SkipDir
+		}
+		if globs, _ := filepath.Glob(filepath.Join(path, "*.go")); len(globs) == 0 {
+			return nil
+		}
+		if path != root && !strings.HasPrefix(path, filepath.Join(root, "internal")) {
+			return nil
+		}
+		ok, err := hasPackageDoc(path)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			missing = append(missing, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(1)
+	}
+	if len(missing) > 0 {
+		for _, p := range missing {
+			fmt.Fprintf(os.Stderr, "doccheck: package %s has no package doc comment\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: every checked package has a package doc comment")
+}

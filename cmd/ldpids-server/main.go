@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"ldpids/internal/collect"
@@ -39,7 +40,7 @@ func main() {
 		w       = flag.Int("w", 10, "window size")
 		eps     = flag.Float64("eps", 1.0, "privacy budget per window")
 		T       = flag.Int("T", 50, "timestamps to run")
-		oracle  = flag.String("oracle", "GRR", "frequency oracle: GRR OUE SUE OLH OUE-packed SUE-packed")
+		oracle  = flag.String("oracle", "GRR", "frequency oracle: "+strings.Join(fo.Names(), " "))
 		seed    = flag.Uint64("seed", 1, "server-side random seed")
 		wait    = flag.Duration("wait", 2*time.Minute, "registration timeout")
 		timeout = flag.Duration("timeout", transport.DefaultTimeout, "per-round request timeout")

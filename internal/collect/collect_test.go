@@ -14,6 +14,7 @@ func specs() map[string]collecttest.Spec {
 		"GRR":        {N: 40, Oracle: fo.NewGRR(6), BaseSeed: 1000, Numeric: true},
 		"OUE-packed": {N: 30, Oracle: fo.NewOUEPacked(130), BaseSeed: 2000},
 		"OLH":        {N: 25, Oracle: fo.NewOLH(12), BaseSeed: 3000},
+		"OLH-C":      {N: 25, Oracle: fo.NewOLHC(12), BaseSeed: 4000},
 	}
 }
 

@@ -1,18 +1,26 @@
 package experiment
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+)
 
 // Ablation experiments beyond the paper's figures, probing the design
 // choices DESIGN.md calls out.
 
 // AblationFO swaps the frequency oracle under the best adaptive method on
-// each dataset family: MRE of LPA with GRR vs OUE vs SUE vs OLH (ε = 1,
-// w = 20), plus the bit-packed unary wire formats, which must match their
-// unpacked counterparts' accuracy while shrinking reports ~8x. GRR should
-// win on d = 2; OUE/OLH should close the gap (or win) on the large-domain
-// traces.
+// each dataset family: MRE of LPA with every registered oracle (ε = 1,
+// w = 20) — GRR vs OUE vs SUE vs OLH vs cohort-hashed OLH-C, plus the
+// bit-packed unary wire formats, which must match their unpacked
+// counterparts' accuracy while shrinking reports ~8x. GRR should win on
+// d = 2; OUE/OLH/OLH-C should close the gap (or win) on the large-domain
+// traces. The row set is derived from fo.Names, so a newly registered
+// oracle joins the grid automatically.
 func (c *Config) AblationFO() ([]Table, error) {
-	oracles := []string{"GRR", "OUE", "SUE", "OLH", "OUE-packed", "SUE-packed"}
+	oracles := fo.Names()
 	datasets := []string{"Sin", "Taxi", "Foursquare"}
 	if len(c.Datasets) > 0 {
 		datasets = c.Datasets
@@ -108,4 +116,74 @@ func (c *Config) AblationSplit() ([]Table, error) {
 		tables = append(tables, tbl)
 	}
 	return tables, nil
+}
+
+// AblationOLHFold measures the server-side cost split of OLH against
+// cohort-hashed OLH-C across domain sizes: per-report fold cost (Add),
+// the fold speedup, and the once-per-round Estimate cost. OLH folds in
+// O(d) per report — it rehashes the whole domain against the report's
+// private seed — so its fold cost grows linearly with d; OLH-C folds into
+// a k×g cohort matrix in O(1) and pays a single O(k·d) reconstruction at
+// Estimate. At the large domains where local hashing matters, the fold
+// speedup is orders of magnitude (the acceptance bar is 10x at d = 65536).
+//
+// Timings are measurements, not deterministic outputs; the report count
+// scales with -scale so tiny test configs stay fast.
+func (c *Config) AblationOLHFold() ([]Table, error) {
+	domains := []int{256, 4096, 65536}
+	cols := []string{"256", "4096", "65536"}
+	const eps = 1.0
+	reports := int(10000 * c.popScale())
+	if reports < 50 {
+		reports = 50
+	}
+
+	fold := Table{
+		Title:    fmt.Sprintf("Ablation: OLH vs OLH-C server fold, ns/report (eps=%g, %d reports)", eps, reports),
+		XLabel:   "oracle",
+		ColHeads: cols,
+		RowHeads: []string{"OLH", "OLH-C", "fold speedup (x)"},
+		Cells:    [][]float64{make([]float64, len(cols)), make([]float64, len(cols)), make([]float64, len(cols))},
+	}
+	estimate := Table{
+		Title:    "Ablation: OLH vs OLH-C per-round Estimate, ms",
+		XLabel:   "oracle",
+		ColHeads: cols,
+		RowHeads: []string{"OLH", "OLH-C"},
+		Cells:    [][]float64{make([]float64, len(cols)), make([]float64, len(cols))},
+	}
+
+	for col, d := range domains {
+		for row, name := range []string{"OLH", "OLH-C"} {
+			oracle, err := fo.New(name, d)
+			if err != nil {
+				return nil, err
+			}
+			src := ldprand.New(c.Seed + uint64(1000*row+col))
+			perturbed := make([]fo.Report, reports)
+			for i := range perturbed {
+				perturbed[i] = oracle.Perturb(i%d, eps, src)
+			}
+			agg, err := oracle.NewAggregator(eps)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for _, r := range perturbed {
+				if err := agg.Add(r); err != nil {
+					return nil, err
+				}
+			}
+			fold.Cells[row][col] = float64(time.Since(start).Nanoseconds()) / float64(reports)
+			start = time.Now()
+			if _, err := agg.Estimate(); err != nil {
+				return nil, err
+			}
+			estimate.Cells[row][col] = float64(time.Since(start).Nanoseconds()) / 1e6
+		}
+		if olhc := fold.Cells[1][col]; olhc > 0 {
+			fold.Cells[2][col] = fold.Cells[0][col] / olhc
+		}
+	}
+	return []Table{fold, estimate}, nil
 }

@@ -1,7 +1,6 @@
-// Package experiment is the reproduction harness: it builds the paper's
-// six evaluation datasets (three synthetic, three simulated real-world),
-// runs any mechanism against them, computes the paper's metrics, and
-// renders the rows/series of every figure and table in §7.
+// This file builds the paper's six evaluation datasets (three synthetic,
+// three simulated real-world) as deterministic stream generators.
+
 package experiment
 
 import (

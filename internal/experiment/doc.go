@@ -1,0 +1,20 @@
+// Package experiment is the reproduction harness: it builds the paper's
+// six evaluation datasets (three synthetic, three simulated real-world),
+// runs any mechanism against them, computes the paper's metrics, and
+// renders the rows/series of every figure and table in §7, plus the
+// ablations beyond the paper (frequency-oracle swaps including the
+// bit-packed unary formats and cohort-hashed OLH-C, the OLH vs OLH-C
+// server-fold cost grid, u_min floors, resource splits, filters, and
+// centralized-DP / granularity comparisons).
+//
+// Config holds the global knobs (population scale, repetitions, seed,
+// oracle, worker pool); Config.Experiments maps experiment ids to runners
+// returning renderable Tables — cmd/ldpids-bench is a thin CLI over it.
+// RunSpec describes one mechanism-on-dataset execution and Execute runs
+// it; ExecuteAveraged / ExecuteAveragedWorkers average repetitions.
+//
+// Everything is deterministic by construction: every grid cell and
+// repetition derives its seeds from the spec alone, workers write disjoint
+// result slots, and reductions happen in item order, so parallel runs
+// (Config.Workers) are bit-identical to serial ones.
+package experiment

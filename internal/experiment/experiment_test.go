@@ -369,6 +369,7 @@ func TestAblations(t *testing.T) {
 	c.Datasets = []string{"Sin"}
 	for name, run := range map[string]func() ([]Table, error){
 		"fo":    c.AblationFO,
+		"olh":   c.AblationOLHFold,
 		"umin":  c.AblationUMin,
 		"split": c.AblationSplit,
 	} {
@@ -385,7 +386,7 @@ func TestAblations(t *testing.T) {
 func TestExperimentsRegistry(t *testing.T) {
 	c := tinyConfig()
 	exps := c.Experiments()
-	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table2", "ablation-fo", "ablation-umin", "ablation-split"} {
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table2", "ablation-fo", "ablation-olh", "ablation-umin", "ablation-split"} {
 		if exps[id] == nil {
 			t.Errorf("experiment %q missing from registry", id)
 		}

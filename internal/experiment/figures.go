@@ -378,6 +378,7 @@ func (c *Config) Experiments() map[string]func() ([]Table, error) {
 		"fig8":                c.Fig8,
 		"table2":              c.Table2,
 		"ablation-fo":         c.AblationFO,
+		"ablation-olh":        c.AblationOLHFold,
 		"ablation-umin":       c.AblationUMin,
 		"ablation-split":      c.AblationSplit,
 		"ablation-filter":     c.AblationFilter,

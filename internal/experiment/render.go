@@ -30,6 +30,13 @@ func (t *Table) Render(w io.Writer) {
 			colw = len(h) + 2
 		}
 	}
+	for _, row := range t.Cells {
+		for _, v := range row {
+			if w := len(fmt.Sprintf("%.4f", v)) + 2; w > colw {
+				colw = w
+			}
+		}
+	}
 	roww := len(t.XLabel)
 	for _, h := range t.RowHeads {
 		if len(h) > roww {

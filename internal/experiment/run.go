@@ -22,9 +22,10 @@ type RunSpec struct {
 	Eps float64
 	// W is the window size.
 	W int
-	// Oracle names the frequency oracle ("GRR", "OUE", "SUE", "OLH", or
-	// the bit-packed unary variants "OUE-packed", "SUE-packed");
-	// empty selects GRR, matching the paper's analysis.
+	// Oracle names the frequency oracle (any fo.Names entry: "GRR",
+	// "OUE", "SUE", "OLH", cohort-hashed "OLH-C", or the bit-packed unary
+	// variants "OUE-packed", "SUE-packed"); empty selects GRR, matching
+	// the paper's analysis.
 	Oracle string
 	// Seed makes the run replayable (mechanism + perturbation noise).
 	Seed uint64

@@ -105,22 +105,32 @@ func (c *countCore) Estimate() ([]float64, error) {
 	return finishEstimate(c.counts, c.n, c.p, c.q)
 }
 
-// core exposes the counter state to ShardedAggregator.
+// core exposes the counter state to countCore.mergeShard.
 func (c *countCore) core() *countCore { return c }
 
-// mergeFrom folds another shard's counters into c.
-func (c *countCore) mergeFrom(o *countCore) {
-	c.n += o.n
-	for k, v := range o.counts {
+// mergeShard implements shardMergeable: it folds another count-based
+// shard's counters into c.
+func (c *countCore) mergeShard(o Aggregator) error {
+	oc, ok := o.(interface{ core() *countCore })
+	if !ok {
+		return fmt.Errorf("fo: cannot merge %T into a count-based aggregator", o)
+	}
+	c.n += oc.core().n
+	for k, v := range oc.core().counts {
 		c.counts[k] += v
 	}
+	return nil
 }
 
-// coreAggregator is satisfied by the built-in aggregators; ShardedAggregator
-// needs it to merge per-shard counters at Estimate time.
-type coreAggregator interface {
+// shardMergeable is satisfied by every built-in aggregator (via countCore
+// or cohortCore); ShardedAggregator needs it to merge per-shard counters
+// at Estimate time. Merging is plain integer addition of same-shape
+// counters, so it commutes and shard layout cannot change the estimate.
+type shardMergeable interface {
 	Aggregator
-	core() *countCore
+	// mergeShard folds the counters of another aggregator of the same
+	// oracle and budget into the receiver.
+	mergeShard(o Aggregator) error
 }
 
 // ---------------------------------------------------------------------------
@@ -253,5 +263,105 @@ func (a *olhAggregator) Add(r Report) error {
 		}
 	}
 	a.n++
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// OLH-C aggregator: O(1) fold into a k×g cohort count matrix.
+// ---------------------------------------------------------------------------
+
+// cohortCore is the counter state of cohort-hashed aggregation, the
+// matrix-shaped sibling of countCore: instead of per-element counts it
+// holds a row-major k×g matrix of (cohort, bucket) report counts, folded
+// in O(1) per report. Estimate reconstructs per-element support counts
+// through the oracle's precomputed cohort×element bucket table — element
+// v's support is Σ_c matrix[c][table[c][v]] — and finishes with the shared
+// unbiased estimator. Like countCore it is integer state, so shards merge
+// by plain addition and a sharded fold is bit-identical to an unsharded
+// one.
+type cohortCore struct {
+	p, q    float64
+	k, g, d int
+	n       int
+	matrix  []int64 // row-major k×g: matrix[c*g+b] counts reports (c, b)
+	table   func() []int32
+}
+
+// NewAggregator implements Oracle. Add is O(1) in the domain size; the
+// O(k·d) per-element reconstruction is deferred to Estimate.
+func (o *OLHC) NewAggregator(eps float64) (Aggregator, error) {
+	if eps <= 0 {
+		return nil, ErrBadEpsilon
+	}
+	g := olhG(eps)
+	e := math.Exp(eps)
+	return &olhcAggregator{cohortCore{
+		p:      e / (e + float64(g) - 1),
+		q:      1.0 / float64(g),
+		k:      o.k,
+		g:      g,
+		d:      o.d,
+		matrix: make([]int64, o.k*g),
+		table:  func() []int32 { return o.bucketTable(g) },
+	}}, nil
+}
+
+type olhcAggregator struct {
+	cohortCore
+}
+
+func (a *olhcAggregator) Add(r Report) error {
+	if r.Kind != KindCohort {
+		return fmt.Errorf("fo: OLH-C aggregator got %s report, want cohort", r.Kind)
+	}
+	if r.Seed >= uint64(a.k) {
+		return fmt.Errorf("fo: OLH-C report cohort %d outside [0,%d)", r.Seed, a.k)
+	}
+	if r.Value < 0 || r.Value >= a.g {
+		return fmt.Errorf("fo: OLH-C report bucket %d outside [0,%d)", r.Value, a.g)
+	}
+	a.matrix[int(r.Seed)*a.g+r.Value]++
+	a.n++
+	return nil
+}
+
+// Reports implements Aggregator.
+func (c *cohortCore) Reports() int { return c.n }
+
+// Estimate implements Aggregator: per-element support counts from the
+// cohort matrix and bucket table, then the shared unbiased finish with
+// q = 1/g (a non-matching element collides with the reported bucket with
+// probability 1/g in expectation, exactly as in OLH).
+func (c *cohortCore) Estimate() ([]float64, error) {
+	if c.n == 0 {
+		return nil, ErrNoReports
+	}
+	table := c.table()
+	support := make([]int64, c.d)
+	for co := 0; co < c.k; co++ {
+		row := c.matrix[co*c.g : (co+1)*c.g]
+		buckets := table[co*c.d : (co+1)*c.d]
+		for v, b := range buckets {
+			support[v] += row[b]
+		}
+	}
+	return finishEstimate(support, c.n, c.p, c.q)
+}
+
+// ccore exposes the matrix state to cohortCore.mergeShard, mirroring
+// countCore.core: any aggregator embedding a cohortCore merges
+// structurally, not just the built-in olhcAggregator.
+func (c *cohortCore) ccore() *cohortCore { return c }
+
+// mergeShard implements shardMergeable.
+func (c *cohortCore) mergeShard(o Aggregator) error {
+	oc, ok := o.(interface{ ccore() *cohortCore })
+	if !ok {
+		return fmt.Errorf("fo: cannot merge %T into a cohort-based aggregator", o)
+	}
+	c.n += oc.ccore().n
+	for i, v := range oc.ccore().matrix {
+		c.matrix[i] += v
+	}
 	return nil
 }

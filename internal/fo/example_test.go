@@ -1,0 +1,59 @@
+package fo_test
+
+import (
+	"fmt"
+
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+)
+
+// ExampleAggregator streams one collection round through an oracle's
+// aggregator: clients perturb locally, the server folds each report into
+// O(d) counters as it arrives and estimates once at the end of the round.
+func ExampleAggregator() {
+	const n = 30000
+	oracle := fo.NewGRR(3)
+	src := ldprand.New(7)
+
+	agg, err := oracle.NewAggregator(1.0)
+	if err != nil {
+		panic(err)
+	}
+	for u := 0; u < n; u++ {
+		trueValue := u % 3 // each value held by 1/3 of the users
+		if err := agg.Add(oracle.Perturb(trueValue, 1.0, src)); err != nil {
+			panic(err)
+		}
+	}
+
+	est, err := agg.Estimate()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("reports folded: %d\n", agg.Reports())
+	for k, e := range est {
+		fmt.Printf("f(%d) = %.2f\n", k, e)
+	}
+	// Output:
+	// reports folded: 30000
+	// f(0) = 0.32
+	// f(1) = 0.33
+	// f(2) = 0.34
+}
+
+// ExampleNew constructs oracles by registry name — the route the
+// command-line binaries take — and shows the cohort-hashed OLH variant
+// whose server fold is domain-independent.
+func ExampleNew() {
+	for _, name := range []string{"GRR", "olh", "OLH-C"} {
+		o, err := fo.New(name, 4096)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s over domain %d\n", o.Name(), o.Domain())
+	}
+	// Output:
+	// GRR over domain 4096
+	// OLH over domain 4096
+	// OLH-C over domain 4096
+}

@@ -4,15 +4,26 @@
 //
 // The oracles provided are Generalized Randomized Response (GRR), Optimized
 // Unary Encoding (OUE), Symmetric Unary Encoding (SUE, the basic RAPPOR
-// randomizer), and Optimized Local Hashing (OLH). Every oracle exposes its
-// closed-form estimation variance V(ε, n), which the adaptive LDP-IDS
-// mechanisms use to compute potential publication error (paper Eq. 2 / §5.3).
+// randomizer), Optimized Local Hashing (OLH), and cohort-hashed OLH
+// (OLH-C, whose server fold is domain-independent). Every oracle exposes
+// its closed-form estimation variance V(ε, n), which the adaptive LDP-IDS
+// mechanisms use to compute potential publication error (paper Eq. 2 /
+// §5.3).
+//
+// Construct an oracle directly (NewGRR, NewOUE, ...) or by registry name
+// through New; Names lists every registered name. Clients call
+// Oracle.Perturb; servers either batch with Oracle.Estimate or stream
+// reports through Oracle.NewAggregator (O(d) state) — optionally striped
+// across CPUs with NewShardedAggregator. The ingestion pipeline that moves
+// reports from clients to an Aggregator lives in package collect.
 package fo
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
+	"sync"
 
 	"ldpids/internal/ldprand"
 )
@@ -34,6 +45,12 @@ const (
 	// KindHash is a local-hashing report (OLH): (Seed, Value) where Value
 	// holds the perturbed hash bucket.
 	KindHash
+	// KindCohort is a cohort-hashed report (OLH-C): Seed holds the public
+	// cohort index in [0, k) and Value the perturbed hash bucket. Unlike
+	// KindHash the seed space is small and shared, so the server folds the
+	// report into a k×g count matrix in O(1) instead of rehashing the
+	// whole domain per report.
+	KindCohort
 )
 
 // String returns the kind's short name.
@@ -47,6 +64,8 @@ func (k Kind) String() string {
 		return "packed"
 	case KindHash:
 		return "hash"
+	case KindCohort:
+		return "cohort"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -54,26 +73,29 @@ func (k Kind) String() string {
 
 // Report is one user's perturbed contribution. Kind selects which payload
 // fields are meaningful: Value for KindValue, Bits for KindUnary, Packed
-// for KindPacked, and (Seed, Value) for KindHash.
+// for KindPacked, (Seed, Value) for KindHash, and (Seed=cohort, Value) for
+// KindCohort.
 type Report struct {
 	// Kind identifies the wire format.
 	Kind Kind
-	// Value is a categorical report (GRR: perturbed item; OLH: perturbed
-	// hash bucket).
+	// Value is a categorical report (GRR: perturbed item; OLH/OLH-C:
+	// perturbed hash bucket).
 	Value int
 	// Bits is a perturbed unary-encoded vector (KindUnary).
 	Bits []byte
 	// Packed is a bit-packed perturbed unary vector (KindPacked): bit k of
 	// the flattened word array is domain element k.
 	Packed []uint64
-	// Seed carries the per-user hash seed for OLH reports.
+	// Seed carries the per-user hash seed for OLH reports, or the public
+	// cohort index for OLH-C reports.
 	Seed uint64
 }
 
 // Size returns the wire size of the report in bytes, used by the
 // communication accounting layer. Categorical reports cost 4 bytes; unary
 // reports cost one byte per domain element plus header; packed unary costs
-// 8 bytes per 64 domain elements plus header; OLH costs 12.
+// 8 bytes per 64 domain elements plus header; OLH costs 12 (8-byte seed +
+// bucket); OLH-C costs 8 (small cohort index + bucket).
 func (r Report) Size() int {
 	switch r.Kind {
 	case KindUnary:
@@ -82,6 +104,8 @@ func (r Report) Size() int {
 		return 8*len(r.Packed) + 4
 	case KindHash:
 		return 12
+	case KindCohort:
+		return 8
 	default:
 		return 4
 	}
@@ -355,13 +379,17 @@ func (o *OLH) Name() string { return "OLH" }
 // Domain implements Oracle.
 func (o *OLH) Domain() int { return o.d }
 
-func (o *OLH) g(eps float64) int {
+// olhG is the optimal local-hashing range g = ⌊e^ε⌋+1 shared by OLH and
+// OLH-C.
+func olhG(eps float64) int {
 	g := int(math.Floor(math.Exp(eps))) + 1
 	if g < 2 {
 		g = 2
 	}
 	return g
 }
+
+func (o *OLH) g(eps float64) int { return olhG(eps) }
 
 // olhHash maps (seed, value) to a bucket in [0, g). It is a 64-bit
 // mix of the seed and value (stdlib-only stand-in for xxhash).
@@ -417,29 +445,184 @@ func (o *OLH) VarianceApprox(eps float64, n int) float64 {
 }
 
 // ---------------------------------------------------------------------------
+// OLH-C: cohort-hashed Optimized Local Hashing.
+// ---------------------------------------------------------------------------
+
+// DefaultCohorts is the cohort count used by NewOLHC. It is large enough
+// that the cohort-sampling term of the estimator variance is negligible
+// next to the GRR-over-g noise, yet small enough that the server's k×g
+// count matrix and k×d bucket table stay cheap.
+const DefaultCohorts = 128
+
+// OLHC implements cohort-hashed Optimized Local Hashing ("OLH-C"). It
+// runs the same GRR-over-g-buckets core as OLH (g = ⌊e^ε⌋+1), but instead
+// of a private per-user hash seed each user draws one of k public cohorts
+// and hashes with the cohort's seed. Publicity of the seeds buys a
+// domain-independent server fold: a report lands in cell (cohort, bucket)
+// of a k×g count matrix in O(1), and Estimate reconstructs per-element
+// support counts in O(k·d) via a precomputed cohort×element bucket table
+// — O(n + k·g + k·d) per round in total, against OLH's O(n·d).
+//
+// Privacy is unchanged: the ε-LDP guarantee comes from the GRR
+// perturbation over the g buckets, not from seed secrecy (OLH's seed is
+// public to the server too — it arrives in the report). Accuracy matches
+// OLH up to a cohort-sampling term that vanishes as k grows: the variance
+// approximation 4e^ε/(n(e^ε-1)^2) carries over unchanged
+// (TestOLHCVarianceMatchesFormula checks it empirically), and — as in
+// RAPPOR's cohort design — fixed cohort seeds add a per-element bias of
+// order √(Σ_v f_v² / k)·(1-1/g). In OLH-C's target regime (large domains
+// with spread-out mass) that term is negligible; for tiny domains with one
+// dominant element, raise k via NewOLHCCohorts or prefer GRR/OLH.
+type OLHC struct {
+	d int
+	k int
+
+	mu     sync.Mutex
+	tables map[int][]int32 // g → row-major k×d cohort×element bucket table
+}
+
+// NewOLHC returns an OLH-C oracle for domain size d with DefaultCohorts
+// cohorts.
+func NewOLHC(d int) *OLHC { return NewOLHCCohorts(d, DefaultCohorts) }
+
+// NewOLHCCohorts returns an OLH-C oracle for domain size d with k public
+// cohorts (k >= 2). Larger k tracks OLH's accuracy more closely; smaller k
+// shrinks the server's count matrix and bucket table.
+func NewOLHCCohorts(d, k int) *OLHC {
+	checkDomain(d)
+	if k < 2 {
+		panic(fmt.Sprintf("fo: OLH-C cohort count must be >= 2, got %d", k))
+	}
+	return &OLHC{d: d, k: k, tables: make(map[int][]int32)}
+}
+
+// Name implements Oracle.
+func (o *OLHC) Name() string { return "OLH-C" }
+
+// Domain implements Oracle.
+func (o *OLHC) Domain() int { return o.d }
+
+// Cohorts returns the number of public cohorts k.
+func (o *OLHC) Cohorts() int { return o.k }
+
+// cohortSeed derives cohort c's public hash seed (SplitMix64 finalizer of
+// the cohort index): both clients and the server can compute it, so no
+// seed ever needs to travel beyond the small cohort index.
+func cohortSeed(c int) uint64 {
+	x := uint64(c)*0x9e3779b97f4a7c15 + 0xd1b54a32d192ed03
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// bucketTable returns the cohort×element bucket table for hashing range g
+// (row-major: entry c*d+v is olhHash(cohortSeed(c), v, g)), computing and
+// caching it on first use. Mechanisms estimate every timestamp, so the
+// O(k·d) table is built once per (oracle, ε) and amortized across rounds.
+func (o *OLHC) bucketTable(g int) []int32 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if t, ok := o.tables[g]; ok {
+		return t
+	}
+	t := make([]int32, o.k*o.d)
+	for c := 0; c < o.k; c++ {
+		seed := cohortSeed(c)
+		row := t[c*o.d : (c+1)*o.d]
+		for v := range row {
+			row[v] = int32(olhHash(seed, v, g))
+		}
+	}
+	o.tables[g] = t
+	return t
+}
+
+// Perturb implements Oracle: draw a public cohort uniformly, hash the true
+// value with the cohort's seed, and run GRR over the g buckets.
+func (o *OLHC) Perturb(v int, eps float64, src *ldprand.Source) Report {
+	if v < 0 || v >= o.d {
+		panic(fmt.Sprintf("fo: OLH-C value %d outside domain [0,%d)", v, o.d))
+	}
+	g := olhG(eps)
+	c := src.Intn(o.k)
+	h := olhHash(cohortSeed(c), v, g)
+	e := math.Exp(eps)
+	p := e / (e + float64(g) - 1)
+	out := h
+	if !src.Bernoulli(p) {
+		out = src.Intn(g - 1)
+		if out >= h {
+			out++
+		}
+	}
+	return Report{Kind: KindCohort, Value: out, Seed: uint64(c)}
+}
+
+// Estimate implements Oracle.
+func (o *OLHC) Estimate(reports []Report, eps float64) ([]float64, error) {
+	return batchEstimate(o, reports, eps)
+}
+
+// Variance implements Oracle: the GRR-over-g core is OLH's, so the OLH
+// approximation carries over (the cohort-sampling term is O(1/k) of it and
+// omitted, like OLH's fk-dependent term).
+func (o *OLHC) Variance(eps float64, n int, fk float64) float64 {
+	return o.VarianceApprox(eps, n)
+}
+
+// VarianceApprox implements Oracle: 4e^ε/(n(e^ε-1)^2), as for OLH.
+func (o *OLHC) VarianceApprox(eps float64, n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	e := math.Exp(eps)
+	return 4 * e / (float64(n) * (e - 1) * (e - 1))
+}
+
+// ---------------------------------------------------------------------------
 // Registry and adaptive selection.
 // ---------------------------------------------------------------------------
 
-// New constructs an oracle by name ("GRR", "OUE", "SUE", "OLH", plus the
-// bit-packed unary variants "OUE-packed" and "SUE-packed") for domain size
-// d. It returns an error for unknown names.
-func New(name string, d int) (Oracle, error) {
-	switch name {
-	case "GRR", "grr":
-		return NewGRR(d), nil
-	case "OUE", "oue":
-		return NewOUE(d), nil
-	case "SUE", "sue":
-		return NewSUE(d), nil
-	case "OLH", "olh":
-		return NewOLH(d), nil
-	case "OUE-packed", "oue-packed":
-		return NewOUEPacked(d), nil
-	case "SUE-packed", "sue-packed":
-		return NewSUEPacked(d), nil
-	default:
-		return nil, fmt.Errorf("fo: unknown oracle %q", name)
+// registry maps canonical oracle names to constructors, in presentation
+// order. New resolves names against it case-insensitively; Names exposes
+// it so command-line tools list exactly the oracles that actually
+// construct.
+var registry = []struct {
+	name string
+	make func(d int) Oracle
+}{
+	{"GRR", func(d int) Oracle { return NewGRR(d) }},
+	{"OUE", func(d int) Oracle { return NewOUE(d) }},
+	{"SUE", func(d int) Oracle { return NewSUE(d) }},
+	{"OLH", func(d int) Oracle { return NewOLH(d) }},
+	{"OLH-C", func(d int) Oracle { return NewOLHC(d) }},
+	{"OUE-packed", func(d int) Oracle { return NewOUEPacked(d) }},
+	{"SUE-packed", func(d int) Oracle { return NewSUEPacked(d) }},
+}
+
+// Names returns the canonical name of every registered oracle, in
+// presentation order. Each is accepted by New (case-insensitively).
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
 	}
+	return names
+}
+
+// New constructs an oracle by registry name (see Names; matching is
+// case-insensitive) for domain size d. It returns an error naming the
+// known oracles for unknown names.
+func New(name string, d int) (Oracle, error) {
+	for _, e := range registry {
+		if strings.EqualFold(name, e.name) {
+			return e.make(d), nil
+		}
+	}
+	return nil, fmt.Errorf("fo: unknown oracle %q (known: %s)", name, strings.Join(Names(), " "))
 }
 
 // Best returns the lower-variance oracle between GRR and OUE for the given

@@ -2,6 +2,7 @@ package fo
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -40,7 +41,15 @@ func synthValues(freq []float64, n int, src *ldprand.Source) []int {
 }
 
 func oracles(d int) []Oracle {
-	return []Oracle{NewGRR(d), NewOUE(d), NewSUE(d), NewOLH(d), NewOUEPacked(d), NewSUEPacked(d)}
+	// OLH-C uses an oversized cohort count here: these tests run tiny
+	// domains with concentrated frequencies, where the O(1/√k)
+	// cohort-sampling term is at its largest relative to the tight shared
+	// tolerances. The default cohort count is exercised by the dedicated
+	// OLH-C tests in cohort_test.go.
+	return []Oracle{
+		NewGRR(d), NewOUE(d), NewSUE(d), NewOLH(d),
+		NewOLHCCohorts(d, 1024), NewOUEPacked(d), NewSUEPacked(d),
+	}
 }
 
 func TestUnbiasedness(t *testing.T) {
@@ -288,17 +297,36 @@ func TestPerturbPanicsOutOfDomain(t *testing.T) {
 }
 
 func TestNewRegistry(t *testing.T) {
-	for _, name := range []string{"GRR", "OUE", "SUE", "OLH", "grr", "oue", "OUE-packed", "SUE-packed", "sue-packed"} {
-		o, err := New(name, 5)
-		if err != nil || o == nil {
-			t.Fatalf("New(%q): %v", name, err)
+	names := Names()
+	want := []string{"GRR", "OUE", "SUE", "OLH", "OLH-C", "OUE-packed", "SUE-packed"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], n)
 		}
-		if o.Domain() != 5 {
-			t.Fatalf("New(%q) domain %d", name, o.Domain())
+	}
+	// Every canonical name dispatches, in every case variant, to an oracle
+	// that reports the canonical name back.
+	for _, name := range names {
+		for _, alias := range []string{name, strings.ToLower(name), strings.ToUpper(name)} {
+			o, err := New(alias, 5)
+			if err != nil || o == nil {
+				t.Fatalf("New(%q): %v", alias, err)
+			}
+			if o.Name() != name {
+				t.Fatalf("New(%q).Name() = %q, want %q", alias, o.Name(), name)
+			}
+			if o.Domain() != 5 {
+				t.Fatalf("New(%q) domain %d", alias, o.Domain())
+			}
 		}
 	}
 	if _, err := New("nope", 5); err == nil {
 		t.Fatal("unknown oracle accepted")
+	} else if !strings.Contains(err.Error(), "OLH-C") {
+		t.Fatalf("unknown-oracle error %q does not list the known names", err)
 	}
 }
 
@@ -367,6 +395,29 @@ func TestReportSize(t *testing.T) {
 	if (Report{Kind: KindHash, Value: 2, Seed: 0}).Size() != 12 {
 		t.Fatal("OLH report with zero seed misclassified")
 	}
+	// Cohort reports carry a small public cohort index instead of an 8-byte
+	// private seed, so they are cheaper on the wire than OLH.
+	if (Report{Kind: KindCohort, Value: 2, Seed: 7}).Size() != 8 {
+		t.Fatal("OLH-C report size")
+	}
+	if (Report{Kind: KindCohort, Value: 2, Seed: 0}).Size() != 8 {
+		t.Fatal("OLH-C report with cohort 0 misclassified")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindValue:  "value",
+		KindUnary:  "unary",
+		KindPacked: "packed",
+		KindHash:   "hash",
+		KindCohort: "cohort",
+		Kind(99):   "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), got, want)
+		}
+	}
 }
 
 func TestDomainPanics(t *testing.T) {
@@ -375,6 +426,8 @@ func TestDomainPanics(t *testing.T) {
 		func() { NewOUE(0) },
 		func() { NewSUE(-3) },
 		func() { NewOLH(1) },
+		func() { NewOLHC(1) },
+		func() { NewOLHCCohorts(5, 1) },
 	} {
 		func() {
 			defer func() {

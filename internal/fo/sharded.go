@@ -9,10 +9,11 @@ import (
 
 // ShardedAggregator fans report folding across parallel shard goroutines,
 // each owning a private counter set built from the same oracle; Estimate
-// merges the per-shard counters and finishes with the shared estimator.
-// Integer counter addition commutes, so a sharded fold is bit-identical to
-// the unsharded Aggregator on the same reports regardless of shard count
-// or scheduling — the conformance suite asserts this for every oracle.
+// merges the per-shard counters (countCore element counts or cohortCore
+// matrices) and finishes with the shared estimator. Integer counter
+// addition commutes, so a sharded fold is bit-identical to the unsharded
+// Aggregator on the same reports regardless of shard count or scheduling —
+// the conformance suite asserts this for every oracle.
 //
 // Use it when the per-report fold is expensive at large d (unary bit scans,
 // OLH's O(d) hash inversion): Add costs one channel send and the O(d) work
@@ -21,7 +22,7 @@ import (
 // it drains the shards, and later Adds fail. Call Close when abandoning an
 // aggregator without estimating, or the shard goroutines leak.
 type ShardedAggregator struct {
-	shards []coreAggregator
+	shards []shardMergeable
 	ch     []chan Report
 	wg     sync.WaitGroup
 
@@ -46,7 +47,7 @@ func NewShardedAggregator(o Oracle, eps float64, shards int) (*ShardedAggregator
 		shards = runtime.GOMAXPROCS(0)
 	}
 	s := &ShardedAggregator{
-		shards: make([]coreAggregator, shards),
+		shards: make([]shardMergeable, shards),
 		ch:     make([]chan Report, shards),
 	}
 	for i := range s.shards {
@@ -54,11 +55,11 @@ func NewShardedAggregator(o Oracle, eps float64, shards int) (*ShardedAggregator
 		if err != nil {
 			return nil, err
 		}
-		ca, ok := agg.(coreAggregator)
+		sm, ok := agg.(shardMergeable)
 		if !ok {
 			return nil, fmt.Errorf("fo: %s aggregator %T does not support sharded merging", o.Name(), agg)
 		}
-		s.shards[i] = ca
+		s.shards[i] = sm
 		s.ch[i] = make(chan Report, 128)
 		s.wg.Add(1)
 		go s.fold(i)
@@ -141,7 +142,9 @@ func (s *ShardedAggregator) Estimate() ([]float64, error) {
 	if !s.merged {
 		s.merged = true
 		for _, sh := range s.shards[1:] {
-			s.shards[0].core().mergeFrom(sh.core())
+			if err := s.shards[0].mergeShard(sh); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s.shards[0].Estimate()

@@ -46,7 +46,7 @@ func TestShardedConformance(t *testing.T) {
 	// every oracle family and shard count.
 	d := 129 // exercises the packed-word tail
 	oracles := []Oracle{
-		NewGRR(d), NewOUE(d), NewSUE(d), NewOLH(d),
+		NewGRR(d), NewOUE(d), NewSUE(d), NewOLH(d), NewOLHC(d),
 		NewOUEPacked(d), NewSUEPacked(d),
 	}
 	for _, o := range oracles {

@@ -102,6 +102,15 @@ func NewSUE(d int) Oracle { return fo.NewSUE(d) }
 // NewOLH returns the Optimized Local Hashing oracle for domain size d.
 func NewOLH(d int) Oracle { return fo.NewOLH(d) }
 
+// NewOLHC returns the cohort-hashed Optimized Local Hashing oracle
+// ("OLH-C") for domain size d: same privacy and variance as OLH, but the
+// server folds each report in O(1) instead of O(d), making large-domain
+// rounds O(n + k·d) instead of O(n·d).
+func NewOLHC(d int) Oracle { return fo.NewOLHC(d) }
+
+// NewOLHCCohorts is NewOLHC with an explicit public cohort count k.
+func NewOLHCCohorts(d, k int) Oracle { return fo.NewOLHCCohorts(d, k) }
+
 // NewOUEPacked returns an OUE oracle emitting the bit-packed wire format:
 // 8x smaller reports, identical estimates.
 func NewOUEPacked(d int) Oracle { return fo.NewOUEPacked(d) }
@@ -109,9 +118,11 @@ func NewOUEPacked(d int) Oracle { return fo.NewOUEPacked(d) }
 // NewSUEPacked returns an SUE oracle emitting the bit-packed wire format.
 func NewSUEPacked(d int) Oracle { return fo.NewSUEPacked(d) }
 
-// NewOracle constructs an oracle by name ("GRR", "OUE", "SUE", "OLH",
-// "OUE-packed", "SUE-packed").
+// NewOracle constructs an oracle by registry name (see OracleNames).
 func NewOracle(name string, d int) (Oracle, error) { return fo.New(name, d) }
+
+// OracleNames lists every registered oracle name accepted by NewOracle.
+func OracleNames() []string { return fo.Names() }
 
 // BestOracle returns the lower-variance choice between GRR and OUE for the
 // given domain size and budget.
