@@ -5,12 +5,22 @@
 //
 //	ldpids-bench -exp fig4                 # one experiment
 //	ldpids-bench -exp all -scale 0.1       # the full evaluation, scaled
-//	ldpids-bench -exp table2 -scale 1.0    # paper-size populations
+//	ldpids-bench -exp all -journal runs    # journal cells as they complete
+//	ldpids-bench -exp all -journal runs -resume   # resume after interruption
 //
 // Populations default to 10% of the paper's sizes (-scale 0.1) so the full
 // suite completes in minutes; shapes and orderings are population-invariant
 // (Fig. 6 sweeps N explicitly). Pass -audit to run the w-event privacy
 // accountant alongside every run.
+//
+// Every experiment is a declarative plan of content-hashed cells executed
+// by one scheduler, so cells shared between figures run once per
+// invocation. With -journal DIR, completed cells append to the
+// crash-safe journal DIR/runlog.jsonl; re-running with -resume skips every
+// journaled cell and produces bit-identical tables to an uninterrupted
+// run. Live progress (cells done/total, cache hits, ETA) goes to stderr,
+// as do the per-experiment banners and timing lines — stdout carries only
+// the tables, so `ldpids-bench -format json > out.json` always parses.
 //
 // The -oracle flag accepts every name registered in the fo oracle
 // registry (the usage text is derived from it, so it can never go stale):
@@ -24,23 +34,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"ldpids/internal/experiment"
 	"ldpids/internal/fo"
+	"ldpids/internal/runlog"
 )
 
 // experimentIDs returns the sorted ids of every registered experiment, so
-// the -exp usage text always matches the registry.
+// the -exp usage text and the -exp all expansion always match the
+// registry.
 func experimentIDs() []string {
-	var ids []string
-	for id := range (&experiment.Config{}).Experiments() {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
+	return (&experiment.Config{}).PlanIDs()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }
 
 func main() {
@@ -55,6 +67,8 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default all)")
 		audit    = flag.Bool("audit", false, "run the w-event privacy accountant on every run")
 		format   = flag.String("format", "text", "output format: text csv json")
+		journal  = flag.String("journal", "", "directory for the append-only run journal (cells persist as they complete)")
+		resume   = flag.Bool("resume", false, "reuse the journal's completed cells (requires -journal)")
 	)
 	flag.Parse()
 
@@ -73,41 +87,139 @@ func main() {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
 
-	registry := cfg.Experiments()
+	builders := cfg.Plans()
 	var ids []string
 	if *exp == "all" {
-		for id := range registry {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
+		ids = experimentIDs()
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
-			if registry[id] == nil {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; available:", id)
-				for k := range registry {
-					fmt.Fprintf(os.Stderr, " %s", k)
-				}
-				fmt.Fprintln(os.Stderr)
-				os.Exit(2)
+			if builders[id] == nil {
+				fatalf("unknown experiment %q; available: %s", id, strings.Join(experimentIDs(), " "))
 			}
 			ids = append(ids, id)
 		}
 	}
 
-	for _, id := range ids {
-		start := time.Now()
-		fmt.Printf("=== %s (scale=%g, oracle=%s, reps=%d) ===\n\n", id, *scale, *oracle, *reps)
-		tables, err := registry[id]()
+	j := openJournal(*journal, *resume)
+	if j != nil {
+		defer j.Close()
+	}
+
+	sched := cfg.NewScheduler(j)
+	plans := make([]experiment.Plan, len(ids))
+	for i, id := range ids {
+		plans[i] = builders[id]()
+	}
+	sched.Announce(plans...)
+	prog := newProgressPrinter(os.Stderr)
+	sched.OnProgress = prog.update
+
+	start := time.Now()
+	var jsonTables []experiment.Table
+	for i, id := range ids {
+		fmt.Fprintf(os.Stderr, "=== %s (scale=%g, oracle=%s, reps=%d) ===\n", id, *scale, *oracle, *reps)
+		idStart := time.Now()
+		tables, err := sched.Run(plans[i])
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			prog.clear()
+			fatalf("%s: %v", id, err)
 		}
-		if err := experiment.Write(os.Stdout, tables, *format); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+		prog.clear()
+		if *format == "json" {
+			// One well-formed JSON document across all experiments.
+			jsonTables = append(jsonTables, tables...)
+		} else if err := experiment.Write(os.Stdout, tables, *format); err != nil {
+			fatalf("%s: %v", id, err)
 		}
-		if *format == "text" {
-			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", id, time.Since(idStart).Round(time.Millisecond))
+	}
+	if *format == "json" {
+		if err := experiment.Write(os.Stdout, jsonTables, "json"); err != nil {
+			fatalf("json: %v", err)
 		}
 	}
+	prog.finish(sched.Stats(), time.Since(start))
+}
+
+// openJournal opens the run journal under dir, guarding against silently
+// clobbering (or silently reusing) a previous run's records: an existing
+// non-empty journal requires an explicit -resume.
+func openJournal(dir string, resume bool) *runlog.Journal {
+	if dir == "" {
+		if resume {
+			fatalf("-resume requires -journal DIR")
+		}
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("journal: %v", err)
+	}
+	path := filepath.Join(dir, "runlog.jsonl")
+	if !resume {
+		if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+			fatalf("journal %s already holds records; pass -resume to reuse them or remove the file", path)
+		}
+	}
+	j, err := runlog.Open(path)
+	if err != nil {
+		fatalf("journal: %v", err)
+	}
+	return j
+}
+
+// progressPrinter renders scheduler progress on stderr: a live rewritten
+// line on terminals, throttled plain lines otherwise (CI logs).
+type progressPrinter struct {
+	w       *os.File
+	tty     bool
+	last    time.Time
+	lastLen int
+}
+
+func newProgressPrinter(w *os.File) *progressPrinter {
+	st, err := w.Stat()
+	tty := err == nil && st.Mode()&os.ModeCharDevice != 0
+	return &progressPrinter{w: w, tty: tty}
+}
+
+func formatProgress(p experiment.Progress) string {
+	s := fmt.Sprintf("cells %d/%d (%d cached)", p.Done, p.Total, p.CacheHits)
+	if p.ETA > 0 {
+		s += fmt.Sprintf("  eta %v", p.ETA.Round(time.Second))
+	}
+	return s
+}
+
+// update is called by the scheduler after every completed run group.
+func (pp *progressPrinter) update(p experiment.Progress) {
+	line := formatProgress(p)
+	if pp.tty {
+		pad := pp.lastLen - len(line)
+		if pad < 0 {
+			pad = 0
+		}
+		fmt.Fprintf(pp.w, "\r%s%s", line, strings.Repeat(" ", pad))
+		pp.lastLen = len(line)
+		return
+	}
+	if time.Since(pp.last) < 2*time.Second && p.Done < p.Total {
+		return
+	}
+	pp.last = time.Now()
+	fmt.Fprintln(pp.w, line)
+}
+
+// clear ends a live progress line before other stderr output.
+func (pp *progressPrinter) clear() {
+	if pp.tty && pp.lastLen > 0 {
+		fmt.Fprintf(pp.w, "\r%s\r", strings.Repeat(" ", pp.lastLen))
+		pp.lastLen = 0
+	}
+}
+
+// finish prints the invocation summary.
+func (pp *progressPrinter) finish(p experiment.Progress, elapsed time.Duration) {
+	pp.clear()
+	fmt.Fprintf(pp.w, "done: %d cells (%d cached, %d runs) in %v\n",
+		p.Done, p.CacheHits, p.RunsDone, elapsed.Round(time.Millisecond))
 }

@@ -11,111 +11,119 @@ import (
 // Ablation experiments beyond the paper's figures, probing the design
 // choices DESIGN.md calls out.
 
-// AblationFO swaps the frequency oracle under the best adaptive method on
-// each dataset family: MRE of LPA with every registered oracle (ε = 1,
-// w = 20) — GRR vs OUE vs SUE vs OLH vs cohort-hashed OLH-C, plus the
-// bit-packed unary wire formats, which must match their unpacked
-// counterparts' accuracy while shrinking reports ~8x. GRR should win on
-// d = 2; OUE/OLH/OLH-C should close the gap (or win) on the large-domain
-// traces. The row set is derived from fo.Names, so a newly registered
-// oracle joins the grid automatically.
-func (c *Config) AblationFO() ([]Table, error) {
+// planAblationFO declares the frequency-oracle swap under the best
+// adaptive method on each dataset family: MRE of LPA with every registered
+// oracle (ε = 1, w = 20) — GRR vs OUE vs SUE vs OLH vs cohort-hashed
+// OLH-C, plus the bit-packed unary wire formats, which must match their
+// unpacked counterparts' accuracy while shrinking reports ~8x. GRR should
+// win on d = 2; OUE/OLH/OLH-C should close the gap (or win) on the
+// large-domain traces. The row set is derived from fo.Names, so a newly
+// registered oracle joins the grid automatically.
+func (c *Config) planAblationFO() Plan {
 	oracles := fo.Names()
 	datasets := []string{"Sin", "Taxi", "Foursquare"}
 	if len(c.Datasets) > 0 {
 		datasets = c.Datasets
 	}
-	tbl := Table{
+	p := Plan{ID: "ablation-fo"}
+	ti := p.addTable(Table{
 		Title:    "Ablation: frequency oracle under LPA (eps=1, w=20), MRE",
 		XLabel:   "oracle",
 		ColHeads: datasets,
 		RowHeads: oracles,
-	}
-	err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
-		out, err := ExecuteAveragedWorkers(RunSpec{
-			Stream: StreamSpec{Dataset: datasets[col], PopScale: c.popScale()},
-			Method: "LPA", Eps: 1, W: 20,
-			Oracle: oracles[r], Seed: c.cellSeed(7, r, col),
-			StreamSeed: c.cellSeed(107, col), Audit: c.Audit,
-		}, c.reps(), 1)
-		if err != nil {
-			return 0, err
-		}
-		return out.MRE, nil
 	})
-	if err != nil {
-		return nil, err
+	for r, oracle := range oracles {
+		for col, ds := range datasets {
+			p.Cells = append(p.Cells, Cell{
+				Table: ti, Row: r, Col: col, Metric: MetricMRE,
+				Spec: c.runSpec(RunSpec{
+					Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+					Method: "LPA", Eps: 1, W: 20, Oracle: oracle,
+				}),
+				Reps: c.reps(),
+			})
+		}
 	}
-	return []Table{tbl}, nil
+	return p
 }
 
-// AblationUMin sweeps LPD's publication-user floor u_min: too small wastes
-// publications on useless tiny groups, too large suppresses publication.
-func (c *Config) AblationUMin() ([]Table, error) {
+// AblationFO runs the oracle-swap ablation (compatibility wrapper).
+func (c *Config) AblationFO() ([]Table, error) { return c.runPlan(c.planAblationFO()) }
+
+// planAblationUMin declares the sweep of LPD's publication-user floor
+// u_min: too small wastes publications on useless tiny groups, too large
+// suppresses publication.
+func (c *Config) planAblationUMin() Plan {
 	uMins := []int{1, 10, 100, 1000}
 	cols := []string{"1", "10", "100", "1000"}
 	datasets := []string{"LNS", "Sin"}
 	if len(c.Datasets) > 0 {
 		datasets = c.Datasets
 	}
-	tbl := Table{
+	p := Plan{ID: "ablation-umin"}
+	ti := p.addTable(Table{
 		Title:    "Ablation: LPD u_min floor (eps=1, w=20), MRE",
 		XLabel:   "dataset",
 		ColHeads: cols,
 		RowHeads: datasets,
-	}
-	err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
-		out, err := ExecuteAveragedWorkers(RunSpec{
-			Stream: StreamSpec{Dataset: datasets[r], PopScale: c.popScale()},
-			Method: "LPD", Eps: 1, W: 20, UMin: uMins[col],
-			Oracle: c.Oracle, Seed: c.cellSeed(8, r, col),
-			StreamSeed: c.cellSeed(108, r), Audit: c.Audit,
-		}, c.reps(), 1)
-		if err != nil {
-			return 0, err
-		}
-		return out.MRE, nil
 	})
-	if err != nil {
-		return nil, err
+	for r, ds := range datasets {
+		for col, uMin := range uMins {
+			p.Cells = append(p.Cells, Cell{
+				Table: ti, Row: r, Col: col, Metric: MetricMRE,
+				Spec: c.runSpec(RunSpec{
+					Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+					Method: "LPD", Eps: 1, W: 20, UMin: uMin,
+				}),
+				Reps: c.reps(),
+			})
+		}
 	}
-	return []Table{tbl}, nil
+	return p
 }
 
-// AblationSplit sweeps the M1/M2 resource split of the adaptive methods:
-// the paper fixes it at 1/2; this quantifies the sensitivity of that
-// choice for LBA and LPA.
-func (c *Config) AblationSplit() ([]Table, error) {
+// AblationUMin runs the u_min ablation (compatibility wrapper).
+func (c *Config) AblationUMin() ([]Table, error) { return c.runPlan(c.planAblationUMin()) }
+
+// planAblationSplit declares the sweep of the M1/M2 resource split of the
+// adaptive methods: the paper fixes it at 1/2; this quantifies the
+// sensitivity of that choice. The 0.50 column normalizes to the same
+// content key as the default split, so it shares runs with the paper
+// figures.
+func (c *Config) planAblationSplit() Plan {
 	fracs := []float64{0.25, 0.5, 0.75}
 	cols := []string{"0.25", "0.50", "0.75"}
 	methods := []string{"LBA", "LPA", "LBD", "LPD"}
-	var tables []Table
-	for _, ds := range []string{"LNS"} {
-		ds := ds
-		tbl := Table{
-			Title:    fmt.Sprintf("Ablation: M1 resource fraction on %s (eps=1, w=20), MRE", ds),
-			XLabel:   "M1 frac",
-			ColHeads: cols,
-			RowHeads: methods,
+	p := Plan{ID: "ablation-split"}
+	ti := p.addTable(Table{
+		Title:    "Ablation: M1 resource fraction on LNS (eps=1, w=20), MRE",
+		XLabel:   "M1 frac",
+		ColHeads: cols,
+		RowHeads: methods,
+	})
+	for r, method := range methods {
+		for col, frac := range fracs {
+			p.Cells = append(p.Cells, Cell{
+				Table: ti, Row: r, Col: col, Metric: MetricMRE,
+				Spec: c.runSpec(RunSpec{
+					Stream: StreamSpec{Dataset: "LNS", PopScale: c.popScale()},
+					Method: method, Eps: 1, W: 20, DisFraction: frac,
+				}),
+				Reps: c.reps(),
+			})
 		}
-		err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
-			out, err := ExecuteAveragedWorkers(RunSpec{
-				Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
-				Method: methods[r], Eps: 1, W: 20, DisFraction: fracs[col],
-				Oracle: c.Oracle, Seed: c.cellSeed(9, r, col),
-				StreamSeed: c.cellSeed(109, 0), Audit: c.Audit,
-			}, c.reps(), 1)
-			if err != nil {
-				return 0, err
-			}
-			return out.MRE, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		tables = append(tables, tbl)
 	}
-	return tables, nil
+	return p
+}
+
+// AblationSplit runs the resource-split ablation (compatibility wrapper).
+func (c *Config) AblationSplit() ([]Table, error) { return c.runPlan(c.planAblationSplit()) }
+
+// planAblationOLH wraps the OLH fold-cost grid as a Direct plan: its cells
+// are wall-clock measurements, not seeded runs, so they are executed
+// imperatively and never journaled (a resumed run re-times them).
+func (c *Config) planAblationOLH() Plan {
+	return Plan{ID: "ablation-olh", Direct: c.AblationOLHFold}
 }
 
 // AblationOLHFold measures the server-side cost split of OLH against

@@ -1,154 +1,88 @@
 package experiment
 
-import (
-	"ldpids/internal/cdp"
-	"ldpids/internal/filter"
-	"ldpids/internal/fo"
-	"ldpids/internal/ldprand"
-	"ldpids/internal/metrics"
-	"ldpids/internal/stream"
-)
-
-// CompareCDP quantifies the trust gap: the centralized w-event DP baselines
-// (Laplace noise on the true histogram; Kellaris BD/BA) against their LDP
-// counterparts at the same (ε, w), by MAE on the Sin stream. CDP errors
-// should be orders of magnitude below LDP ones — the price of removing the
-// trusted aggregator.
-func (c *Config) CompareCDP() ([]Table, error) {
+// planCompareCDP declares the trust-gap comparison: the centralized
+// w-event DP baselines (Laplace noise on the true histogram; Kellaris
+// BD/BA) against their LDP counterparts at the same (ε, w), by MAE on the
+// Sin stream. CDP errors should be orders of magnitude below LDP ones —
+// the price of removing the trusted aggregator. The CDP baselines are
+// ordinary cells: Execute recognizes the CDP-* method names and runs them
+// over the true histograms in the centralized trust model, so they
+// journal, dedupe, and resume like every other cell.
+func (c *Config) planCompareCDP() Plan {
 	epsVals := []float64{0.5, 1, 2}
 	cols := []string{"0.5", "1.0", "2.0"}
 	rows := []string{"CDP-Uniform", "CDP-BD", "CDP-BA", "LBU", "LBA", "LPU", "LPA"}
 	w := 20
 
-	tbl := Table{
+	p := Plan{ID: "compare-cdp"}
+	ti := p.addTable(Table{
 		Title:    "Comparison: CDP vs LDP at the same (eps, w=20), MAE on Sin",
 		XLabel:   "method",
 		ColHeads: cols,
 		RowHeads: rows,
-		Cells:    make([][]float64, len(rows)),
-	}
-	for r := range rows {
-		tbl.Cells[r] = make([]float64, len(cols))
-	}
-
-	// Columns are self-contained (own stream realization, own mechanism
-	// seeds) and write disjoint cells, so they fan out across the pool.
-	err := parallelFor(len(epsVals), c.workers(), func(col int) error {
-		eps := epsVals[col]
-		// Shared truth stream for the CDP mechanisms.
-		streamSeed := c.cellSeed(110, col)
-		sp := StreamSpec{Dataset: "Sin", PopScale: c.popScale()}
-		src := ldprand.New(streamSeed)
-		s, T, d, err := sp.Build(src.Split())
-		if err != nil {
-			return err
-		}
-		truth := stream.Histograms(stream.Materialize(s, T), d)
-		n := s.N()
-
-		mkParams := func(seed uint64) cdp.Params {
-			return cdp.Params{Eps: eps, W: w, N: n, Src: ldprand.New(seed)}
-		}
-		cdpMechs := map[string]cdp.Mechanism{
-			"CDP-Uniform": cdp.NewUniform(mkParams(c.cellSeed(111, col, 0))),
-			"CDP-BD":      cdp.NewBD(mkParams(c.cellSeed(111, col, 1))),
-			"CDP-BA":      cdp.NewBA(mkParams(c.cellSeed(111, col, 2))),
-		}
-		for r, name := range rows {
-			if m, ok := cdpMechs[name]; ok {
-				tbl.Cells[r][col] = metrics.MAE(cdp.Run(m, truth), truth)
-				continue
-			}
-			out, err := ExecuteAveragedWorkers(RunSpec{
-				Stream: sp, Method: name, Eps: eps, W: w,
-				Oracle: c.Oracle, Seed: c.cellSeed(111, col, 10+r),
-				StreamSeed: streamSeed, Audit: c.Audit,
-			}, c.reps(), 1)
-			if err != nil {
-				return err
-			}
-			tbl.Cells[r][col] = out.MAE
-		}
-		return nil
 	})
-	if err != nil {
-		return nil, err
+	for r, method := range rows {
+		for col, eps := range epsVals {
+			p.Cells = append(p.Cells, Cell{
+				Table: ti, Row: r, Col: col, Metric: MetricMAE,
+				Spec: c.runSpec(RunSpec{
+					Stream: StreamSpec{Dataset: "Sin", PopScale: c.popScale()},
+					Method: method, Eps: eps, W: w,
+				}),
+				Reps: c.reps(),
+			})
+		}
 	}
-	return []Table{tbl}, nil
+	return p
 }
 
-// AblationFilter measures the benefit of server-side post-processing
+// CompareCDP runs the CDP-vs-LDP comparison (compatibility wrapper).
+func (c *Config) CompareCDP() ([]Table, error) { return c.runPlan(c.planCompareCDP()) }
+
+// planAblationFilter declares the server-side post-processing ablation
 // (free under DP): raw LPU releases vs Kalman-filtered (using the oracle's
-// closed-form release variance) vs EWMA-smoothed, by MSE on LNS.
-func (c *Config) AblationFilter() ([]Table, error) {
-	w := 20
-	eps := 1.0
-	rows := []string{"LPU raw", "LPU+Kalman", "LPU+EWMA(0.3)", "LBU raw", "LBU+Kalman"}
+// closed-form release variance) vs EWMA-smoothed, by MSE. The raw and
+// filtered rows select different metrics from the SAME run, so each
+// (dataset, method) pair executes once and the filter variants ride along
+// as derived metrics.
+func (c *Config) planAblationFilter() Plan {
 	cols := []string{"LNS", "Sin"}
-	tbl := Table{
+	rows := []struct {
+		head   string
+		method string
+		metric string
+	}{
+		{"LPU raw", "LPU", MetricMSE},
+		{"LPU+Kalman", "LPU", MetricKalmanMSE},
+		{"LPU+EWMA(0.3)", "LPU", MetricEWMA03MSE},
+		{"LBU raw", "LBU", MetricMSE},
+		{"LBU+Kalman", "LBU", MetricKalmanMSE},
+	}
+	heads := make([]string, len(rows))
+	for i, r := range rows {
+		heads[i] = r.head
+	}
+	p := Plan{ID: "ablation-filter"}
+	ti := p.addTable(Table{
 		Title:    "Ablation: server-side filtering of releases (eps=1, w=20), MSE",
 		XLabel:   "pipeline",
 		ColHeads: cols,
-		RowHeads: rows,
-		Cells:    make([][]float64, len(rows)),
-	}
-	for r := range rows {
-		tbl.Cells[r] = make([]float64, len(cols))
-	}
-	// One work item per (dataset, base method) combination; each writes a
-	// disjoint set of rows in its own column.
-	bases := []struct {
-		base   int // row of the raw variant; filtered variants follow
-		method string
-	}{{0, "LPU"}, {3, "LBU"}}
-	type workItem struct {
-		col    int
-		base   int
-		method string
-	}
-	var combos []workItem
-	for col := range cols {
-		for _, b := range bases {
-			combos = append(combos, workItem{col, b.base, b.method})
-		}
-	}
-	err := parallelFor(len(combos), c.workers(), func(i int) error {
-		col, base, method := combos[i].col, combos[i].base, combos[i].method
-		out, err := ExecuteAveragedWorkers(RunSpec{
-			Stream: StreamSpec{Dataset: cols[col], PopScale: c.popScale()},
-			Method: method, Eps: eps, W: w,
-			Oracle: c.Oracle, Seed: c.cellSeed(112, col, base),
-			StreamSeed: c.cellSeed(113, col), Audit: c.Audit,
-		}, c.reps(), 1)
-		if err != nil {
-			return err
-		}
-		tbl.Cells[base][col] = metrics.MSE(out.Released, out.True)
-
-		// Per-release measurement variance: LPU reports with full
-		// eps from N/w users; LBU with eps/w from all N users.
-		oracle := fo.NewGRR(2)
-		var mv float64
-		if method == "LPU" {
-			mv = oracle.VarianceApprox(eps, out.N/w)
-		} else {
-			mv = oracle.VarianceApprox(eps/float64(w), out.N)
-		}
-		measVar := make([]float64, out.T)
-		for i := range measVar {
-			measVar[i] = mv
-		}
-		filtered := filter.KalmanStream(out.Released, measVar, 1e-5)
-		tbl.Cells[base+1][col] = metrics.MSE(filtered, out.True)
-
-		if method == "LPU" {
-			smoothed := filter.EWMAStream(out.Released, 0.3)
-			tbl.Cells[base+2][col] = metrics.MSE(smoothed, out.True)
-		}
-		return nil
+		RowHeads: heads,
 	})
-	if err != nil {
-		return nil, err
+	for r, row := range rows {
+		for col, ds := range cols {
+			p.Cells = append(p.Cells, Cell{
+				Table: ti, Row: r, Col: col, Metric: row.metric,
+				Spec: c.runSpec(RunSpec{
+					Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+					Method: row.method, Eps: 1, W: 20,
+				}),
+				Reps: c.reps(),
+			})
+		}
 	}
-	return []Table{tbl}, nil
+	return p
 }
+
+// AblationFilter runs the filtering ablation (compatibility wrapper).
+func (c *Config) AblationFilter() ([]Table, error) { return c.runPlan(c.planAblationFilter()) }

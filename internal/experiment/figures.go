@@ -57,197 +57,163 @@ func (c *Config) datasets() []string {
 	return c.Datasets
 }
 
-// cellSeed derives a distinct seed per table cell so runs are independent
-// but replayable.
-func (c *Config) cellSeed(parts ...int) uint64 {
-	s := c.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-	for _, p := range parts {
-		s = s*1099511628211 + uint64(p) + 1
+// sweepTable declares one table of methods x cols in the plan: a skeleton
+// plus one cell per slot. specAt returns the raw spec for a (method, col)
+// slot; runSpec canonicalizes it (config oracle/audit, content-derived
+// seeds). The paper-figure sweeps fail on any audited w-event violation.
+func (c *Config) sweepTable(p *Plan, title, xlabel string, cols []string, metric string, specAt func(method string, col int) RunSpec) {
+	rows := c.methods()
+	ti := p.addTable(Table{Title: title, XLabel: xlabel, ColHeads: cols, RowHeads: rows})
+	for r, method := range rows {
+		for col := range cols {
+			p.Cells = append(p.Cells, Cell{
+				Table: ti, Row: r, Col: col, Metric: metric,
+				Spec: c.runSpec(specAt(method, col)), Reps: c.reps(),
+				FailOnViolation: true,
+			})
+		}
 	}
-	return s
 }
 
-// sweep runs every method over the given x-axis, extracting one metric per
-// run into a Table. Cells are independent seeded runs and fan out across
-// the worker pool; repetitions within a cell stay serial so concurrency is
-// bounded by the pool alone.
-func (c *Config) sweep(title, xlabel string, cols []string, specAt func(method string, col int) RunSpec, metric func(*Outcome) float64) (Table, error) {
-	tbl := Table{Title: title, XLabel: xlabel, ColHeads: cols, RowHeads: c.methods()}
-	err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
-		method := tbl.RowHeads[r]
-		out, err := ExecuteAveragedWorkers(specAt(method, col), c.reps(), 1)
-		if err != nil {
-			return 0, err
-		}
-		if out.PrivacyViolations > 0 {
-			return 0, fmt.Errorf("experiment: %s violated w-event LDP in %q", method, title)
-		}
-		return metric(out), nil
-	})
-	if err != nil {
-		return Table{}, err
-	}
-	return tbl, nil
-}
-
-// Fig4 reproduces Figure 4: MRE vs ε ∈ {0.5, 1, 1.5, 2, 2.5} with w = 20
-// on every dataset.
-func (c *Config) Fig4() ([]Table, error) {
+// planFig4 declares Figure 4: MRE vs ε ∈ {0.5, 1, 1.5, 2, 2.5} with
+// w = 20 on every dataset.
+func (c *Config) planFig4() Plan {
 	epsVals := []float64{0.5, 1, 1.5, 2, 2.5}
 	cols := []string{"0.5", "1.0", "1.5", "2.0", "2.5"}
-	var tables []Table
+	p := Plan{ID: "fig4"}
 	for di, ds := range c.datasets() {
-		tbl, err := c.sweep(
+		ds := ds
+		c.sweepTable(&p,
 			fmt.Sprintf("Fig 4(%c): MRE vs eps on %s (w=20)", 'a'+di, ds),
-			"eps", cols,
+			"eps", cols, MetricMRE,
 			func(method string, col int) RunSpec {
 				return RunSpec{
 					Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
 					Method: method, Eps: epsVals[col], W: 20,
-					Oracle: c.Oracle, Seed: c.cellSeed(1, di, col),
-					StreamSeed: c.cellSeed(101, di), Audit: c.Audit,
 				}
-			},
-			func(o *Outcome) float64 { return o.MRE })
-		if err != nil {
-			return nil, err
-		}
-		tables = append(tables, tbl)
+			})
 	}
-	return tables, nil
+	return p
 }
 
-// Fig5 reproduces Figure 5: MRE vs w ∈ {10, 20, 30, 40, 50} with ε = 1.
-func (c *Config) Fig5() ([]Table, error) {
+// Fig4 reproduces Figure 4 (compatibility wrapper over the plan).
+func (c *Config) Fig4() ([]Table, error) { return c.runPlan(c.planFig4()) }
+
+// planFig5 declares Figure 5: MRE vs w ∈ {10, 20, 30, 40, 50} with ε = 1.
+func (c *Config) planFig5() Plan {
 	wVals := []int{10, 20, 30, 40, 50}
 	cols := []string{"10", "20", "30", "40", "50"}
-	var tables []Table
+	p := Plan{ID: "fig5"}
 	for di, ds := range c.datasets() {
-		tbl, err := c.sweep(
+		ds := ds
+		c.sweepTable(&p,
 			fmt.Sprintf("Fig 5(%c): MRE vs w on %s (eps=1)", 'a'+di, ds),
-			"w", cols,
+			"w", cols, MetricMRE,
 			func(method string, col int) RunSpec {
 				return RunSpec{
 					Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
 					Method: method, Eps: 1, W: wVals[col],
-					Oracle: c.Oracle, Seed: c.cellSeed(2, di, col),
-					StreamSeed: c.cellSeed(102, di), Audit: c.Audit,
 				}
-			},
-			func(o *Outcome) float64 { return o.MRE })
-		if err != nil {
-			return nil, err
-		}
-		tables = append(tables, tbl)
+			})
 	}
-	return tables, nil
+	return p
 }
 
-// Fig6 reproduces Figure 6: the impact of dataset parameters with ε = 1,
+// Fig5 reproduces Figure 5 (compatibility wrapper over the plan).
+func (c *Config) Fig5() ([]Table, error) { return c.runPlan(c.planFig5()) }
+
+// planFig6 declares Figure 6: the impact of dataset parameters with ε = 1,
 // w = 30 — population sweeps on LNS and Sin, fluctuation sweeps √Q on LNS
 // and b on Sin.
-func (c *Config) Fig6() ([]Table, error) {
-	var tables []Table
+func (c *Config) planFig6() Plan {
+	p := Plan{ID: "fig6"}
 
 	// (a, b) population sweep: 1, 2, 4, 8 x 10^5 users, scaled.
 	popVals := []int{100000, 200000, 400000, 800000}
 	cols := []string{"1e5", "2e5", "4e5", "8e5"}
 	for di, ds := range []string{"LNS", "Sin"} {
-		tbl, err := c.sweep(
+		ds := ds
+		c.sweepTable(&p,
 			fmt.Sprintf("Fig 6(%c): MRE vs population N on %s (eps=1, w=30, scaled by %.2g)", 'a'+di, ds, c.popScale()),
-			"N", cols,
+			"N", cols, MetricMRE,
 			func(method string, col int) RunSpec {
 				n := int(float64(popVals[col]) * c.popScale())
 				return RunSpec{
 					Stream: StreamSpec{Dataset: ds, N: n},
 					Method: method, Eps: 1, W: 30,
-					Oracle: c.Oracle, Seed: c.cellSeed(3, di, col),
-					StreamSeed: c.cellSeed(103, di), Audit: c.Audit,
 				}
-			},
-			func(o *Outcome) float64 { return o.MRE })
-		if err != nil {
-			return nil, err
-		}
-		tables = append(tables, tbl)
+			})
 	}
 
 	// (c) fluctuation sweep on LNS: sqrt(Q) in {.001, .002, .004, .008}.
 	stdVals := []float64{0.001, 0.002, 0.004, 0.008}
-	tbl, err := c.sweep(
+	c.sweepTable(&p,
 		"Fig 6(c): MRE vs fluctuation sqrt(Q) on LNS (eps=1, w=30)",
-		"sqrtQ", []string{"0.001", "0.002", "0.004", "0.008"},
+		"sqrtQ", []string{"0.001", "0.002", "0.004", "0.008"}, MetricMRE,
 		func(method string, col int) RunSpec {
 			return RunSpec{
 				Stream: StreamSpec{Dataset: "LNS", PopScale: c.popScale(), LNSStd: stdVals[col]},
 				Method: method, Eps: 1, W: 30,
-				Oracle: c.Oracle, Seed: c.cellSeed(3, 10, col),
-				StreamSeed: c.cellSeed(103, 10), Audit: c.Audit,
 			}
-		},
-		func(o *Outcome) float64 { return o.MRE })
-	if err != nil {
-		return nil, err
-	}
-	tables = append(tables, tbl)
+		})
 
 	// (d) period sweep on Sin: b in {1/200, 1/100, 1/50, 1/25}.
 	bVals := []float64{1.0 / 200, 1.0 / 100, 1.0 / 50, 1.0 / 25}
-	tbl, err = c.sweep(
+	c.sweepTable(&p,
 		"Fig 6(d): MRE vs period b on Sin (eps=1, w=30)",
-		"b", []string{"1/200", "1/100", "1/50", "1/25"},
+		"b", []string{"1/200", "1/100", "1/50", "1/25"}, MetricMRE,
 		func(method string, col int) RunSpec {
 			return RunSpec{
 				Stream: StreamSpec{Dataset: "Sin", PopScale: c.popScale(), SinB: bVals[col]},
 				Method: method, Eps: 1, W: 30,
-				Oracle: c.Oracle, Seed: c.cellSeed(3, 11, col),
-				StreamSeed: c.cellSeed(103, 11), Audit: c.Audit,
 			}
-		},
-		func(o *Outcome) float64 { return o.MRE })
-	if err != nil {
-		return nil, err
-	}
-	tables = append(tables, tbl)
-	return tables, nil
+		})
+	return p
 }
 
-// Fig7 reproduces Figure 7's event-monitoring comparison (ε = 1, w = 50):
-// one AUC table over all datasets for the methods the paper plots (LBA,
-// LSP, LPU, LPD, LPA).
-func (c *Config) Fig7() ([]Table, error) {
+// Fig6 reproduces Figure 6 (compatibility wrapper over the plan).
+func (c *Config) Fig6() ([]Table, error) { return c.runPlan(c.planFig6()) }
+
+// planFig7 declares Figure 7's event-monitoring comparison (ε = 1,
+// w = 50): one AUC table over all datasets for the methods the paper plots
+// (LBA, LSP, LPU, LPD, LPA).
+func (c *Config) planFig7() Plan {
 	methods := []string{"LBA", "LSP", "LPU", "LPD", "LPA"}
 	if len(c.Methods) > 0 {
 		methods = c.Methods
 	}
 	ds := c.datasets()
-	tbl := Table{
+	p := Plan{ID: "fig7"}
+	ti := p.addTable(Table{
 		Title:    "Fig 7: event-monitoring ROC AUC (eps=1, w=50)",
 		XLabel:   "method",
 		ColHeads: ds,
 		RowHeads: methods,
-	}
-	err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
-		out, err := ExecuteAveragedWorkers(RunSpec{
-			Stream: StreamSpec{Dataset: ds[col], PopScale: c.popScale()},
-			Method: methods[r], Eps: 1, W: 50,
-			Oracle: c.Oracle, Seed: c.cellSeed(4, r, col),
-			StreamSeed: c.cellSeed(104, col), Audit: c.Audit,
-		}, c.reps(), 1)
-		if err != nil {
-			return 0, err
-		}
-		return out.AUC, nil
 	})
-	if err != nil {
-		return nil, err
+	for r, method := range methods {
+		for col, d := range ds {
+			p.Cells = append(p.Cells, Cell{
+				Table: ti, Row: r, Col: col, Metric: MetricAUC,
+				Spec: c.runSpec(RunSpec{
+					Stream: StreamSpec{Dataset: d, PopScale: c.popScale()},
+					Method: method, Eps: 1, W: 50,
+				}),
+				Reps: c.reps(),
+			})
+		}
 	}
-	return []Table{tbl}, nil
+	return p
 }
 
-// Table2 reproduces Table 2: CFPU of every method on Sin, Log, Taxi,
-// Foursquare and Taobao for (ε, w) ∈ {(1,20), (2,20), (2,40)}.
-func (c *Config) Table2() ([]Table, error) {
+// Fig7 reproduces Figure 7 (compatibility wrapper over the plan).
+func (c *Config) Fig7() ([]Table, error) { return c.runPlan(c.planFig7()) }
+
+// planTable2 declares Table 2: CFPU of every method on Sin, Log, Taxi,
+// Foursquare and Taobao for (ε, w) ∈ {(1,20), (2,20), (2,40)}. Its first
+// combo shares every run with Fig 4's ε=1 column and Fig 8's w=20 cells —
+// under content-derived seeds those are the same specs, so the scheduler
+// executes them once.
+func (c *Config) planTable2() Plan {
 	datasets := []string{"Sin", "Log", "Taxi", "Foursquare", "Taobao"}
 	if len(c.Datasets) > 0 {
 		datasets = c.Datasets
@@ -256,133 +222,87 @@ func (c *Config) Table2() ([]Table, error) {
 		eps float64
 		w   int
 	}{{1, 20}, {2, 20}, {2, 40}}
-	var tables []Table
-	for ci, combo := range combos {
-		ci, combo := ci, combo
-		tbl := Table{
+	p := Plan{ID: "table2"}
+	for _, combo := range combos {
+		ti := p.addTable(Table{
 			Title:    fmt.Sprintf("Table 2: CFPU (eps=%g, w=%d)", combo.eps, combo.w),
 			XLabel:   "method",
 			ColHeads: datasets,
 			RowHeads: c.methods(),
-		}
-		err := fillCells(&tbl, c.workers(), func(r, col int) (float64, error) {
-			out, err := ExecuteAveragedWorkers(RunSpec{
-				Stream: StreamSpec{Dataset: datasets[col], PopScale: c.popScale()},
-				Method: tbl.RowHeads[r], Eps: combo.eps, W: combo.w,
-				Oracle: c.Oracle, Seed: c.cellSeed(5, ci, r, col),
-				StreamSeed: c.cellSeed(105, col), Audit: c.Audit,
-			}, c.reps(), 1)
-			if err != nil {
-				return 0, err
-			}
-			return out.CFPU, nil
 		})
-		if err != nil {
-			return nil, err
+		for r, method := range c.methods() {
+			for col, ds := range datasets {
+				p.Cells = append(p.Cells, Cell{
+					Table: ti, Row: r, Col: col, Metric: MetricCFPU,
+					Spec: c.runSpec(RunSpec{
+						Stream: StreamSpec{Dataset: ds, PopScale: c.popScale()},
+						Method: method, Eps: combo.eps, W: combo.w,
+					}),
+					Reps: c.reps(),
+				})
+			}
 		}
-		tables = append(tables, tbl)
 	}
-	return tables, nil
+	return p
 }
 
-// Fig8 reproduces Figure 8: CFPU on LNS with respect to population N,
+// Table2 reproduces Table 2 (compatibility wrapper over the plan).
+func (c *Config) Table2() ([]Table, error) { return c.runPlan(c.planTable2()) }
+
+// planFig8 declares Figure 8: CFPU on LNS with respect to population N,
 // fluctuation Q, budget ε, and window size w.
-func (c *Config) Fig8() ([]Table, error) {
-	var tables []Table
+func (c *Config) planFig8() Plan {
+	p := Plan{ID: "fig8"}
 
 	// (a) CFPU vs N in {0.5, 1, 1.5, 2} x 10^4.
 	popVals := []int{5000, 10000, 15000, 20000}
-	tbl, err := c.sweep(
+	c.sweepTable(&p,
 		"Fig 8(a): CFPU vs population N on LNS (eps=1, w=20)",
-		"N", []string{"5e3", "1e4", "1.5e4", "2e4"},
+		"N", []string{"5e3", "1e4", "1.5e4", "2e4"}, MetricCFPU,
 		func(method string, col int) RunSpec {
 			return RunSpec{
 				Stream: StreamSpec{Dataset: "LNS", N: popVals[col]},
 				Method: method, Eps: 1, W: 20,
-				Oracle: c.Oracle, Seed: c.cellSeed(6, 0, col),
-				StreamSeed: c.cellSeed(106, 0), Audit: c.Audit,
 			}
-		},
-		func(o *Outcome) float64 { return o.CFPU })
-	if err != nil {
-		return nil, err
-	}
-	tables = append(tables, tbl)
+		})
 
 	// (b) CFPU vs fluctuation sqrt(Q) in {0.01, 0.02, 0.04, 0.08}.
 	stdVals := []float64{0.01, 0.02, 0.04, 0.08}
-	tbl, err = c.sweep(
+	c.sweepTable(&p,
 		"Fig 8(b): CFPU vs fluctuation sqrt(Q) on LNS (eps=1, w=20)",
-		"sqrtQ", []string{"0.01", "0.02", "0.04", "0.08"},
+		"sqrtQ", []string{"0.01", "0.02", "0.04", "0.08"}, MetricCFPU,
 		func(method string, col int) RunSpec {
 			return RunSpec{
 				Stream: StreamSpec{Dataset: "LNS", PopScale: c.popScale(), LNSStd: stdVals[col]},
 				Method: method, Eps: 1, W: 20,
-				Oracle: c.Oracle, Seed: c.cellSeed(6, 1, col),
-				StreamSeed: c.cellSeed(106, 1), Audit: c.Audit,
 			}
-		},
-		func(o *Outcome) float64 { return o.CFPU })
-	if err != nil {
-		return nil, err
-	}
-	tables = append(tables, tbl)
+		})
 
 	// (c) CFPU vs eps in {0.5, 1, 1.5, 2}.
 	epsVals := []float64{0.5, 1, 1.5, 2}
-	tbl, err = c.sweep(
+	c.sweepTable(&p,
 		"Fig 8(c): CFPU vs eps on LNS (w=20)",
-		"eps", []string{"0.5", "1.0", "1.5", "2.0"},
+		"eps", []string{"0.5", "1.0", "1.5", "2.0"}, MetricCFPU,
 		func(method string, col int) RunSpec {
 			return RunSpec{
 				Stream: StreamSpec{Dataset: "LNS", PopScale: c.popScale()},
 				Method: method, Eps: epsVals[col], W: 20,
-				Oracle: c.Oracle, Seed: c.cellSeed(6, 2, col),
-				StreamSeed: c.cellSeed(106, 2), Audit: c.Audit,
 			}
-		},
-		func(o *Outcome) float64 { return o.CFPU })
-	if err != nil {
-		return nil, err
-	}
-	tables = append(tables, tbl)
+		})
 
 	// (d) CFPU vs w in {10, 20, 30, 40}.
 	wVals := []int{10, 20, 30, 40}
-	tbl, err = c.sweep(
+	c.sweepTable(&p,
 		"Fig 8(d): CFPU vs w on LNS (eps=1)",
-		"w", []string{"10", "20", "30", "40"},
+		"w", []string{"10", "20", "30", "40"}, MetricCFPU,
 		func(method string, col int) RunSpec {
 			return RunSpec{
 				Stream: StreamSpec{Dataset: "LNS", PopScale: c.popScale()},
 				Method: method, Eps: 1, W: wVals[col],
-				Oracle: c.Oracle, Seed: c.cellSeed(6, 3, col),
-				StreamSeed: c.cellSeed(106, 3), Audit: c.Audit,
 			}
-		},
-		func(o *Outcome) float64 { return o.CFPU })
-	if err != nil {
-		return nil, err
-	}
-	tables = append(tables, tbl)
-	return tables, nil
+		})
+	return p
 }
 
-// Experiments maps experiment ids to their runners.
-func (c *Config) Experiments() map[string]func() ([]Table, error) {
-	return map[string]func() ([]Table, error){
-		"fig4":                c.Fig4,
-		"fig5":                c.Fig5,
-		"fig6":                c.Fig6,
-		"fig7":                c.Fig7,
-		"fig8":                c.Fig8,
-		"table2":              c.Table2,
-		"ablation-fo":         c.AblationFO,
-		"ablation-olh":        c.AblationOLHFold,
-		"ablation-umin":       c.AblationUMin,
-		"ablation-split":      c.AblationSplit,
-		"ablation-filter":     c.AblationFilter,
-		"compare-cdp":         c.CompareCDP,
-		"compare-granularity": c.CompareGranularity,
-	}
-}
+// Fig8 reproduces Figure 8 (compatibility wrapper over the plan).
+func (c *Config) Fig8() ([]Table, error) { return c.runPlan(c.planFig8()) }

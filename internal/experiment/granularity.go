@@ -1,80 +1,62 @@
 package experiment
 
-import (
-	"ldpids/internal/fo"
-	"ldpids/internal/ldprand"
-	"ldpids/internal/mechanism"
-	"ldpids/internal/metrics"
-	"ldpids/internal/privacy"
-	"ldpids/internal/stream"
-)
-
-// CompareGranularity contextualizes w-event LDP between the two classical
-// granularities (the paper's Table 1): event-level (full ε every
-// timestamp; utility ceiling but the per-window loss is w·ε) and finite
-// user-level (ε split over the whole horizon; unusable noise and the
-// stream must end). Reported per method: MRE and the maximum privacy loss
-// any user accrued in a w-window, as measured by the accountant.
-func (c *Config) CompareGranularity() ([]Table, error) {
+// planCompareGranularity declares the comparison contextualizing w-event
+// LDP between the two classical granularities (the paper's Table 1):
+// event-level (full ε every timestamp; utility ceiling but the per-window
+// loss is w·ε) and finite user-level (ε split over the whole horizon;
+// unusable noise and the stream must end). Reported per method: MRE and
+// the maximum privacy loss any user accrued in a w-window, as measured by
+// the accountant — so every cell runs audited, and the EventLevel baseline
+// (which deliberately violates w-event LDP) must not set FailOnViolation.
+func (c *Config) planCompareGranularity() Plan {
 	w := 20
 	eps := 1.0
-	rows := []string{"EventLevel", "LBU (w-event)", "LPA (w-event)", "UserLevel(T)"}
+	rows := []struct {
+		head   string
+		method string
+	}{
+		{"EventLevel", "EventLevel"},
+		{"LBU (w-event)", "LBU"},
+		{"LPA (w-event)", "LPA"},
+		{"UserLevel(T)", "UserLevel"},
+	}
 	cols := []string{"MRE", "maxWindowLoss"}
+	metricsOf := []string{MetricMRE, MetricMaxWindowLoss}
+	heads := make([]string, len(rows))
+	for i, r := range rows {
+		heads[i] = r.head
+	}
 
-	tbl := Table{
+	p := Plan{ID: "compare-granularity"}
+	ti := p.addTable(Table{
 		Title:    "Comparison: privacy granularities on Sin (nominal eps=1, w=20)",
 		XLabel:   "granularity",
 		ColHeads: cols,
-		RowHeads: rows,
-		Cells:    make([][]float64, len(rows)),
+		RowHeads: heads,
+	})
+	for r, row := range rows {
+		spec := c.runSpec(RunSpec{
+			Stream: StreamSpec{Dataset: "Sin", PopScale: c.popScale()},
+			Method: row.method, Eps: eps, W: w,
+			// The accountant must observe every run here — its
+			// MaxWindowSpend IS the second column.
+			Audit: true,
+			// The granularity baselines are compared under the paper's
+			// analysis oracle (GRR) regardless of -oracle.
+			Oracle: "GRR",
+		})
+		for col := range cols {
+			p.Cells = append(p.Cells, Cell{
+				Table: ti, Row: r, Col: col, Metric: metricsOf[col],
+				Spec: spec, Reps: c.reps(),
+			})
+		}
 	}
+	return p
+}
 
-	root := ldprand.New(c.cellSeed(120))
-	sp := StreamSpec{Dataset: "Sin", PopScale: c.popScale()}
-	streamSrc := root.Split()
-	s, T, d, err := sp.Build(streamSrc)
-	if err != nil {
-		return nil, err
-	}
-	snaps := stream.Materialize(s, T)
-	n := len(snaps[0])
-	oracle := fo.NewGRR(d)
-
-	build := func(name string) (mechanism.Mechanism, error) {
-		p := mechanism.Params{Eps: eps, W: w, N: n, Oracle: oracle, Src: root.Split()}
-		switch name {
-		case "EventLevel":
-			return mechanism.NewEventLevel(p)
-		case "LBU (w-event)":
-			return mechanism.NewLBU(p)
-		case "LPA (w-event)":
-			return mechanism.NewLPA(p)
-		case "UserLevel(T)":
-			return mechanism.NewUserLevelFinite(p, T)
-		}
-		panic("unreachable")
-	}
-
-	for r, name := range rows {
-		m, err := build(name)
-		if err != nil {
-			return nil, err
-		}
-		acct := privacy.NewAccountant(eps, w, n, root.Split())
-		runner := &mechanism.Runner{
-			Stream:     stream.NewReplay(snaps, d),
-			Oracle:     oracle,
-			Src:        root.Split(),
-			Accountant: acct,
-		}
-		res, err := runner.Run(m, T)
-		if err != nil {
-			return nil, err
-		}
-		tbl.Cells[r] = []float64{
-			metrics.MRE(res.Released, res.True, 0),
-			acct.MaxWindowSpend(),
-		}
-	}
-	return []Table{tbl}, nil
+// CompareGranularity runs the granularity comparison (compatibility
+// wrapper).
+func (c *Config) CompareGranularity() ([]Table, error) {
+	return c.runPlan(c.planCompareGranularity())
 }

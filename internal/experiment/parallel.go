@@ -7,7 +7,8 @@ import (
 )
 
 // The experiment engine fans independent work items — averaged-run
-// repetitions and figure/table grid cells — across a bounded worker pool.
+// repetitions and experiment-plan run groups — across a bounded worker
+// pool.
 // Determinism is preserved by construction: every item derives its own
 // seeds from the spec alone (never from execution order), each worker
 // writes only its own result slot, and any reduction over the slots
@@ -71,24 +72,4 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 		}
 	}
 	return nil
-}
-
-// fillCells sizes tbl.Cells to RowHeads x ColHeads and computes every cell
-// concurrently on the worker pool. Each cell is an independent seeded run,
-// so the produced table is identical to a serial row-major fill.
-func fillCells(tbl *Table, workers int, cell func(r, col int) (float64, error)) error {
-	rows, cols := len(tbl.RowHeads), len(tbl.ColHeads)
-	tbl.Cells = make([][]float64, rows)
-	for r := range tbl.Cells {
-		tbl.Cells[r] = make([]float64, cols)
-	}
-	return parallelFor(rows*cols, workers, func(i int) error {
-		r, col := i/cols, i%cols
-		v, err := cell(r, col)
-		if err != nil {
-			return err
-		}
-		tbl.Cells[r][col] = v
-		return nil
-	})
 }

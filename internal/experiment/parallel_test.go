@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForLowestIndexErrorWins pins the pool's failure contract:
+// when several in-flight items fail, the LOWEST-index recorded error is
+// returned (not whichever happened to fail first), and items not yet
+// started when the failure lands are never run.
+func TestParallelForLowestIndexErrorWins(t *testing.T) {
+	errA, errB := errors.New("item 0"), errors.New("item 1")
+	var ran [4]atomic.Bool
+	// Two workers claim items 0 and 1 and block on the barrier until both
+	// are in flight, then both fail. Each worker publishes the failure
+	// before checking for more work, so items 2 and 3 can never start.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	err := parallelFor(4, 2, func(i int) error {
+		ran[i].Store(true)
+		switch i {
+		case 0:
+			barrier.Done()
+			barrier.Wait()
+			return errA
+		case 1:
+			barrier.Done()
+			barrier.Wait()
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got error %v, want lowest-index error %v", err, errA)
+	}
+	if !ran[0].Load() || !ran[1].Load() {
+		t.Fatal("items 0 and 1 should both have run")
+	}
+	if ran[2].Load() || ran[3].Load() {
+		t.Fatal("items past the failure were started")
+	}
+}
+
+// TestParallelForSerialStopsAtFirstError pins the workers==1 inline path:
+// execution stops at the failing item.
+func TestParallelForSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran [5]bool
+	err := parallelFor(5, 1, func(i int) error {
+		ran[i] = true
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if !ran[0] || !ran[1] || !ran[2] {
+		t.Fatal("items before the failure skipped")
+	}
+	if ran[3] || ran[4] {
+		t.Fatal("items after a serial failure were run")
+	}
+}
+
+// TestParallelForCompletes sanity-checks the success path: every item runs
+// exactly once at any worker count.
+func TestParallelForCompletes(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var counts [17]atomic.Int32
+		if err := parallelFor(17, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, counts[i].Load())
+			}
+		}
+	}
+}

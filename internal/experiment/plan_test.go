@@ -1,0 +1,390 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldpids/internal/runlog"
+)
+
+// planConfig is tinyConfig narrowed further for plan/scheduler tests.
+func planConfig() *Config {
+	c := tinyConfig()
+	c.Datasets = []string{"Sin"}
+	c.Methods = []string{"LBU", "LPA"}
+	return c
+}
+
+// TestContentDerivedSeeds pins the property the whole dedup story rests
+// on: a run's seeds are a function of its content, not of which grid it
+// appears in, and the stream seed is shared by every method sweeping the
+// same process.
+func TestContentDerivedSeeds(t *testing.T) {
+	c := planConfig()
+	a := c.runSpec(RunSpec{Stream: StreamSpec{Dataset: "Sin", PopScale: 0.01}, Method: "LPA", Eps: 1, W: 20})
+	b := c.runSpec(RunSpec{Stream: StreamSpec{Dataset: "Sin", PopScale: 0.01}, Method: "LPA", Eps: 1, W: 20})
+	if a != b {
+		t.Fatalf("identical content produced different specs:\n%+v\n%+v", a, b)
+	}
+	other := c.runSpec(RunSpec{Stream: StreamSpec{Dataset: "Sin", PopScale: 0.01}, Method: "LBU", Eps: 1, W: 20})
+	if other.Seed == a.Seed {
+		t.Fatal("different methods share a mechanism seed")
+	}
+	if other.StreamSeed != a.StreamSeed {
+		t.Fatal("methods sweeping the same process got different stream realizations")
+	}
+	// Population sweeps keep the process trajectory: N must not move the
+	// stream seed, but must move the run hash.
+	grown := c.runSpec(RunSpec{Stream: StreamSpec{Dataset: "Sin", N: 4000}, Method: "LPA", Eps: 1, W: 20})
+	if grown.StreamSeed != a.StreamSeed {
+		t.Fatal("population override changed the process trajectory")
+	}
+	if runHash(grown, 1) == runHash(a, 1) {
+		t.Fatal("population override did not change the run hash")
+	}
+	// A different root seed moves everything.
+	c2 := planConfig()
+	c2.Seed = c.Seed + 1
+	if c2.runSpec(RunSpec{Stream: StreamSpec{Dataset: "Sin", PopScale: 0.01}, Method: "LPA", Eps: 1, W: 20}).Seed == a.Seed {
+		t.Fatal("root seed does not reach derived seeds")
+	}
+}
+
+// TestSpecKeyNormalizesDefaults pins that spelling a default explicitly
+// (DisFraction 0.5, UMin 1, Oracle GRR) yields the same content key as
+// leaving the zero sentinel, so ablation columns at the default dedupe
+// against the paper figures.
+func TestSpecKeyNormalizesDefaults(t *testing.T) {
+	base := RunSpec{Stream: StreamSpec{Dataset: "LNS", PopScale: 0.01}, Method: "LPA", Eps: 1, W: 20}
+	explicit := base
+	explicit.DisFraction = 0.5
+	explicit.UMin = 1
+	explicit.Oracle = "GRR"
+	if specContentKey(base) != specContentKey(explicit) {
+		t.Fatalf("default-spelling changed the content key:\n%s\n%s",
+			specContentKey(base), specContentKey(explicit))
+	}
+	changed := base
+	changed.DisFraction = 0.25
+	if specContentKey(base) == specContentKey(changed) {
+		t.Fatal("non-default DisFraction did not change the content key")
+	}
+}
+
+// TestCrossFigureDedup demonstrates the ISSUE's acceptance example: the
+// (ε, w=20) cells shared between Fig 4 and Table 2's combos execute once
+// per scheduler — Table 2 reads its CFPU out of the very runs Fig 4
+// already executed for MRE.
+func TestCrossFigureDedup(t *testing.T) {
+	c := planConfig()
+	c.Methods = []string{"LPA"}
+	sched := c.NewScheduler(nil)
+	if _, err := sched.Run(c.planFig4()); err != nil {
+		t.Fatal(err)
+	}
+	afterFig4 := sched.Stats()
+	if afterFig4.CacheHits != 0 {
+		t.Fatalf("fresh fig4 reported %d cache hits", afterFig4.CacheHits)
+	}
+	if _, err := sched.Run(c.planTable2()); err != nil {
+		t.Fatal(err)
+	}
+	stats := sched.Stats()
+	// Table 2's (1,20) and (2,20) combos are fig4's eps=1.0 and eps=2.0
+	// cells on this dataset; only (2,40) needs a new run.
+	if hits := stats.CacheHits - afterFig4.CacheHits; hits != 2 {
+		t.Fatalf("table2 after fig4: %d cache hits, want 2", hits)
+	}
+}
+
+// TestSharedRunAcrossMetrics pins intra-plan dedup: the filter ablation's
+// raw and filtered rows select different metrics from the same runs, so
+// the plan executes one run per (dataset, method), not one per row.
+func TestSharedRunAcrossMetrics(t *testing.T) {
+	c := tinyConfig()
+	p := c.planAblationFilter()
+	if len(p.Cells) != 10 {
+		t.Fatalf("filter plan has %d cells, want 10", len(p.Cells))
+	}
+	if _, runs := planSize(p); runs != 4 {
+		t.Fatalf("filter plan has %d distinct runs, want 4 (2 datasets x 2 methods)", runs)
+	}
+}
+
+// interruptJournal copies the first keep lines of src into a new journal
+// file, simulating a run that was killed mid-grid — including a torn
+// partial line at the tail, as a crash during an append would leave.
+func interruptJournal(t *testing.T, src string, keep int) string {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) <= keep {
+		t.Fatalf("journal too small to truncate: %d lines", len(lines))
+	}
+	partial := strings.Join(lines[:keep], "") + `{"hash":"torn-by-cra`
+	path := filepath.Join(t.TempDir(), "runlog.jsonl")
+	if err := os.WriteFile(path, []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestJournalResumeBitIdentical is the tentpole acceptance test: a grid
+// interrupted mid-run and resumed from its journal must skip exactly the
+// journaled cells and produce tables bit-identical to an uninterrupted
+// run.
+func TestJournalResumeBitIdentical(t *testing.T) {
+	c := planConfig()
+	plan := c.planFig4()
+
+	// The uninterrupted reference, no journal involved.
+	clean, err := c.runPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A complete journaled run...
+	fullPath := filepath.Join(t.TempDir(), "runlog.jsonl")
+	full, err := runlog.Open(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewScheduler(full).Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	totalRuns := full.Len()
+	full.Close()
+
+	// ...interrupted after 3 cells landed (plus a torn tail line).
+	const kept = 3
+	resumedJournal, err := runlog.Open(interruptJournal(t, fullPath, kept))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumedJournal.Close()
+	if resumedJournal.Len() != kept {
+		t.Fatalf("interrupted journal has %d records, want %d", resumedJournal.Len(), kept)
+	}
+
+	sched := c.NewScheduler(resumedJournal)
+	resumed, err := sched.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := sched.Stats().CacheHits; hits != kept {
+		t.Fatalf("resume skipped %d cells, want %d", hits, kept)
+	}
+	if resumedJournal.Len() != totalRuns {
+		t.Fatalf("resumed journal holds %d runs, want %d", resumedJournal.Len(), totalRuns)
+	}
+
+	if len(resumed) != len(clean) {
+		t.Fatalf("table count %d vs %d", len(resumed), len(clean))
+	}
+	for ti := range clean {
+		for r := range clean[ti].Cells {
+			for col := range clean[ti].Cells[r] {
+				if clean[ti].Cells[r][col] != resumed[ti].Cells[r][col] {
+					t.Fatalf("cell [%d][%d][%d]: clean %v != resumed %v",
+						ti, r, col, clean[ti].Cells[r][col], resumed[ti].Cells[r][col])
+				}
+			}
+		}
+	}
+}
+
+// TestWriteFromCachedMatchesFresh is the export guarantee: experiment.Write
+// needs no journal awareness, because tables rebuilt entirely from cached
+// cells render byte-identically (CSV and JSON) to freshly computed ones.
+func TestWriteFromCachedMatchesFresh(t *testing.T) {
+	c := planConfig()
+	plan := c.planFig5()
+
+	path := filepath.Join(t.TempDir(), "runlog.jsonl")
+	j, err := runlog.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	fresh, err := c.NewScheduler(j).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := c.NewScheduler(j)
+	cached, err := sched.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, total := sched.Stats().CacheHits, len(plan.Cells); hits != total {
+		t.Fatalf("second run hit cache on %d/%d cells", hits, total)
+	}
+
+	for _, format := range []string{"csv", "json"} {
+		var a, b bytes.Buffer
+		if err := Write(&a, fresh, format); err != nil {
+			t.Fatal(err)
+		}
+		if err := Write(&b, cached, format); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%s export from cached cells differs from fresh:\n%s\nvs\n%s", format, b.String(), a.String())
+		}
+	}
+}
+
+// TestMemoMergePreservesDerivedMetrics pins the run cache's merge
+// semantics: when a run must re-execute because a NEW derived metric is
+// requested, the previously journaled metrics for that run survive in
+// memory, so a later plan asking for one of them hits the cache instead
+// of executing the run a third time.
+func TestMemoMergePreservesDerivedMetrics(t *testing.T) {
+	c := planConfig()
+	spec := c.runSpec(RunSpec{
+		Stream: StreamSpec{Dataset: "Sin", PopScale: 0.01},
+		Method: "LPU", Eps: 1, W: 20,
+	})
+	mkPlan := func(id, metric string) Plan {
+		p := Plan{ID: id}
+		ti := p.addTable(Table{Title: id, XLabel: "x", ColHeads: []string{"v"}, RowHeads: []string{"LPU"}})
+		p.Cells = append(p.Cells, Cell{Table: ti, Metric: metric, Spec: spec, Reps: 1})
+		return p
+	}
+
+	j, err := runlog.Open(filepath.Join(t.TempDir(), "runlog.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	// Session 1 journals the run with KalmanMSE.
+	if _, err := c.NewScheduler(j).Run(mkPlan("kalman-1", MetricKalmanMSE)); err != nil {
+		t.Fatal(err)
+	}
+	// Session 2: EWMA is absent, so the run re-executes once — but the
+	// journaled KalmanMSE must still be served from cache afterwards.
+	sched := c.NewScheduler(j)
+	if _, err := sched.Run(mkPlan("ewma", MetricEWMA03MSE)); err != nil {
+		t.Fatal(err)
+	}
+	if hits := sched.Stats().CacheHits; hits != 0 {
+		t.Fatalf("new derived metric served from cache (%d hits)", hits)
+	}
+	if _, err := sched.Run(mkPlan("kalman-2", MetricKalmanMSE)); err != nil {
+		t.Fatal(err)
+	}
+	if hits := sched.Stats().CacheHits; hits != 1 {
+		t.Fatalf("journaled metric lost by re-execution merge: %d hits, want 1", hits)
+	}
+}
+
+// TestProgressCallbacksSerialized pins the OnProgress contract: callbacks
+// arrive one at a time with monotonically growing counters, even when
+// worker goroutines finish simultaneously (the unsynchronized mutation
+// below would trip -race otherwise).
+func TestProgressCallbacksSerialized(t *testing.T) {
+	c := planConfig()
+	c.Workers = 4
+	sched := c.NewScheduler(nil)
+	var lastDone, calls int // deliberately unsynchronized
+	sched.OnProgress = func(p Progress) {
+		calls++
+		if p.Done < lastDone {
+			t.Errorf("progress went backwards: %d after %d", p.Done, lastDone)
+		}
+		lastDone = p.Done
+	}
+	if _, err := sched.Run(c.planFig4()); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 || lastDone != len(c.planFig4().Cells) {
+		t.Fatalf("progress incomplete: %d calls, last done %d", calls, lastDone)
+	}
+}
+
+// TestSchedulerFailOnViolation pins that the audit gate fires through the
+// scheduler — including for cells served from the journal, which must not
+// launder a violation into a silent success.
+func TestSchedulerFailOnViolation(t *testing.T) {
+	c := planConfig()
+	spec := c.runSpec(RunSpec{
+		Stream: StreamSpec{Dataset: "Sin", N: 300, T: 15},
+		Method: "EventLevel", Eps: 1, W: 5, Audit: true, Oracle: "GRR",
+	})
+	plan := Plan{ID: "violation-probe"}
+	ti := plan.addTable(Table{Title: "probe", XLabel: "x", ColHeads: []string{"v"}, RowHeads: []string{"EventLevel"}})
+	plan.Cells = append(plan.Cells, Cell{
+		Table: ti, Metric: MetricMRE, Spec: spec, Reps: 1, FailOnViolation: true,
+	})
+
+	j, err := runlog.Open(filepath.Join(t.TempDir(), "runlog.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := c.NewScheduler(j).Run(plan); err == nil || !strings.Contains(err.Error(), "violated") {
+		t.Fatalf("fresh violating run not failed: %v", err)
+	}
+	// The run IS journaled (it completed; only the gate failed) — a
+	// resumed scheduler must fail identically from the cached record.
+	if j.Len() != 1 {
+		t.Fatalf("violating run not journaled: %d records", j.Len())
+	}
+	sched := c.NewScheduler(j)
+	if _, err := sched.Run(plan); err == nil || !strings.Contains(err.Error(), "violated") {
+		t.Fatalf("cached violating run not failed: %v", err)
+	}
+}
+
+// TestDirectPlanThroughScheduler runs the timing ablation via the
+// scheduler: Direct plans execute imperatively and are never journaled.
+func TestDirectPlanThroughScheduler(t *testing.T) {
+	c := planConfig()
+	j, err := runlog.Open(filepath.Join(t.TempDir(), "runlog.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	sched := c.NewScheduler(j)
+	tables, err := sched.Run(c.planAblationOLH())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("olh ablation produced %d tables", len(tables))
+	}
+	if j.Len() != 0 {
+		t.Fatalf("timing cells were journaled: %d records", j.Len())
+	}
+}
+
+// TestPlansMatchExperimentIDs keeps the plan registry and the
+// tables-runner registry in lockstep.
+func TestPlansMatchExperimentIDs(t *testing.T) {
+	c := planConfig()
+	plans, exps := c.Plans(), c.Experiments()
+	if len(plans) != len(exps) {
+		t.Fatalf("%d plans vs %d experiments", len(plans), len(exps))
+	}
+	for id, build := range plans {
+		if exps[id] == nil {
+			t.Errorf("experiment %q missing", id)
+			continue
+		}
+		if p := build(); p.ID != id {
+			t.Errorf("plan %q reports ID %q", id, p.ID)
+		}
+	}
+	ids := c.PlanIDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("PlanIDs not sorted: %v", ids)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"ldpids/internal/cdp"
 	"ldpids/internal/comm"
 	"ldpids/internal/fo"
 	"ldpids/internal/ldprand"
@@ -10,6 +11,7 @@ import (
 	"ldpids/internal/metrics"
 	"ldpids/internal/monitor"
 	"ldpids/internal/privacy"
+	"ldpids/internal/stream"
 )
 
 // RunSpec fully describes one mechanism-on-dataset execution.
@@ -65,9 +67,20 @@ type Outcome struct {
 	// across all repetitions, so a single violation anywhere in the batch
 	// cannot be rounded away.
 	PrivacyViolations int
+	// MaxWindowLoss is the accountant's maximum measured privacy spend
+	// over any w-window by any user (0 when the audit is off). Like
+	// PrivacyViolations it is never averaged: ExecuteAveraged reports the
+	// MAXIMUM across repetitions, so it stays a worst-case bound.
+	MaxWindowLoss float64
 }
 
-// Execute runs the spec and computes all metrics.
+// Execute runs the spec and computes all metrics. Besides the paper's
+// seven mechanisms it accepts the granularity baselines ("EventLevel",
+// "UserLevel" — the latter splits ε over the run's full horizon T) and the
+// centralized baselines ("CDP-Uniform", "CDP-BD", "CDP-BA"), which run
+// over the true histograms in the trusted-aggregator model; every variant
+// is a deterministic function of the spec, so all of them journal and
+// resume uniformly.
 func Execute(spec RunSpec) (*Outcome, error) {
 	root := ldprand.New(spec.Seed)
 	streamRoot := root
@@ -78,6 +91,9 @@ func Execute(spec RunSpec) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	if isCDPMethod(spec.Method) {
+		return executeCDP(spec, root, s, T, d)
+	}
 	oracleName := spec.Oracle
 	if oracleName == "" {
 		oracleName = "GRR"
@@ -87,7 +103,7 @@ func Execute(spec RunSpec) (*Outcome, error) {
 		return nil, err
 	}
 	n := s.N()
-	m, err := mechanism.New(spec.Method, mechanism.Params{
+	params := mechanism.Params{
 		Eps:         spec.Eps,
 		W:           spec.W,
 		N:           n,
@@ -95,7 +111,15 @@ func Execute(spec RunSpec) (*Outcome, error) {
 		Src:         root.Split(),
 		UMin:        spec.UMin,
 		DisFraction: spec.DisFraction,
-	})
+	}
+	var m mechanism.Mechanism
+	if spec.Method == "UserLevel" {
+		// The finite user-level baseline needs the horizon, which only
+		// the run knows; it is not constructible from Params alone.
+		m, err = mechanism.NewUserLevelFinite(params, T)
+	} else {
+		m, err = mechanism.New(spec.Method, params)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +146,9 @@ func Execute(spec RunSpec) (*Outcome, error) {
 		True:     res.True,
 	}
 	out.PrivacyViolations = len(res.Violations)
+	if acct != nil {
+		out.MaxWindowLoss = acct.MaxWindowSpend()
+	}
 
 	// Event-monitoring AUC: monitor the "1" frequency on binary
 	// datasets; on the skewed categorical traces, monitor the five head
@@ -139,9 +166,58 @@ func Execute(spec RunSpec) (*Outcome, error) {
 	return out, nil
 }
 
+// isCDPMethod reports whether the method is a centralized-DP baseline.
+func isCDPMethod(name string) bool {
+	return name == "CDP-Uniform" || name == "CDP-BD" || name == "CDP-BA"
+}
+
+// executeCDP runs a centralized baseline over the true histograms: the
+// trusted aggregator sees raw data, adds calibrated Laplace noise, and
+// releases. No reports travel, so CFPU is zero, and the w-event LDP
+// accountant does not apply (the guarantee is central DP).
+func executeCDP(spec RunSpec, root *ldprand.Source, s stream.Stream, T, d int) (*Outcome, error) {
+	n := s.N()
+	if spec.Eps <= 0 || spec.W < 1 || n < 1 {
+		return nil, fmt.Errorf("experiment: %s needs eps > 0, w >= 1, n >= 1", spec.Method)
+	}
+	truth := stream.Histograms(stream.Materialize(s, T), d)
+	p := cdp.Params{Eps: spec.Eps, W: spec.W, N: n, Src: root.Split()}
+	var m cdp.Mechanism
+	switch spec.Method {
+	case "CDP-Uniform":
+		m = cdp.NewUniform(p)
+	case "CDP-BD":
+		m = cdp.NewBD(p)
+	case "CDP-BA":
+		m = cdp.NewBA(p)
+	}
+	released := cdp.Run(m, truth)
+	out := &Outcome{
+		Spec:     spec,
+		N:        n,
+		T:        len(released),
+		MRE:      metrics.MRE(released, truth, 0),
+		MAE:      metrics.MAE(released, truth),
+		MSE:      metrics.MSE(released, truth),
+		Released: released,
+		True:     truth,
+	}
+	var task monitor.Task
+	if IsBinary(spec.Stream.Dataset) {
+		task = monitor.ScalarTask(released, truth, 1)
+	} else {
+		task = monitor.TopKTask(released, truth, 5)
+	}
+	if task.Positives() > 0 {
+		out.AUC = task.AUC()
+	}
+	return out, nil
+}
+
 // ExecuteAveraged runs the spec reps times with derived seeds and averages
 // the scalar metrics (streams come from the last run; PrivacyViolations is
-// the total across repetitions, see Outcome). Repetitions run in parallel
+// the total and MaxWindowLoss the maximum across repetitions, see
+// Outcome). Repetitions run in parallel
 // on up to GOMAXPROCS workers: each derives its seed as
 // spec.Seed + i*1000003 independently of scheduling, and the metric sums
 // are reduced in repetition order, so the outcome is bit-identical to a
@@ -164,6 +240,7 @@ func ExecuteAveragedWorkers(spec RunSpec, reps, workers int) (*Outcome, error) {
 	type repMetrics struct {
 		mre, mae, mse, cfpu, auc float64
 		violations               int
+		maxLoss                  float64
 	}
 	repResults := make([]repMetrics, reps)
 	var first, last *Outcome
@@ -174,7 +251,7 @@ func ExecuteAveragedWorkers(spec RunSpec, reps, workers int) (*Outcome, error) {
 		if err != nil {
 			return err
 		}
-		repResults[i] = repMetrics{o.MRE, o.MAE, o.MSE, o.CFPU, o.AUC, o.PrivacyViolations}
+		repResults[i] = repMetrics{o.MRE, o.MAE, o.MSE, o.CFPU, o.AUC, o.PrivacyViolations, o.MaxWindowLoss}
 		if i == 0 {
 			first = o
 		}
@@ -193,6 +270,9 @@ func ExecuteAveragedWorkers(spec RunSpec, reps, workers int) (*Outcome, error) {
 		acc.CFPU += m.cfpu
 		acc.AUC += m.auc
 		acc.PrivacyViolations += m.violations
+		if m.maxLoss > acc.MaxWindowLoss {
+			acc.MaxWindowLoss = m.maxLoss
+		}
 	}
 	acc.Comm = last.Comm
 	acc.Released, acc.True = last.Released, last.True

@@ -1,0 +1,321 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ldpids/internal/runlog"
+)
+
+// Progress is a scheduler progress snapshot, in cells (table slots).
+type Progress struct {
+	// Done and Total count cells across every announced plan.
+	Done, Total int
+	// CacheHits counts cells served from the journal or the in-memory
+	// run cache instead of being executed.
+	CacheHits int
+	// RunsDone and RunsTotal count distinct run executions (several
+	// cells can share one run).
+	RunsDone, RunsTotal int
+	// Elapsed is the wall-clock time since the scheduler first ran.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall-clock time from the measured
+	// per-run rate; zero until at least one run has executed.
+	ETA time.Duration
+}
+
+// Scheduler executes plans on the deterministic worker pool. Cells that
+// share a run hash execute once per scheduler (and once per journal across
+// process restarts); runs already journaled are skipped entirely, which is
+// what makes an interrupted `-exp all` resumable. Because every run is
+// deterministic and journal round trips are bit-exact, resumed tables are
+// bit-identical to a fresh run's.
+type Scheduler struct {
+	// OnProgress, when set, receives a snapshot after every completed
+	// run group. Callbacks arrive from worker goroutines, one at a time.
+	OnProgress func(Progress)
+
+	cfg     *Config
+	journal *runlog.Journal
+
+	// cbMu serializes OnProgress callbacks (and makes their snapshots
+	// monotone): it is acquired before mu and held across the callback,
+	// so workers finishing simultaneously deliver progress one at a
+	// time, in counter order.
+	cbMu sync.Mutex
+
+	mu        sync.Mutex
+	memo      map[string]runlog.Metrics
+	announced map[string]bool
+	start     time.Time
+	done      int // cells completed
+	total     int // cells announced
+	hits      int // cells served from cache
+	runsDone  int
+	runsTotal int
+	executed  int           // runs actually executed (not cached)
+	execTime  time.Duration // total wall time inside executed runs
+}
+
+// NewScheduler builds a scheduler over the config's worker pool. A non-nil
+// journal seeds the run cache and receives every newly completed run.
+func (c *Config) NewScheduler(j *runlog.Journal) *Scheduler {
+	s := &Scheduler{cfg: c, journal: j, memo: make(map[string]runlog.Metrics), announced: make(map[string]bool)}
+	if j != nil {
+		s.memo = j.All()
+	}
+	return s
+}
+
+// Announce registers upcoming plans so progress totals and ETAs cover the
+// whole invocation rather than only the plan currently running. Running a
+// plan that was not announced grows the totals on the fly.
+func (s *Scheduler) Announce(plans ...Plan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range plans {
+		if s.announced[p.ID] {
+			continue
+		}
+		s.announced[p.ID] = true
+		if p.Direct != nil {
+			// Cell count is unknown until the direct runner returns; the
+			// run itself still counts toward the ETA denominator.
+			s.runsTotal++
+			continue
+		}
+		cells, runs := planSize(p)
+		s.total += cells
+		s.runsTotal += runs
+	}
+}
+
+// planSize counts a plan's cells and distinct runs.
+func planSize(p Plan) (cells, runs int) {
+	seen := make(map[string]bool)
+	for _, c := range p.Cells {
+		h := runHash(c.Spec, c.Reps)
+		if !seen[h] {
+			seen[h] = true
+			runs++
+		}
+	}
+	return len(p.Cells), runs
+}
+
+// Stats returns the current progress snapshot.
+func (s *Scheduler) Stats() Progress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Scheduler) snapshotLocked() Progress {
+	p := Progress{
+		Done: s.done, Total: s.total, CacheHits: s.hits,
+		RunsDone: s.runsDone, RunsTotal: s.runsTotal,
+	}
+	if !s.start.IsZero() {
+		p.Elapsed = time.Since(s.start)
+	}
+	if s.executed > 0 {
+		perRun := s.execTime / time.Duration(s.executed)
+		// Remaining runs assume no further cache hits: an upper bound.
+		remaining := s.runsTotal - s.runsDone
+		if remaining > 0 {
+			// The pool overlaps runs; scale by the worker count.
+			workers := s.cfg.workers()
+			p.ETA = perRun * time.Duration(remaining) / time.Duration(workers)
+		}
+	}
+	return p
+}
+
+// runGroup is the unit of execution: one distinct run serving every cell
+// that selects a metric from it.
+type runGroup struct {
+	hash, key string
+	spec      RunSpec
+	reps      int
+	cells     []Cell
+	metrics   []string // distinct selectors requested, in cell order
+}
+
+// Run executes one plan and returns its filled tables. Direct plans run
+// imperatively (and count as one run for progress); declarative plans are
+// grouped by run hash, looked up in the cache, executed on cache miss via
+// the worker pool, journaled, and finally folded into the tables.
+func (s *Scheduler) Run(p Plan) ([]Table, error) {
+	s.Announce(p)
+	s.mu.Lock()
+	if s.start.IsZero() {
+		s.start = time.Now()
+	}
+	s.mu.Unlock()
+
+	if p.Direct != nil {
+		tables, err := p.Direct()
+		if err != nil {
+			return nil, err
+		}
+		n := directCellCount(tables)
+		s.cbMu.Lock()
+		s.mu.Lock()
+		s.runsDone++
+		s.total += n
+		s.done += n
+		cb, snap := s.OnProgress, s.snapshotLocked()
+		s.mu.Unlock()
+		if cb != nil {
+			cb(snap)
+		}
+		s.cbMu.Unlock()
+		return tables, nil
+	}
+
+	tables := make([]Table, len(p.Tables))
+	copy(tables, p.Tables)
+	for t := range tables {
+		tables[t].Cells = make([][]float64, len(tables[t].RowHeads))
+		for r := range tables[t].Cells {
+			tables[t].Cells[r] = make([]float64, len(tables[t].ColHeads))
+		}
+	}
+
+	groups, err := groupCells(p)
+	if err != nil {
+		return nil, err
+	}
+	err = parallelFor(len(groups), s.cfg.workers(), func(i int) error {
+		return s.runGroup(p, groups[i], tables)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// groupCells folds a plan's cells into distinct run groups, in order of
+// first appearance, validating coordinates and metric selectors up front.
+func groupCells(p Plan) ([]*runGroup, error) {
+	var groups []*runGroup
+	index := make(map[string]*runGroup)
+	for _, c := range p.Cells {
+		if c.Table < 0 || c.Table >= len(p.Tables) {
+			return nil, fmt.Errorf("experiment: plan %s: cell table index %d out of range", p.ID, c.Table)
+		}
+		t := p.Tables[c.Table]
+		if c.Row < 0 || c.Row >= len(t.RowHeads) || c.Col < 0 || c.Col >= len(t.ColHeads) {
+			return nil, fmt.Errorf("experiment: plan %s: cell (%d,%d) outside table %q", p.ID, c.Row, c.Col, t.Title)
+		}
+		if _, ok := metricFns[c.Metric]; !ok {
+			return nil, fmt.Errorf("experiment: plan %s: unknown metric selector %q", p.ID, c.Metric)
+		}
+		h := runHash(c.Spec, c.Reps)
+		g := index[h]
+		if g == nil {
+			g = &runGroup{hash: h, key: runKey(c.Spec, c.Reps), spec: c.Spec, reps: c.Reps}
+			index[h] = g
+			groups = append(groups, g)
+		}
+		g.cells = append(g.cells, c)
+		found := false
+		for _, m := range g.metrics {
+			if m == c.Metric {
+				found = true
+				break
+			}
+		}
+		if !found {
+			g.metrics = append(g.metrics, c.Metric)
+		}
+	}
+	return groups, nil
+}
+
+// runGroup resolves one run group — from the cache when every requested
+// metric is journaled, by execution otherwise — and writes its cells.
+func (s *Scheduler) runGroup(p Plan, g *runGroup, tables []Table) error {
+	s.mu.Lock()
+	rec, hit := s.memo[g.hash], true
+	if rec == nil {
+		hit = false
+	} else {
+		for _, m := range g.metrics {
+			if _, ok := rec[m]; !ok {
+				hit = false
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	if !hit {
+		started := time.Now()
+		out, err := ExecuteAveragedWorkers(g.spec, g.reps, 1)
+		if err != nil {
+			return fmt.Errorf("experiment: plan %s: %w", p.ID, err)
+		}
+		rec, err = extractMetrics(out, g.metrics)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(started)
+		if s.journal != nil {
+			if err := s.journal.Append(runlog.Record{Hash: g.hash, Key: g.key, Metrics: rec}); err != nil {
+				return err
+			}
+		}
+		s.mu.Lock()
+		// Merge into a fresh map rather than mutating or replacing the
+		// stored one: replacement would drop derived metrics journaled by
+		// earlier sessions (forcing pointless re-executions later), and
+		// in-place mutation would race with readers holding the old map.
+		merged := make(runlog.Metrics, len(rec))
+		for k, v := range s.memo[g.hash] {
+			merged[k] = v
+		}
+		for k, v := range rec {
+			merged[k] = v
+		}
+		s.memo[g.hash] = merged
+		s.executed++
+		s.execTime += elapsed
+		s.mu.Unlock()
+	}
+
+	for _, c := range g.cells {
+		tables[c.Table].Cells[c.Row][c.Col] = rec[c.Metric]
+		if c.FailOnViolation && rec[MetricViolations] > 0 {
+			return fmt.Errorf("experiment: %s violated w-event LDP in %q",
+				c.Spec.Method, tables[c.Table].Title)
+		}
+	}
+
+	s.cbMu.Lock()
+	s.mu.Lock()
+	s.runsDone++
+	s.done += len(g.cells)
+	if hit {
+		s.hits += len(g.cells)
+	}
+	cb, snap := s.OnProgress, s.snapshotLocked()
+	s.mu.Unlock()
+	if cb != nil {
+		cb(snap)
+	}
+	s.cbMu.Unlock()
+	return nil
+}
+
+// directCellCount sizes a Direct plan's output for progress accounting.
+func directCellCount(tables []Table) int {
+	n := 0
+	for _, t := range tables {
+		for _, row := range t.Cells {
+			n += len(row)
+		}
+	}
+	return n
+}

@@ -1,0 +1,180 @@
+// Package runlog persists completed experiment cells in an append-only,
+// content-addressed journal, so interrupted evaluation runs resume instead
+// of restarting (the experiment scheduler skips any run whose hash is
+// already journaled).
+//
+// The format is JSONL: one Record per line, carrying the run's canonical
+// content hash, an optional human-readable key (the preimage of the hash,
+// for auditing), and a map of named metric values. The file is only ever
+// appended to; a crash can therefore damage at most the final line, and
+// Open detects a partial tail line (no trailing newline, or torn JSON) and
+// drops it by truncating the file back to the last intact record. Torn
+// lines in the middle of the file cannot result from append-only writes
+// and are reported as corruption.
+//
+// Records with the same hash may appear more than once (for example when a
+// later run computes additional metrics for an already-journaled cell);
+// their metric maps merge in file order, later values winning per key.
+// Because metric values are float64s serialized by encoding/json (shortest
+// round-trippable form), a value read back from the journal is bit-identical
+// to the value that was appended — resumed runs reproduce fresh runs
+// exactly.
+package runlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Metrics maps metric selector names (for example "MRE" or "CFPU") to
+// their computed values for one run.
+type Metrics map[string]float64
+
+// Record is one journal line: the content hash of a run, an optional
+// human-readable canonical key, and the run's metric values.
+type Record struct {
+	// Hash is the canonical content hash addressing the run.
+	Hash string `json:"hash"`
+	// Key optionally carries the hash preimage, so journals stay
+	// auditable with standard text tools.
+	Key string `json:"key,omitempty"`
+	// Metrics holds the run's named metric values.
+	Metrics Metrics `json:"metrics"`
+}
+
+// Journal is an open run journal. All methods are safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	recs map[string]Metrics
+}
+
+// Open loads (or creates) the journal at path, drops a partial tail line
+// left by a crash, and positions the file for appending.
+func Open(path string) (*Journal, error) {
+	// O_APPEND enforces the append-only invariant at the fd level: every
+	// write lands at the true end of file, so even two processes sharing
+	// a journal interleave whole records instead of silently overwriting
+	// each other at stale offsets.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, recs: make(map[string]Metrics)}
+	valid := 0 // byte offset past the last intact record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// No newline: a torn final append. Drop it.
+			break
+		}
+		line := data[off : off+nl]
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Hash == "" {
+			if off+nl+1 >= len(data) {
+				// Torn final line that happened to include a newline
+				// fragment; drop it like any other partial tail.
+				break
+			}
+			f.Close()
+			return nil, fmt.Errorf("runlog: %s: corrupt record at byte %d: %q", path, off, line)
+		}
+		j.merge(rec)
+		off += nl + 1
+		valid = off
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// merge folds rec into the in-memory index; callers hold mu (or are still
+// single-goroutine in Open).
+func (j *Journal) merge(rec Record) {
+	m := j.recs[rec.Hash]
+	if m == nil {
+		m = make(Metrics, len(rec.Metrics))
+		j.recs[rec.Hash] = m
+	}
+	for k, v := range rec.Metrics {
+		m[k] = v
+	}
+}
+
+// Append writes rec as one journal line and folds it into the index. The
+// write is a single syscall, so a crash leaves at most a droppable partial
+// tail.
+func (j *Journal) Append(rec Record) error {
+	if rec.Hash == "" {
+		return fmt.Errorf("runlog: record without hash")
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("runlog: append to %s: %w", j.path, err)
+	}
+	j.merge(rec)
+	return nil
+}
+
+// Lookup returns the merged metrics journaled for hash.
+func (j *Journal) Lookup(hash string) (Metrics, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m, ok := j.recs[hash]
+	if !ok {
+		return nil, false
+	}
+	cp := make(Metrics, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp, true
+}
+
+// All returns a copy of every journaled record's merged metrics, keyed by
+// hash.
+func (j *Journal) All() map[string]Metrics {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]Metrics, len(j.recs))
+	for h, m := range j.recs {
+		cp := make(Metrics, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out[h] = cp
+	}
+	return out
+}
+
+// Len reports the number of distinct journaled hashes.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }

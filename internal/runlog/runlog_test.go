@@ -1,0 +1,182 @@
+package runlog
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "runlog.jsonl")
+}
+
+func TestAppendLookupReopen(t *testing.T) {
+	path := tmpPath(t)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Metrics{"MRE": math.Pi * 1e-7, "CFPU": 0.05, "neg": -0.0}
+	if err := j.Append(Record{Hash: "h1", Key: "v1|ds=Sin", Metrics: want}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Hash: "h2", Metrics: Metrics{"MRE": 2}}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := j.Lookup("h1")
+	if !ok {
+		t.Fatal("h1 missing before reopen")
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("pre-reopen %s = %v, want %v", k, got[k], v)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", j2.Len())
+	}
+	got, ok = j2.Lookup("h1")
+	if !ok {
+		t.Fatal("h1 missing after reopen")
+	}
+	// The JSON round trip must be bit-identical, including the sign of
+	// zero — this is what makes resumed tables byte-equal to fresh ones.
+	for k, v := range want {
+		if math.Float64bits(got[k]) != math.Float64bits(v) {
+			t.Fatalf("round trip %s = %x, want %x", k, math.Float64bits(got[k]), math.Float64bits(v))
+		}
+	}
+}
+
+func TestPartialTailDropped(t *testing.T) {
+	path := tmpPath(t)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Hash: "h1", Metrics: Metrics{"MRE": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: a torn, newline-less final line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"hash":"h2","metr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatalf("partial tail not tolerated: %v", err)
+	}
+	if j2.Len() != 1 {
+		t.Fatalf("Len = %d after torn tail, want 1", j2.Len())
+	}
+	if _, ok := j2.Lookup("h2"); ok {
+		t.Fatal("torn record resurrected")
+	}
+	// Appending after recovery must yield a clean, fully-parsable file.
+	if err := j2.Append(Record{Hash: "h3", Metrics: Metrics{"MRE": 3}}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 2 {
+		t.Fatalf("Len = %d after recovery append, want 2", j3.Len())
+	}
+	if _, ok := j3.Lookup("h3"); !ok {
+		t.Fatal("post-recovery record lost")
+	}
+}
+
+func TestCorruptMiddleLineRejected(t *testing.T) {
+	path := tmpPath(t)
+	content := `{"hash":"h1","metrics":{"MRE":1}}
+not json at all
+{"hash":"h2","metrics":{"MRE":2}}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption not reported, err=%v", err)
+	}
+}
+
+func TestDuplicateHashMerges(t *testing.T) {
+	path := tmpPath(t)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Hash: "h", Metrics: Metrics{"MRE": 1, "MAE": 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Hash: "h", Metrics: Metrics{"MRE": 10, "KalmanMSE": 3}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	m, ok := j2.Lookup("h")
+	if !ok {
+		t.Fatal("merged hash missing")
+	}
+	if m["MRE"] != 10 || m["MAE"] != 2 || m["KalmanMSE"] != 3 {
+		t.Fatalf("merge wrong: %v", m)
+	}
+	if j2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", j2.Len())
+	}
+}
+
+func TestAppendRequiresHash(t *testing.T) {
+	j, err := Open(tmpPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(Record{Metrics: Metrics{"MRE": 1}}); err == nil {
+		t.Fatal("hashless record accepted")
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	j, err := Open(tmpPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(Record{Hash: "h", Metrics: Metrics{"MRE": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := j.Lookup("h")
+	m["MRE"] = 99
+	again, _ := j.Lookup("h")
+	if again["MRE"] != 1 {
+		t.Fatal("Lookup exposed internal state")
+	}
+}
