@@ -1,11 +1,15 @@
 // Command ldpids-client simulates -n user devices connecting to an
-// ldpids-server aggregator. The users are sharded across -conns TCP
-// connections (default 1), each hosting a contiguous id batch — the server
-// sends one batched request per connection per round. Each simulated user
-// holds a private value stream (a sticky Markov chain over the domain, and
-// a clamped random walk in [-1, 1] for -numeric mean rounds) and answers
-// report requests by perturbing locally — raw values never leave this
-// process.
+// aggregator — the TCP ldpids-server (-transport tcp, the default) or the
+// HTTP ldpids-gateway (-transport http). The users are sharded across
+// -conns connections (default 1), each hosting a contiguous id batch. Each
+// simulated device holds a private value stream (a sticky Markov chain
+// over the domain, and a clamped random walk in [-1, 1] for -numeric mean
+// rounds; see internal/device) and answers report requests by perturbing
+// locally — raw values never leave this process.
+//
+// Identical seeds produce identical report streams over every transport
+// and in the gateway's in-process -backend sim mode, which is how CI's
+// gateway-smoke job diffs an HTTP run against an in-process one.
 package main
 
 import (
@@ -14,56 +18,22 @@ import (
 	"strings"
 	"sync"
 
+	"ldpids/internal/device"
 	"ldpids/internal/fo"
-	"ldpids/internal/ldprand"
-	"ldpids/internal/numeric"
+	"ldpids/internal/serve"
 	"ldpids/internal/transport"
 )
 
-// user is one simulated device's private state.
-type user struct {
-	src      *ldprand.Source
-	valueSrc *ldprand.Source
-	cur      int
-	walk     float64
-	lastT    int
-	d        int
-}
-
-// value advances the sticky Markov chain (and the numeric walk) to t and
-// returns the current categorical value.
-func (u *user) value(t int) int {
-	for u.lastT < t {
-		if !u.valueSrc.Bernoulli(0.9) {
-			u.cur = u.valueSrc.Intn(u.d)
-		}
-		u.walk += u.valueSrc.NormalScaled(0, 0.05)
-		if u.walk > 1 {
-			u.walk = 1
-		}
-		if u.walk < -1 {
-			u.walk = -1
-		}
-		u.lastT++
-	}
-	return u.cur
-}
-
-// numericValue advances to t and returns the current walk value.
-func (u *user) numericValue(t int) float64 {
-	u.value(t)
-	return u.walk
-}
-
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:7788", "aggregator address")
+		addr        = flag.String("addr", "127.0.0.1:7788", "aggregator address (host:port for tcp, base URL for http)")
+		mode        = flag.String("transport", "tcp", "aggregator transport: tcp (ldpids-server) or http (ldpids-gateway)")
 		n           = flag.Int("n", 100, "number of simulated users")
 		d           = flag.Int("d", 5, "domain size")
 		oracle      = flag.String("oracle", "GRR", "frequency oracle (must match server): "+strings.Join(fo.Names(), " "))
 		seed        = flag.Uint64("seed", 99, "client-side random seed")
 		first       = flag.Int("first", 0, "first user id (for sharding users across processes)")
-		conns       = flag.Int("conns", 1, "TCP connections to shard the users across")
+		conns       = flag.Int("conns", 1, "connections to shard the users across")
 		numericMode = flag.Bool("numeric", false, "answer numeric mean rounds in addition to frequency rounds")
 	)
 	flag.Parse()
@@ -75,24 +45,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	root := ldprand.New(*seed)
-	users := make(map[int]*user, *n)
-	for i := 0; i < *n; i++ {
-		u := &user{src: root.Split(), valueSrc: root.Split(), d: *d}
-		u.cur = u.valueSrc.Intn(*d)
-		users[*first+i] = u
-	}
-	fns := transport.Funcs{
-		Report: func(id, t int, eps float64) fo.Report {
-			u := users[id]
-			return o.Perturb(u.value(t), eps, u.src)
-		},
-	}
+	pop := device.NewPopulation(*seed, *first, *n, *d)
+	report := pop.Report(o)
+	var numericReport func(id, t int, eps float64) float64
 	if *numericMode {
-		fns.NumericReport = func(id, t int, eps float64) float64 {
-			u := users[id]
-			return numeric.BestPerturber(eps).Perturb(u.numericValue(t), eps, u.src)
-		}
+		numericReport = pop.NumericReport()
 	}
 
 	var wg sync.WaitGroup
@@ -107,19 +64,51 @@ func main() {
 		if count == 0 {
 			continue
 		}
-		c, err := transport.NewClient(*addr, start, count, fns)
+		serveConn, err := connect(*mode, *addr, start, count, report, numericReport)
 		if err != nil {
 			log.Fatalf("users [%d,%d): %v", start, start+count, err)
 		}
 		wg.Add(1)
-		go func(firstID, count int) {
+		go func(firstID, count int, serveConn func() error) {
 			defer wg.Done()
-			if err := c.Serve(); err != nil {
+			if err := serveConn(); err != nil {
 				log.Printf("users [%d,%d) disconnected: %v", firstID, firstID+count, err)
 			}
-		}(start, count)
+		}(start, count, serveConn)
 		start += count
 	}
-	log.Printf("%d users connected to %s over %d connections; serving report requests", *n, *addr, *conns)
+	log.Printf("%d users connected to %s over %d %s connections; serving report requests", *n, *addr, *conns, *mode)
 	wg.Wait()
+}
+
+// connect registers users [first, first+count) with the aggregator over
+// the chosen transport and returns the connection's serve loop.
+func connect(mode, addr string, first, count int, report func(int, int, float64) fo.Report, numericReport func(int, int, float64) float64) (func() error, error) {
+	switch mode {
+	case "tcp":
+		c, err := transport.NewClient(addr, first, count, transport.Funcs{
+			Report:        report,
+			NumericReport: numericReport,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c.Serve, nil
+	case "http":
+		base := addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		c, err := serve.NewClient(base, first, count, serve.Funcs{
+			Report:        report,
+			NumericReport: numericReport,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c.Serve, nil
+	default:
+		log.Fatalf("unknown -transport %q (want tcp or http)", mode)
+		return nil, nil
+	}
 }

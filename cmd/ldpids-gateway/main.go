@@ -1,0 +1,301 @@
+// Command ldpids-gateway runs LDP-IDS as a long-running HTTP service: a
+// registry mechanism (LBD, LBA, LPA, ...) drives collection rounds over
+// the internal/serve ingestion backend, publishing every release into a
+// versioned snapshot store that powers the live query endpoints.
+//
+// Endpoints:
+//
+//	POST /v1/report    batched, bit-packed perturbed reports (clients)
+//	GET  /v1/round     long-poll for the next collection round (clients)
+//	GET  /v1/estimate  the current released histogram/mean as JSON
+//	GET  /v1/stream    Server-Sent Events, one event per release
+//	GET  /metrics      Prometheus-style counters (reports folded, bytes
+//	                   in, round latency, releases)
+//
+// With -backend sim the gateway hosts the simulated device population
+// in-process instead of collecting over HTTP (the query endpoints still
+// serve); seeds derive identically in both modes, so an HTTP run driven by
+// ldpids-client -transport http produces a bit-identical release log to a
+// sim run with the same -seed/-client-seed — CI's gateway-smoke job diffs
+// exactly that. SIGINT/SIGTERM shut the gateway down gracefully: the
+// current round finishes (or is pruned), the release log is flushed, and
+// the communication bill is printed.
+//
+// Demo (two shells):
+//
+//	ldpids-gateway -addr 127.0.0.1:8080 -n 200 -d 8 -method LPA -T 100 -interval 500ms
+//	ldpids-client -transport http -addr http://127.0.0.1:8080 -n 200 -d 8
+//	curl -s http://127.0.0.1:8080/v1/estimate
+//	curl -sN http://127.0.0.1:8080/v1/stream
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ldpids/internal/collect"
+	"ldpids/internal/device"
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+	"ldpids/internal/mechanism"
+	"ldpids/internal/numeric"
+	"ldpids/internal/serve"
+	"ldpids/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		backend    = flag.String("backend", "http", "collection backend: http (remote clients) or sim (in-process devices)")
+		n          = flag.Int("n", 100, "user population size")
+		d          = flag.Int("d", 5, "domain size")
+		method     = flag.String("method", "LPA", "mechanism: "+strings.Join(mechanism.Names, " ")+" (with -numeric: LPU LPA)")
+		w          = flag.Int("w", 10, "window size")
+		eps        = flag.Float64("eps", 1.0, "privacy budget per window")
+		T          = flag.Int("T", 0, "timestamps to run (0 = until SIGINT/SIGTERM)")
+		oracleName = flag.String("oracle", "GRR", "frequency oracle: "+strings.Join(fo.Names(), " "))
+		seed       = flag.Uint64("seed", 1, "server-side random seed (mechanism sampling)")
+		clientSeed = flag.Uint64("client-seed", 99, "device seed for -backend sim (must match ldpids-client -seed to compare runs)")
+		timeout    = flag.Duration("round-timeout", serve.DefaultTimeout, "per-round collection deadline (slow/dead clients are pruned)")
+		interval   = flag.Duration("interval", 0, "pause between timestamps (gives live queries something to watch)")
+		isMean     = flag.Bool("numeric", false, "run a streaming mean mechanism instead of a frequency mechanism")
+		out        = flag.String("out", "", "optional path to persist releases as an append-only log")
+	)
+	flag.Parse()
+	if *n < 1 || *d < 1 {
+		log.Fatalf("population and domain must be positive, got -n %d -d %d", *n, *d)
+	}
+
+	snaps := serve.NewSnapshots()
+	metrics := &serve.Metrics{}
+	snaps.Metrics = metrics
+
+	// The collection backend: remote HTTP clients, or an in-process
+	// simulated device population with the same seed derivation.
+	var (
+		collector collect.Collector
+		ingest    *serve.Backend
+	)
+	switch *backend {
+	case "http":
+		b, err := serve.NewBackend(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b.Timeout = *timeout
+		b.Metrics = metrics
+		collector, ingest = b, b
+	case "sim":
+		pop := device.NewPopulation(*clientSeed, 0, *n, *d)
+		o, err := fo.New(*oracleName, *d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		collector = &collect.Sim{Users: *n, Report: pop.Report(o), NumericReport: pop.NumericReport()}
+	default:
+		log.Fatalf("unknown -backend %q (want http or sim)", *backend)
+	}
+
+	// The HTTP front door: ingestion (http backend only), live queries,
+	// metrics.
+	mux := http.NewServeMux()
+	if ingest != nil {
+		mux.Handle("/v1/round", ingest)
+		mux.Handle("/v1/report", ingest)
+	}
+	mux.Handle("/v1/estimate", snaps)
+	mux.Handle("/v1/stream", snaps)
+	mux.Handle("/metrics", metrics)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("http server: %v", err)
+		}
+	}()
+	log.Printf("gateway listening on http://%s (backend %s, n=%d, d=%d, method %s)",
+		ln.Addr(), *backend, *n, *d, *method)
+
+	// The release log.
+	var logW *store.Writer
+	if *out != "" {
+		logD := *d
+		if *isMean {
+			logD = 1
+		}
+		logW, err = store.Create(*out, logD)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	persist := func(t int, release []float64) {
+		if logW == nil {
+			return
+		}
+		if err := logW.Append(t, release); err != nil {
+			log.Fatalf("persisting release at t=%d: %v", t, err)
+		}
+	}
+
+	// Graceful shutdown: finish (or prune) the current round, then stop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	env := collect.NewEnv(collector)
+	if err := run(ctx, env, runConfig{
+		method: *method, oracle: *oracleName, d: *d, eps: *eps, w: *w,
+		n: *n, T: *T, seed: *seed, numeric: *isMean, interval: *interval,
+	}, snaps, persist); err != nil {
+		log.Printf("stream ended: %v", err)
+	}
+
+	// Drain: refuse new rounds, let in-flight requests finish, flush the
+	// log, and present the bill.
+	if ingest != nil {
+		ingest.Close()
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if logW != nil {
+		if err := logW.Close(); err != nil {
+			log.Printf("closing release log: %v", err)
+		}
+	}
+	fmt.Printf("communication: %s\n", env.Stats())
+}
+
+// runConfig carries the stream parameters into run.
+type runConfig struct {
+	method, oracle string
+	d, w, n, T     int
+	eps            float64
+	seed           uint64
+	numeric        bool
+	interval       time.Duration
+}
+
+// run drives the mechanism until T timestamps have released, the context
+// is cancelled, or a round fails terminally.
+func run(ctx context.Context, env *collect.Env, cfg runConfig, snaps *serve.Snapshots, persist func(int, []float64)) error {
+	if cfg.numeric {
+		return runMean(ctx, env, cfg, snaps, persist)
+	}
+	o, err := fo.New(cfg.oracle, cfg.d)
+	if err != nil {
+		return err
+	}
+	m, err := mechanism.New(cfg.method, mechanism.Params{
+		Eps: cfg.eps, W: cfg.w, N: cfg.n, Oracle: o, Src: ldprand.New(cfg.seed),
+	})
+	if err != nil {
+		return err
+	}
+	// The round-close release hook: every successful Step publishes into
+	// the snapshot store (live queries, SSE) and the durable log.
+	hooked := mechanism.Hooked{Mechanism: m, OnRelease: func(t int, release []float64) {
+		snaps.Publish(t, release)
+		persist(t, release)
+	}}
+	for t := 1; cfg.T == 0 || t <= cfg.T; t++ {
+		if ctx.Err() != nil {
+			log.Printf("shutdown requested; stopping before t=%d", t)
+			return nil
+		}
+		env.Advance(t)
+		if _, err := hooked.Step(env); err != nil {
+			if ctx.Err() != nil {
+				log.Printf("shutdown requested mid-round at t=%d: %v", t, err)
+				return nil
+			}
+			return fmt.Errorf("t=%d: %w", t, err)
+		}
+		log.Printf("t=%-4d released (v%d)", t, currentVersion(snaps))
+		if !sleep(ctx, cfg.interval) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// runMean is run's numeric sibling: a streaming mean mechanism whose
+// one-element releases flow through the same snapshot store and log.
+func runMean(ctx context.Context, env *collect.Env, cfg runConfig, snaps *serve.Snapshots, persist func(int, []float64)) error {
+	p := numeric.MeanParams{Eps: cfg.eps, W: cfg.w, N: cfg.n, Src: ldprand.New(cfg.seed)}
+	var (
+		m   numeric.MeanMechanism
+		err error
+	)
+	switch cfg.method {
+	case "LPU", "Mean-LPU":
+		m, err = numeric.NewMeanLPU(p)
+	case "LPA", "Mean-LPA":
+		m, err = numeric.NewMeanLPA(p)
+	default:
+		return fmt.Errorf("unknown numeric method %q (want LPU or LPA)", cfg.method)
+	}
+	if err != nil {
+		return err
+	}
+	for t := 1; cfg.T == 0 || t <= cfg.T; t++ {
+		if ctx.Err() != nil {
+			log.Printf("shutdown requested; stopping before t=%d", t)
+			return nil
+		}
+		env.Advance(t)
+		mean, err := m.Step(env)
+		if err != nil {
+			if ctx.Err() != nil {
+				log.Printf("shutdown requested mid-round at t=%d: %v", t, err)
+				return nil
+			}
+			return fmt.Errorf("t=%d: %w", t, err)
+		}
+		release := []float64{mean}
+		snaps.Publish(t, release)
+		persist(t, release)
+		log.Printf("t=%-4d released mean %.4f", t, mean)
+		if !sleep(ctx, cfg.interval) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// currentVersion reads the snapshot store's latest version for progress
+// logging.
+func currentVersion(snaps *serve.Snapshots) int64 {
+	snap, ok := snaps.Latest()
+	if !ok {
+		return 0
+	}
+	return snap.Version
+}
+
+// sleep pauses for d, returning false if the context was cancelled first.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

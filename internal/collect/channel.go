@@ -2,24 +2,33 @@ package collect
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"ldpids/internal/fo"
 )
 
 // chanJob is one report request delivered to a user goroutine's inbox.
+// With sink set (a striped round), the user goroutine folds its
+// contribution shard-locally into stripe user%stripes and replies with an
+// ack only; otherwise the contribution travels back over reply and the
+// Collect loop serializes the Absorb.
 type chanJob struct {
 	t       int
 	eps     float64
 	numeric bool
+	sink    StripedSink
+	stripes int
 	reply   chan<- chanResult
 }
 
-// chanResult is one user's answer to a chanJob.
+// chanResult is one user's answer to a chanJob. folded marks contributions
+// the user goroutine already absorbed shard-locally.
 type chanResult struct {
-	user int
-	c    Contribution
-	err  error
+	user   int
+	c      Contribution
+	folded bool
+	err    error
 }
 
 // Channel is the in-memory queue backend: every user is a long-lived
@@ -32,7 +41,12 @@ type chanResult struct {
 // Because each user goroutine serves its own requests serially, per-user
 // randomness stays deterministic, and frequency aggregation is
 // order-independent integer counting, so estimates are bit-identical to the
-// Sim backend under identical seeds (see collecttest).
+// Sim backend under identical seeds (see collecttest). When the round's
+// sink stripes (StripedSink, e.g. an AggregatorSink over a
+// fo.StripedAggregator), each user goroutine folds its own report
+// shard-locally instead of funneling every contribution through the
+// Collect loop's serialized Absorb — same estimates, no central
+// serialization point at large n.
 type Channel struct {
 	n       int
 	report  func(u, t int, eps float64) fo.Report
@@ -75,7 +89,8 @@ func (c *Channel) serve(u int) {
 	}
 }
 
-// answer computes user u's contribution for one request.
+// answer computes user u's contribution for one request, folding it
+// shard-locally when the round's sink stripes.
 func (c *Channel) answer(u int, job chanJob) chanResult {
 	if job.numeric {
 		if c.numeric == nil {
@@ -86,11 +101,21 @@ func (c *Channel) answer(u int, job chanJob) chanResult {
 	if c.report == nil {
 		return chanResult{user: u, err: fmt.Errorf("collect: user %d has no frequency reporter", u)}
 	}
-	return chanResult{user: u, c: Contribution{Report: c.report(u, job.t, job.eps)}}
+	contribution := Contribution{Report: c.report(u, job.t, job.eps)}
+	if job.sink != nil {
+		// Shard-local fold: the report lands in stripe u%stripes straight
+		// from this goroutine — no central Absorb serialization point.
+		return chanResult{user: u, folded: true, err: job.sink.AbsorbStripe(u%job.stripes, contribution)}
+	}
+	return chanResult{user: u, c: contribution}
 }
 
 // N implements Collector.
 func (c *Channel) N() int { return c.n }
+
+// PreferredStripes implements Striper: one stripe per CPU, since every
+// user goroutine can fold its own report.
+func (c *Channel) PreferredStripes() int { return runtime.GOMAXPROCS(0) }
 
 // Collect implements Collector: the round fans out to every requested
 // user's inbox, responses are folded into sink in arrival order, and the
@@ -105,6 +130,11 @@ func (c *Channel) Collect(req Request, sink Sink) error {
 	}
 	reply := make(chan chanResult, count)
 	job := chanJob{t: req.T, eps: req.Eps, numeric: req.Numeric, reply: reply}
+	if ss, ok := sink.(StripedSink); ok && !req.Numeric {
+		if k := ss.Stripes(); k > 1 {
+			job.sink, job.stripes = ss, k
+		}
+	}
 	if err := req.forEachUser(c.n, func(u int) error {
 		select {
 		case c.inbox[u] <- job:
@@ -130,6 +160,9 @@ func (c *Channel) Collect(req Request, sink Sink) error {
 				firstErr = fmt.Errorf("collect: user %d: %w", res.user, res.err)
 			}
 			continue
+		}
+		if res.folded {
+			continue // already absorbed shard-locally on the user goroutine
 		}
 		if firstErr == nil {
 			if err := sink.Absorb(res.c); err != nil {

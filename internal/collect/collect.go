@@ -61,6 +61,46 @@ type Sink interface {
 	Count() int
 }
 
+// StripedSink is an optional Sink extension for concurrent ingestion:
+// backends whose contributions already arrive on many goroutines (HTTP
+// handlers, per-user device goroutines) fold each one shard-locally through
+// AbsorbStripe instead of serializing every report through one Absorb loop.
+// AbsorbStripe is safe for concurrent use (including on the same stripe);
+// aggregation is order-independent integer counting, so striped folds are
+// bit-identical to serialized ones. Backends must check Stripes() > 1
+// before taking the concurrent path — a sink that cannot stripe reports
+// one stripe and rejects AbsorbStripe.
+type StripedSink interface {
+	Sink
+	// Stripes returns the number of shard-local stripes, 1 when the sink
+	// has no concurrent entry point.
+	Stripes() int
+	// AbsorbStripe folds one contribution into the given stripe. Callers
+	// spread load deterministically, e.g. user id modulo Stripes.
+	AbsorbStripe(stripe int, c Contribution) error
+}
+
+// Striper is an optional Collector extension: backends whose ingestion is
+// concurrent advertise how many shard-local stripes a round aggregator
+// should expose so server folds scale with cores. Env.NewRoundAggregator
+// consults it when a mechanism asks its environment for a round aggregator.
+type Striper interface {
+	// PreferredStripes returns the stripe count ingestion scales best
+	// with; values < 2 select the plain serialized aggregator.
+	PreferredStripes() int
+}
+
+// Framed is an optional Collector extension for network backends: it
+// reports the per-contribution framing overhead the backend's wire format
+// adds on top of the payload Contribution.Size, so communication metrics
+// stay comparable across transports (TCP gob vs HTTP JSON) instead of
+// charging every backend the bare payload bytes.
+type Framed interface {
+	// FrameOverhead returns the extra wire bytes the backend's encoding
+	// adds for one contribution whose payload is the given size.
+	FrameOverhead(payload int) int
+}
+
 // Request describes one collection round: ask the listed users to perturb
 // their current value at timestamp T with budget Eps. A nil Users slice
 // means "all users" (an empty non-nil slice means none). Numeric selects a
@@ -156,6 +196,36 @@ func (s AggregatorSink) Absorb(c Contribution) error {
 
 // Count implements Sink.
 func (s AggregatorSink) Count() int { return s.Agg.Reports() }
+
+// stripeFolder is the fo-side concurrent fold entry point
+// (fo.StripedAggregator).
+type stripeFolder interface {
+	Stripes() int
+	AddStripe(stripe int, r fo.Report) error
+}
+
+// Stripes implements StripedSink: the wrapped aggregator's stripe count
+// when it supports concurrent folding (fo.StripedAggregator), 1 otherwise.
+func (s AggregatorSink) Stripes() int {
+	if sf, ok := s.Agg.(stripeFolder); ok {
+		return sf.Stripes()
+	}
+	return 1
+}
+
+// AbsorbStripe implements StripedSink by folding into the wrapped
+// aggregator's stripe. It rejects sinks without a concurrent entry point —
+// callers must check Stripes() > 1 first.
+func (s AggregatorSink) AbsorbStripe(stripe int, c Contribution) error {
+	sf, ok := s.Agg.(stripeFolder)
+	if !ok {
+		return fmt.Errorf("collect: aggregator %T has no concurrent stripe entry point", s.Agg)
+	}
+	if c.Numeric {
+		return fmt.Errorf("collect: AggregatorSink cannot absorb a numeric contribution")
+	}
+	return sf.AddStripe(stripe, c.Report)
+}
 
 // MeanSink accumulates a numeric round into a running mean.
 type MeanSink struct {

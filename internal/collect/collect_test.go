@@ -43,6 +43,109 @@ func TestConformanceChannel(t *testing.T) {
 	}
 }
 
+// TestConformanceChannelStriped drives the Channel backend with
+// stripe-folding round aggregators: user goroutines absorb shard-locally
+// (no central Absorb loop) and estimates stay bit-identical.
+func TestConformanceChannelStriped(t *testing.T) {
+	for name, spec := range specs() {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			collecttest.RunStriped(t, spec, 4, func(t *testing.T) (collect.Collector, func()) {
+				report, numeric := spec.Reporters()
+				ch := collect.NewChannel(spec.N, report, numeric)
+				return ch, ch.Close
+			})
+		})
+	}
+}
+
+// framedSim wraps Sim with a fixed per-contribution framing overhead, like
+// a network backend.
+type framedSim struct {
+	collect.Sim
+	overhead int
+}
+
+func (f *framedSim) FrameOverhead(payload int) int { return f.overhead }
+
+// stripedSim wraps Sim advertising concurrent ingestion.
+type stripedSim struct {
+	collect.Sim
+	stripes int
+}
+
+func (s *stripedSim) PreferredStripes() int { return s.stripes }
+
+func TestEnvFramingAccounting(t *testing.T) {
+	spec := collecttest.Spec{N: 8, Oracle: fo.NewGRR(4), BaseSeed: 11, Numeric: true}
+	report, numeric := spec.Reporters()
+	backend := &framedSim{Sim: collect.Sim{Users: spec.N, Report: report, NumericReport: numeric}, overhead: 13}
+	env := collect.NewEnv(backend)
+
+	env.Advance(1)
+	reports, err := env.Collect(nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := 0
+	for _, r := range reports {
+		payload += r.Size()
+	}
+	stats := env.Stats()
+	want := int64(payload + 13*spec.N)
+	if stats.Bytes != want {
+		t.Fatalf("framed bytes = %d, want payload %d + overhead %d = %d", stats.Bytes, payload, 13*spec.N, want)
+	}
+	// Numeric rounds are framed too.
+	env.Advance(2)
+	if _, _, err := env.CollectMean([]int{0, 1}, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Stats().Bytes - stats.Bytes; got != 2*(8+13) {
+		t.Fatalf("framed numeric bytes = %d, want %d", got, 2*(8+13))
+	}
+}
+
+func TestNewRoundAggregator(t *testing.T) {
+	oracle := fo.NewGRR(4)
+	spec := collecttest.Spec{N: 4, Oracle: oracle, BaseSeed: 3}
+	report, _ := spec.Reporters()
+
+	// Plain backends get the oracle's serialized aggregator.
+	plainEnv := collect.NewEnv(&collect.Sim{Users: spec.N, Report: report})
+	agg, err := plainEnv.NewRoundAggregator(oracle, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := agg.(*fo.StripedAggregator); ok {
+		t.Fatal("plain backend got a striped aggregator")
+	}
+
+	// Backends advertising concurrent ingestion get a striped one.
+	stripedEnv := collect.NewEnv(&stripedSim{Sim: collect.Sim{Users: spec.N, Report: report}, stripes: 3})
+	agg, err = stripedEnv.NewRoundAggregator(oracle, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, ok := agg.(*fo.StripedAggregator)
+	if !ok {
+		t.Fatalf("striper backend got %T, want *fo.StripedAggregator", agg)
+	}
+	if sa.Stripes() != 3 {
+		t.Fatalf("striped aggregator has %d stripes, want 3", sa.Stripes())
+	}
+
+	// A striper preferring < 2 stripes falls back to the plain aggregator.
+	oneEnv := collect.NewEnv(&stripedSim{Sim: collect.Sim{Users: spec.N, Report: report}, stripes: 1})
+	agg, err = oneEnv.NewRoundAggregator(oracle, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := agg.(*fo.StripedAggregator); ok {
+		t.Fatal("single-stripe striper got a striped aggregator")
+	}
+}
+
 func TestSinkKindMismatch(t *testing.T) {
 	numeric := collect.Contribution{Numeric: true, Value: 0.5}
 	freq := collect.Contribution{Report: fo.Report{Kind: fo.KindValue, Value: 1}}

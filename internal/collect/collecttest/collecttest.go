@@ -1,9 +1,9 @@
 // Package collecttest is the shared conformance suite for collect.Collector
 // backends: every backend — in-process Sim, in-memory Channel, TCP
-// transport, and any future one — must produce bit-identical frequency
-// estimates from identical seeds, because per-round aggregation is
-// order-independent integer counting over deterministic per-user
-// perturbations.
+// transport, HTTP serve backend, and any future one — must produce
+// bit-identical frequency estimates from identical seeds, because
+// per-round aggregation is order-independent integer counting over
+// deterministic per-user perturbations.
 //
 // A backend test builds its Collector from a Spec's canonical reporters
 // (per-user sources seeded Spec.BaseSeed+u, values from Value/NumericValue)
@@ -216,6 +216,75 @@ func Run(t *testing.T, s Spec, build func(t *testing.T) (collect.Collector, func
 	}
 	if err := backend.Collect(collect.Request{T: 99, Users: []int{s.N}, Eps: 1}, &collect.SliceSink{}); err == nil {
 		t.Fatal("out-of-range user accepted")
+	}
+}
+
+// RunStriped drives a backend built by build through the canonical script
+// folding every frequency round into a stripe-folding fo.StripedAggregator
+// (via an AggregatorSink, which exposes the concurrent shard-local
+// ingestion path to backends that support it — Channel's per-user
+// goroutines, serve's HTTP handlers) and requires bit-identical estimates
+// against the in-process reference. Numeric rounds run through MeanSinks on
+// both sides so per-user sources stay in lockstep with the script.
+func RunStriped(t *testing.T, s Spec, stripes int, build func(t *testing.T) (collect.Collector, func())) {
+	t.Helper()
+	backend, cleanup := build(t)
+	if cleanup != nil {
+		defer cleanup()
+	}
+	refReport, refNumeric := s.Reporters()
+	reference := &collect.Sim{Users: s.N, Report: refReport, NumericReport: refNumeric}
+
+	for _, r := range s.script() {
+		req := collect.Request{T: r.t, Users: r.users, Eps: r.eps, Numeric: r.numeric}
+		if r.numeric {
+			want, got := &collect.MeanSink{}, &collect.MeanSink{}
+			if err := reference.Collect(req, want); err != nil {
+				t.Fatalf("%s: reference: %v", r.name, err)
+			}
+			if err := backend.Collect(req, got); err != nil {
+				t.Fatalf("%s: backend: %v", r.name, err)
+			}
+			if got.Count() != want.Count() {
+				t.Fatalf("%s: backend folded %d contributions, want %d", r.name, got.Count(), want.Count())
+			}
+			if math.Abs(got.Mean()-want.Mean()) > 1e-9 {
+				t.Fatalf("%s: backend mean %v, want %v", r.name, got.Mean(), want.Mean())
+			}
+			continue
+		}
+
+		wantAgg, err := s.Oracle.NewAggregator(r.eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reference.Collect(req, collect.AggregatorSink{Agg: wantAgg}); err != nil {
+			t.Fatalf("%s: reference: %v", r.name, err)
+		}
+		want, err := wantAgg.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		striped, err := fo.NewStripedAggregator(s.Oracle, r.eps, stripes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := backend.Collect(req, collect.AggregatorSink{Agg: striped}); err != nil {
+			t.Fatalf("%s: backend: %v", r.name, err)
+		}
+		if striped.Reports() != wantAgg.Reports() {
+			t.Fatalf("%s: backend folded %d reports, want %d", r.name, striped.Reports(), wantAgg.Reports())
+		}
+		got, err := striped.Estimate()
+		if err != nil {
+			t.Fatalf("%s: striped estimate: %v", r.name, err)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("%s: striped estimate diverged at k=%d: backend %v, reference %v", r.name, k, got[k], want[k])
+			}
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package collect
 
 import (
+	"sync/atomic"
+
 	"ldpids/internal/comm"
 	"ldpids/internal/fo"
 )
@@ -47,23 +49,59 @@ func (e *Env) Backend() Collector { return e.c }
 func (e *Env) Stats() comm.Stats { return e.counter.Stats() }
 
 // countingSink tracks report and byte totals on the way into the wrapped
-// sink, feeding the communication accountant.
+// sink, feeding the communication accountant. Counters are atomic and the
+// striped entry point forwards to the inner sink, so backends that fold
+// concurrently (StripedSink) keep their shard-local path through the
+// accounting layer. Bytes include the backend's per-contribution framing
+// overhead (Framed) so network transports report comparable wire totals.
 type countingSink struct {
 	inner   Sink
-	reports int
-	bytes   int
+	frame   func(payload int) int // nil means no framing overhead
+	reports atomic.Int64
+	bytes   atomic.Int64
+}
+
+// observe records one absorbed contribution.
+func (s *countingSink) observe(c Contribution) {
+	size := c.Size()
+	if s.frame != nil {
+		size += s.frame(size)
+	}
+	s.reports.Add(1)
+	s.bytes.Add(int64(size))
 }
 
 func (s *countingSink) Absorb(c Contribution) error {
 	if err := s.inner.Absorb(c); err != nil {
 		return err
 	}
-	s.reports++
-	s.bytes += c.Size()
+	s.observe(c)
 	return nil
 }
 
-func (s *countingSink) Count() int { return s.reports }
+// Stripes implements StripedSink by forwarding the inner sink's stripe
+// count (1 when the inner sink cannot stripe).
+func (s *countingSink) Stripes() int {
+	if ss, ok := s.inner.(StripedSink); ok {
+		return ss.Stripes()
+	}
+	return 1
+}
+
+// AbsorbStripe implements StripedSink.
+func (s *countingSink) AbsorbStripe(stripe int, c Contribution) error {
+	ss, ok := s.inner.(StripedSink)
+	if !ok {
+		return s.Absorb(c)
+	}
+	if err := ss.AbsorbStripe(stripe, c); err != nil {
+		return err
+	}
+	s.observe(c)
+	return nil
+}
+
+func (s *countingSink) Count() int { return int(s.reports.Load()) }
 
 // collect runs one validated, observed, accounted round through the
 // backend.
@@ -76,11 +114,29 @@ func (e *Env) collect(users []int, eps float64, numeric bool, sink Sink) error {
 		e.Observer(e.t, users, eps)
 	}
 	cs := &countingSink{inner: sink}
+	if f, ok := e.c.(Framed); ok {
+		cs.frame = f.FrameOverhead
+	}
 	if err := e.c.Collect(req, cs); err != nil {
 		return err
 	}
-	e.counter.Observe(cs.reports, cs.bytes)
+	e.counter.Observe(int(cs.reports.Load()), int(cs.bytes.Load()))
 	return nil
+}
+
+// NewRoundAggregator implements mechanism.AggregatorEnv: it returns the
+// aggregator one collection round should fold into. Backends with
+// concurrent ingestion (Striper) get a stripe-folding fo.StripedAggregator
+// so the server fold scales with cores; everything else gets the oracle's
+// plain aggregator. Striped and plain folds are bit-identical, so the
+// choice never changes an estimate.
+func (e *Env) NewRoundAggregator(o fo.Oracle, eps float64) (fo.Aggregator, error) {
+	if s, ok := e.c.(Striper); ok {
+		if k := s.PreferredStripes(); k > 1 {
+			return fo.NewStripedAggregator(o, eps, k)
+		}
+	}
+	return o.NewAggregator(eps)
 }
 
 // Collect implements mechanism.Env by materializing the round's reports.

@@ -1,0 +1,129 @@
+package fo
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// errStripedEstimated reports an Add after Estimate.
+var errStripedEstimated = errors.New("fo: striped aggregator already estimated")
+
+// StripedAggregator is the concurrent shard fold entry point: per-stripe
+// counter sets guarded by per-stripe locks, so many producer goroutines —
+// HTTP ingestion handlers, per-user device goroutines — fold reports in
+// parallel from wherever they already run, instead of funneling every
+// report through one serialized Absorb loop or ShardedAggregator's worker
+// channels. It is the sink-side dual of ShardedAggregator: ShardedAggregator
+// brings its own goroutines to a serial report stream; StripedAggregator
+// brings lock-striped counters to an already-concurrent report stream.
+//
+// All methods are safe for concurrent use. AddStripe(i, r) folds into
+// stripe i (callers spread load by hashing, e.g. user id modulo Stripes);
+// Add round-robins across stripes. Estimate merges the stripes exactly as
+// ShardedAggregator does — integer counter addition commutes — so a striped
+// fold is bit-identical to the plain Aggregator on the same reports,
+// regardless of stripe assignment or interleaving. Estimate is terminal:
+// later Adds fail; repeated Estimates return the same result.
+type StripedAggregator struct {
+	// mu is write-held by Estimate and read-held by the fold paths, so no
+	// fold is in flight while stripes merge.
+	mu      sync.RWMutex
+	merged  bool
+	stripes []lockedStripe
+	next    atomic.Uint64
+}
+
+// lockedStripe is one stripe's private counters plus its fold lock.
+type lockedStripe struct {
+	mu  sync.Mutex
+	agg shardMergeable
+}
+
+// NewStripedAggregator returns a concurrent aggregator for reports
+// perturbed with budget eps, striped across the given number of counter
+// sets (stripes < 1 selects one per CPU). The oracle's aggregator must be
+// one of the built-in counter-based implementations.
+func NewStripedAggregator(o Oracle, eps float64, stripes int) (*StripedAggregator, error) {
+	if stripes < 1 {
+		stripes = runtime.GOMAXPROCS(0)
+	}
+	s := &StripedAggregator{stripes: make([]lockedStripe, stripes)}
+	for i := range s.stripes {
+		agg, err := o.NewAggregator(eps)
+		if err != nil {
+			return nil, err
+		}
+		sm, ok := agg.(shardMergeable)
+		if !ok {
+			return nil, fmt.Errorf("fo: %s aggregator %T does not support striped merging", o.Name(), agg)
+		}
+		s.stripes[i].agg = sm
+	}
+	return s, nil
+}
+
+// Stripes returns the number of stripes.
+func (s *StripedAggregator) Stripes() int { return len(s.stripes) }
+
+// AddStripe folds one report into stripe i. It is safe to call from many
+// goroutines at once, including on the same stripe.
+func (s *StripedAggregator) AddStripe(i int, r Report) error {
+	if i < 0 || i >= len(s.stripes) {
+		return fmt.Errorf("fo: stripe %d outside [0,%d)", i, len(s.stripes))
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.merged {
+		return errStripedEstimated
+	}
+	st := &s.stripes[i]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.agg.Add(r)
+}
+
+// Add implements Aggregator by dispatching the report to the next stripe
+// round-robin. Unlike the plain aggregators it is safe for concurrent use.
+func (s *StripedAggregator) Add(r Report) error {
+	i := int((s.next.Add(1) - 1) % uint64(len(s.stripes)))
+	return s.AddStripe(i, r)
+}
+
+// Reports implements Aggregator: the number of reports folded so far
+// across all stripes.
+func (s *StripedAggregator) Reports() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.merged {
+		return s.stripes[0].agg.Reports()
+	}
+	total := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		total += st.agg.Reports()
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// Estimate implements Aggregator: it merges the stripe counters (waiting
+// out any in-flight folds) and finishes with the shared unbiased estimator.
+// Further Adds fail after the first Estimate; repeated Estimates return the
+// same result.
+func (s *StripedAggregator) Estimate() ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.merged {
+		s.merged = true
+		for i := range s.stripes[1:] {
+			if err := s.stripes[0].agg.mergeShard(s.stripes[i+1].agg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s.stripes[0].agg.Estimate()
+}

@@ -53,6 +53,20 @@ type StreamEnv interface {
 	CollectStream(users []int, eps float64, agg fo.Aggregator) error
 }
 
+// AggregatorEnv is an optional Env extension: environments whose backends
+// ingest concurrently (HTTP handlers, per-user device goroutines) provide
+// each round's aggregator themselves — typically a stripe-folding
+// fo.StripedAggregator — so the server fold scales with cores instead of
+// serializing through one Add loop. Striped and plain folds are
+// bit-identical, so estimates never depend on which aggregator the
+// environment hands out. collect.Env implements it for every backend.
+type AggregatorEnv interface {
+	Env
+	// NewRoundAggregator returns the aggregator one collection round
+	// should fold into for the given oracle and budget.
+	NewRoundAggregator(o fo.Oracle, eps float64) (fo.Aggregator, error)
+}
+
 // Mechanism releases one estimated frequency histogram per timestamp while
 // guaranteeing w-event ε-LDP to every user. Step must be called once per
 // timestamp, in order.
@@ -145,7 +159,15 @@ func dissimilarity(c1, rPrev []float64, estVariance float64) float64 {
 // way.
 func estimate(env Env, o fo.Oracle, users []int, eps float64) ([]float64, error) {
 	if se, ok := env.(StreamEnv); ok {
-		agg, err := o.NewAggregator(eps)
+		var (
+			agg fo.Aggregator
+			err error
+		)
+		if ae, ok := env.(AggregatorEnv); ok {
+			agg, err = ae.NewRoundAggregator(o, eps)
+		} else {
+			agg, err = o.NewAggregator(eps)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -159,6 +181,31 @@ func estimate(env Env, o fo.Oracle, users []int, eps float64) ([]float64, error)
 		return nil, err
 	}
 	return o.Estimate(reports, eps)
+}
+
+// Hooked decorates a Mechanism with a round-close release hook: OnRelease
+// is invoked after every successful Step with the timestamp and the
+// released histogram, before Step returns. Long-running drivers hang live
+// consumers off it — the gateway publishes each release into its versioned
+// snapshot store (serving /v1/estimate and the /v1/stream SSE feed) and
+// appends it to the durable release log — without the mechanism knowing
+// anything about them. Failed steps skip the hook.
+type Hooked struct {
+	Mechanism
+	// OnRelease observes each released histogram as its round closes. The
+	// slice is the mechanism's release; consumers must copy it if they
+	// retain it beyond the call.
+	OnRelease func(t int, release []float64)
+}
+
+// Step implements Mechanism: it steps the wrapped mechanism and notifies
+// the hook on success.
+func (h Hooked) Step(env Env) ([]float64, error) {
+	release, err := h.Mechanism.Step(env)
+	if err == nil && h.OnRelease != nil {
+		h.OnRelease(env.T(), release)
+	}
+	return release, err
 }
 
 // copyVec returns a copy of v; releases must not alias internal state.

@@ -1,6 +1,7 @@
 package mechanism
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -414,5 +415,65 @@ func TestCollectRejectsBadRequests(t *testing.T) {
 	}
 	if _, err := env.Collect([]int{99}, 1); err == nil {
 		t.Fatal("unknown user accepted")
+	}
+}
+
+// hookMech is a scripted mechanism for testing Hooked: it releases a fixed
+// vector and can be told to fail.
+type hookMech struct {
+	release []float64
+	fail    bool
+}
+
+func (m *hookMech) Name() string { return "hook" }
+func (m *hookMech) Step(env Env) ([]float64, error) {
+	if m.fail {
+		return nil, errHook
+	}
+	return m.release, nil
+}
+
+var errHook = fmt.Errorf("hook mechanism failure")
+
+func TestHookedReleaseHook(t *testing.T) {
+	inner := &hookMech{release: []float64{0.25, 0.75}}
+	var gotT int
+	var gotRelease []float64
+	h := Hooked{Mechanism: inner, OnRelease: func(ts int, r []float64) {
+		gotT = ts
+		gotRelease = append([]float64(nil), r...)
+	}}
+	if h.Name() != "hook" {
+		t.Fatalf("Hooked.Name = %q", h.Name())
+	}
+	current := make([]int, 4)
+	env := newSimEnv(4, fo.NewGRR(2), ldprand.New(1), &current, nil)
+	env.Advance(7)
+	release, err := h.Step(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotT != 7 {
+		t.Fatalf("hook saw t=%d, want 7", gotT)
+	}
+	if len(gotRelease) != 2 || gotRelease[0] != release[0] || gotRelease[1] != release[1] {
+		t.Fatalf("hook saw release %v, want %v", gotRelease, release)
+	}
+
+	// Failed steps skip the hook.
+	inner.fail = true
+	called := false
+	h = Hooked{Mechanism: inner, OnRelease: func(int, []float64) { called = true }}
+	if _, err := h.Step(env); err == nil {
+		t.Fatal("failing step succeeded")
+	}
+	if called {
+		t.Fatal("hook invoked on a failed step")
+	}
+
+	// A nil hook is a no-op decoration.
+	inner.fail = false
+	if _, err := (Hooked{Mechanism: inner}).Step(env); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ldpids/internal/collect"
+	"ldpids/internal/fo"
+	"ldpids/internal/ldprand"
+)
+
+// BenchmarkHTTPFold measures ingestion throughput through POST /v1/report
+// at d=65536: one pre-encoded batch of perturbed reports per round, folded
+// into shard-local fo.StripedAggregator stripes by the handler. The
+// reported reports/s includes HTTP transport, JSON+base64 decoding, and
+// the fold itself — the full server-side cost of one uploaded report.
+//
+//	go test -bench BenchmarkHTTPFold -run xxx ./internal/serve
+func BenchmarkHTTPFold(b *testing.B) {
+	const (
+		d     = 65536
+		batch = 256
+		eps   = 1.0
+	)
+	for _, tc := range []struct {
+		name   string
+		oracle fo.Oracle
+	}{
+		{"OUE-packed-d65536", fo.NewOUEPacked(d)},
+		{"OLH-C-d65536", fo.NewOLHC(d)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			backend, err := NewBackend(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			backend.Timeout = time.Minute
+			backend.tokens = func() string { return "bench" }
+			ts := httptest.NewServer(backend)
+			defer ts.Close()
+			defer backend.Close()
+
+			// Pre-encode one round's reports; only the round id changes
+			// between iterations.
+			src := ldprand.New(7)
+			reports := make([]wireReport, batch)
+			users := make([]int, batch)
+			for u := range reports {
+				users[u] = u
+				reports[u] = encodeContribution(u, collect.Contribution{
+					Report: tc.oracle.Perturb(u%d, eps, src),
+				})
+			}
+			reportsJSON, err := json.Marshal(reports)
+			if err != nil {
+				b.Fatal(err)
+			}
+			body := func(round int64) []byte {
+				var buf bytes.Buffer
+				fmt.Fprintf(&buf, `{"round":%d,"token":"bench","reports":`, round)
+				buf.Write(reportsJSON)
+				buf.WriteByte('}')
+				return buf.Bytes()
+			}
+			client := ts.Client()
+
+			b.SetBytes(int64(len(body(1))))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg, err := fo.NewStripedAggregator(tc.oracle, eps, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan error, 1)
+				go func() {
+					done <- backend.Collect(collect.Request{T: i + 1, Users: users, Eps: eps},
+						collect.AggregatorSink{Agg: agg})
+				}()
+				// Wait for the round to open before posting, or the batch
+				// races the Collect goroutine and bounces with a 409.
+				for {
+					if rd, _, _ := backend.currentRound(); rd != nil && rd.id == int64(i+1) {
+						break
+					}
+					time.Sleep(10 * time.Microsecond)
+				}
+				resp, err := client.Post(ts.URL+"/v1/report", "application/json",
+					bytes.NewReader(body(int64(i+1))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					msg, _ := io.ReadAll(resp.Body)
+					b.Fatalf("POST status %d: %s", resp.StatusCode, msg)
+				}
+				resp.Body.Close()
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "reports/s")
+		})
+	}
+}

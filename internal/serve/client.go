@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"ldpids/internal/collect"
+	"ldpids/internal/fo"
+)
+
+// Funcs holds a client process's local randomizers, mirroring
+// transport.Funcs: Report answers frequency rounds, NumericReport numeric
+// mean rounds. Both receive the absolute user id, the timestamp, and the
+// round budget; the user's true value never leaves the client process. A
+// nil function skips that round kind (the aggregator prunes the silent
+// users at the round deadline).
+type Funcs struct {
+	Report        func(id, t int, eps float64) fo.Report
+	NumericReport func(id, t int, eps float64) float64
+}
+
+// Client hosts a contiguous range of users against an aggregator's HTTP
+// ingestion endpoint: it long-polls /v1/round and answers each round with
+// batched /v1/report posts, perturbing locally. Serve loops until Close or
+// until the aggregator goes away.
+type Client struct {
+	// PollWait is the long-poll parking time requested per /v1/round call.
+	// Zero selects 10s.
+	PollWait time.Duration
+	// ChunkSize caps the reports per POST; larger rounds are split into
+	// several posts. Zero selects DefaultMaxBatch.
+	ChunkSize int
+
+	base   string
+	first  int
+	count  int
+	fns    Funcs
+	hc     *http.Client
+	stop   chan struct{}
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+// NewClient returns a client for users [first, first+count) against the
+// aggregator at base (e.g. "http://127.0.0.1:8080").
+func NewClient(base string, first, count int, fns Funcs) (*Client, error) {
+	if fns.Report == nil && fns.NumericReport == nil {
+		return nil, errors.New("serve: client needs at least one report function")
+	}
+	if first < 0 || count < 1 {
+		return nil, fmt.Errorf("serve: client needs a non-negative first id and positive count, got [%d,%d)", first, first+count)
+	}
+	if _, err := url.Parse(base); err != nil {
+		return nil, fmt.Errorf("serve: bad base URL: %w", err)
+	}
+	return &Client{
+		base:  base,
+		first: first,
+		count: count,
+		fns:   fns,
+		hc:    &http.Client{},
+		stop:  make(chan struct{}),
+	}, nil
+}
+
+// Close stops the serve loop, cancelling any in-flight long poll.
+func (c *Client) Close() {
+	c.once.Do(func() { close(c.stop) })
+}
+
+// stopped reports whether Close was called.
+func (c *Client) stopped() bool {
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// ctx returns a request context cancelled by Close, with the given
+// timeout.
+func (c *Client) ctx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	go func() {
+		select {
+		case <-c.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}
+
+// Serve long-polls for rounds and answers them until Close is called
+// (returns nil), the aggregator reports it is closing (returns nil), or
+// the aggregator becomes unreachable (returns the transport error).
+func (c *Client) Serve() error {
+	var after int64
+	for {
+		if c.stopped() {
+			return nil
+		}
+		ri, status, err := c.poll(after)
+		if err != nil {
+			if c.stopped() {
+				return nil
+			}
+			return fmt.Errorf("serve: polling for rounds: %w", err)
+		}
+		switch status {
+		case http.StatusOK:
+		case http.StatusNoContent:
+			continue // long poll expired with no new round
+		case http.StatusServiceUnavailable:
+			return nil // aggregator shutting down
+		default:
+			return fmt.Errorf("serve: /v1/round returned status %d", status)
+		}
+		after = ri.Round
+		if err := c.answer(ri); err != nil {
+			if c.stopped() {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// poll issues one long-poll for a round with id > after.
+func (c *Client) poll(after int64) (*roundInfo, int, error) {
+	wait := c.PollWait
+	if wait == 0 {
+		wait = 10 * time.Second
+	}
+	ctx, cancel := c.ctx(wait + 15*time.Second)
+	defer cancel()
+	u := fmt.Sprintf("%s/v1/round?after=%d&wait=%s", c.base, after, wait)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode, nil
+	}
+	var ri roundInfo
+	if err := json.NewDecoder(resp.Body).Decode(&ri); err != nil {
+		return nil, 0, fmt.Errorf("decoding round announcement: %w", err)
+	}
+	return &ri, resp.StatusCode, nil
+}
+
+// myUsers returns the announced round's users hosted by this client, in
+// announcement order and with multiplicity (a user listed twice owes two
+// reports). Announcement order is the same for every client, so each
+// user's per-round randomness consumption is deterministic.
+func (c *Client) myUsers(ri *roundInfo) []int {
+	if ri.Users == nil {
+		users := make([]int, c.count)
+		for i := range users {
+			users[i] = c.first + i
+		}
+		return users
+	}
+	var users []int
+	for _, u := range ri.Users {
+		if u >= c.first && u < c.first+c.count {
+			users = append(users, u)
+		}
+	}
+	return users
+}
+
+// answer perturbs and posts this client's share of a round, chunked into
+// batches. A 409 means the round closed before the post landed (timed out
+// or completed via other clients' reports) — the client just moves on.
+func (c *Client) answer(ri *roundInfo) error {
+	users := c.myUsers(ri)
+	if len(users) == 0 {
+		return nil
+	}
+	if ri.Numeric && c.fns.NumericReport == nil || !ri.Numeric && c.fns.Report == nil {
+		return nil // cannot answer this round kind; the deadline prunes us
+	}
+	chunk := c.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultMaxBatch
+	}
+	for len(users) > 0 {
+		n := min(chunk, len(users))
+		batch := reportBatch{Round: ri.Round, Token: ri.Token, Reports: make([]wireReport, 0, n)}
+		for _, u := range users[:n] {
+			var contribution collect.Contribution
+			if ri.Numeric {
+				contribution = collect.Contribution{Numeric: true, Value: c.fns.NumericReport(u, ri.T, ri.Eps)}
+			} else {
+				contribution = collect.Contribution{Report: c.fns.Report(u, ri.T, ri.Eps)}
+			}
+			batch.Reports = append(batch.Reports, encodeContribution(u, contribution))
+		}
+		users = users[n:]
+		status, err := c.post(batch)
+		if err != nil {
+			return fmt.Errorf("serve: posting reports: %w", err)
+		}
+		switch status {
+		case http.StatusOK:
+		case http.StatusConflict:
+			return nil // round already closed; nothing more to do for it
+		case http.StatusServiceUnavailable:
+			return nil
+		default:
+			return fmt.Errorf("serve: /v1/report returned status %d", status)
+		}
+	}
+	return nil
+}
+
+// post sends one report batch.
+func (c *Client) post(batch reportBatch) (int, error) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := c.ctx(30 * time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/report", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the gateway's operational counters and renders them in
+// Prometheus text exposition format at /metrics. All methods are safe for
+// concurrent use and nil-safe, so instrumented code never checks whether
+// metrics are attached.
+type Metrics struct {
+	reportsFolded  atomic.Int64
+	bytesIn        atomic.Int64
+	rounds         atomic.Int64
+	roundFailures  atomic.Int64
+	roundLatencyNS atomic.Int64
+	releases       atomic.Int64
+}
+
+// addReport counts one folded report.
+func (m *Metrics) addReport() {
+	if m == nil {
+		return
+	}
+	m.reportsFolded.Add(1)
+}
+
+// addBytes counts ingested request-body bytes.
+func (m *Metrics) addBytes(n int64) {
+	if m == nil {
+		return
+	}
+	m.bytesIn.Add(n)
+}
+
+// observeRound records one finished collection round and its latency.
+func (m *Metrics) observeRound(d time.Duration, ok bool) {
+	if m == nil {
+		return
+	}
+	m.rounds.Add(1)
+	if !ok {
+		m.roundFailures.Add(1)
+	}
+	m.roundLatencyNS.Add(int64(d))
+}
+
+// addRelease counts one published release.
+func (m *Metrics) addRelease() {
+	if m == nil {
+		return
+	}
+	m.releases.Add(1)
+}
+
+// ServeHTTP implements http.Handler, rendering the counters in Prometheus
+// text exposition format.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	write := func(name, help, typ string, value string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, value)
+	}
+	write("ldpids_gateway_reports_folded_total",
+		"Perturbed reports folded into round aggregates.", "counter",
+		fmt.Sprintf("%d", m.reportsFolded.Load()))
+	write("ldpids_gateway_bytes_in_total",
+		"Request body bytes ingested on /v1/report.", "counter",
+		fmt.Sprintf("%d", m.bytesIn.Load()))
+	write("ldpids_gateway_rounds_total",
+		"Collection rounds finished (complete or failed).", "counter",
+		fmt.Sprintf("%d", m.rounds.Load()))
+	write("ldpids_gateway_round_failures_total",
+		"Collection rounds that timed out or failed.", "counter",
+		fmt.Sprintf("%d", m.roundFailures.Load()))
+	write("ldpids_gateway_round_latency_seconds_sum",
+		"Total time spent in collection rounds.", "counter",
+		fmt.Sprintf("%g", time.Duration(m.roundLatencyNS.Load()).Seconds()))
+	write("ldpids_gateway_round_latency_seconds_count",
+		"Collection rounds measured.", "counter",
+		fmt.Sprintf("%d", m.rounds.Load()))
+	write("ldpids_gateway_releases_total",
+		"Releases published to the snapshot store.", "counter",
+		fmt.Sprintf("%d", m.releases.Load()))
+}

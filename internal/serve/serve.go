@@ -1,0 +1,514 @@
+// Package serve runs LDP-IDS as a persistent HTTP service: an ingestion
+// backend (Backend) that implements collect.Collector over plain HTTP, a
+// live query layer (Snapshots) serving the current release and a
+// Server-Sent-Events stream of every release, and Prometheus-style
+// counters (Metrics). cmd/ldpids-gateway wires the three into one
+// long-running aggregator process.
+//
+// The protocol is poll-and-post. Clients long-poll GET /v1/round for the
+// next collection round; the announcement carries the timestamp, budget,
+// requested users, and a fresh per-round token. They answer with batched
+// POST /v1/report bodies — JSON envelopes whose unary payloads stay
+// bit-packed (base64 of the packed words) — which the handlers decode and
+// fold concurrently into shard-local aggregator stripes
+// (fo.StripedAggregator via collect.StripedSink), so ingestion scales with
+// cores instead of serializing through one Absorb loop. A round that has
+// not heard from every requested user within Backend.Timeout fails,
+// pruning slow or dead clients; reports carrying a completed or timed-out
+// round's token are refused (409), so a captured batch cannot be replayed
+// into a later round.
+//
+// Queries never block ingestion: mechanisms publish each release into the
+// versioned Snapshots store as the round closes (mechanism.Hooked), and
+// GET /v1/estimate / GET /v1/stream read from that store only.
+//
+// Like every backend, serve passes the collect/collecttest conformance
+// suite: identical seeds produce bit-identical released histograms over
+// HTTP, the in-process Sim, the Channel backend, and TCP.
+package serve
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"ldpids/internal/collect"
+)
+
+// Defaults for Backend knobs.
+const (
+	// DefaultTimeout bounds one collection round: requested users that
+	// have not reported within it are pruned (the round fails).
+	DefaultTimeout = 30 * time.Second
+	// DefaultMaxBatch caps the reports accepted in one POST /v1/report.
+	DefaultMaxBatch = 4096
+	// DefaultMaxBody caps the byte size of one request body.
+	DefaultMaxBody = 64 << 20
+	// DefaultPollWait is the long-poll parking time of GET /v1/round when
+	// the request names none.
+	DefaultPollWait = 25 * time.Second
+	// maxPollWait caps client-requested long-poll parking.
+	maxPollWait = 60 * time.Second
+)
+
+// Backend is the HTTP ingestion backend: it implements collect.Collector
+// by announcing each collection round to long-polling HTTP clients and
+// folding their posted report batches into the round's sink as they
+// arrive. Handlers decode and fold concurrently — shard-locally when the
+// sink stripes — so ingestion scales with cores.
+//
+// Mount it on a mux at /v1/round and /v1/report (it routes by path), or
+// use it directly as the root handler. Collect must be called serially,
+// like every Collector; Close fails the in-flight round and refuses
+// further work.
+type Backend struct {
+	// Timeout bounds each collection round. Zero selects DefaultTimeout.
+	Timeout time.Duration
+	// MaxBatch caps reports per POST. Zero selects DefaultMaxBatch.
+	MaxBatch int
+	// MaxBody caps request body bytes. Zero selects DefaultMaxBody.
+	MaxBody int64
+	// Metrics, when non-nil, counts folded reports, ingested bytes, and
+	// round latencies.
+	Metrics *Metrics
+
+	n int
+
+	mu       sync.Mutex
+	round    *round
+	nextID   int64
+	announce chan struct{} // closed and replaced when a round opens
+	closed   bool
+	done     chan struct{}
+
+	// tokens overrides round-token generation (benchmarks); nil means
+	// crypto/rand.
+	tokens func() string
+}
+
+// NewBackend returns an ingestion backend for a population of n users.
+func NewBackend(n int) (*Backend, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("serve: population must be positive, got %d", n)
+	}
+	return &Backend{
+		n:        n,
+		announce: make(chan struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// N implements collect.Collector.
+func (b *Backend) N() int { return b.n }
+
+// PreferredStripes implements collect.Striper: one stripe per CPU, since
+// report batches decode and fold on concurrent handler goroutines.
+func (b *Backend) PreferredStripes() int { return runtime.GOMAXPROCS(0) }
+
+// FrameOverhead implements collect.Framed: the JSON envelope around one
+// report — keys, punctuation, user id, token share — plus the 4/3 base64
+// inflation of binary payloads.
+func (b *Backend) FrameOverhead(payload int) int { return payload/3 + 48 }
+
+// round is one in-flight collection round.
+type round struct {
+	id      int64
+	token   string
+	t       int
+	eps     float64
+	numeric bool
+	users   []int // as announced; nil means all
+
+	sink    collect.Sink
+	striped collect.StripedSink // non-nil when folding shard-locally
+	stripes int
+	foldMu  sync.Mutex // serializes Absorb on non-striped sinks
+
+	mu        sync.Mutex
+	total     int         // requested report count (with multiplicity)
+	pending   map[int]int // outstanding report count per requested user
+	remaining int         // reports still to fold
+	done      bool
+	err       error
+	complete  chan struct{}
+	folders   sync.WaitGroup // in-flight handler folds
+}
+
+// newRound builds the round bookkeeping for a validated request.
+func newRound(id int64, token string, req collect.Request, n int, sink collect.Sink) *round {
+	rd := &round{
+		id:       id,
+		token:    token,
+		t:        req.T,
+		eps:      req.Eps,
+		numeric:  req.Numeric,
+		users:    req.Users,
+		sink:     sink,
+		complete: make(chan struct{}),
+	}
+	if ss, ok := sink.(collect.StripedSink); ok && !req.Numeric {
+		if k := ss.Stripes(); k > 1 {
+			rd.striped, rd.stripes = ss, k
+		}
+	}
+	// A user listed several times owes that many reports, matching the
+	// reference backend's request-order semantics.
+	if req.Users == nil {
+		rd.pending = make(map[int]int, n)
+		for u := 0; u < n; u++ {
+			rd.pending[u] = 1
+		}
+		rd.total = n
+	} else {
+		rd.pending = make(map[int]int, len(req.Users))
+		for _, u := range req.Users {
+			rd.pending[u]++
+		}
+		rd.total = len(req.Users)
+	}
+	rd.remaining = rd.total
+	return rd
+}
+
+// finish closes the round exactly once with the given error (nil for a
+// complete round). Later reports are refused as stale.
+func (r *round) finish(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return
+	}
+	r.done = true
+	r.err = err
+	close(r.complete)
+}
+
+// beginFold admits one handler into the round's fold section; it fails on
+// rounds that already finished. endFold must follow.
+func (r *round) beginFold() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return errors.New("serve: round already closed")
+	}
+	r.folders.Add(1)
+	return nil
+}
+
+func (r *round) endFold() { r.folders.Done() }
+
+// take claims one of user u's report slots: each requested user reports
+// exactly as many times as the round listed them.
+func (r *round) take(u int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return errors.New("serve: round already closed")
+	}
+	if r.pending[u] == 0 {
+		return fmt.Errorf("serve: user %d not awaited this round (not requested, or already reported)", u)
+	}
+	r.pending[u]--
+	if r.pending[u] == 0 {
+		delete(r.pending, u)
+	}
+	return nil
+}
+
+// folded records one successfully folded report, finishing the round when
+// it was the last one.
+func (r *round) folded() {
+	r.mu.Lock()
+	r.remaining--
+	last := r.remaining == 0
+	r.mu.Unlock()
+	if last {
+		r.finish(nil)
+	}
+}
+
+// missing reports how many of the round's requested reports have not
+// arrived yet.
+func (r *round) missing() (missing, requested int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range r.pending {
+		missing += k
+	}
+	return missing, r.total
+}
+
+// fold absorbs one contribution: shard-locally into stripe u%stripes when
+// the sink supports it, else serialized under foldMu.
+func (r *round) fold(u int, c collect.Contribution) error {
+	if r.striped != nil {
+		return r.striped.AbsorbStripe(u%r.stripes, c)
+	}
+	r.foldMu.Lock()
+	defer r.foldMu.Unlock()
+	return r.sink.Absorb(c)
+}
+
+// token generates a fresh round token.
+func (b *Backend) token() string {
+	if b.tokens != nil {
+		return b.tokens()
+	}
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(fmt.Sprintf("serve: reading random token: %v", err))
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// Collect implements collect.Collector: it opens a round, announces it to
+// long-polling clients, and waits until every requested user's batch has
+// been folded — or the deadline prunes the stragglers, or the backend
+// closes mid-round. In-flight handler folds are drained before Collect
+// returns, so the caller may use the sink immediately.
+func (b *Backend) Collect(req collect.Request, sink collect.Sink) error {
+	if err := req.Validate(b.n); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errors.New("serve: backend closed")
+	}
+	if b.round != nil {
+		b.mu.Unlock()
+		return errors.New("serve: a collection round is already in progress")
+	}
+	b.nextID++
+	rd := newRound(b.nextID, b.token(), req, b.n, sink)
+	b.round = rd
+	old := b.announce
+	b.announce = make(chan struct{})
+	close(old) // wake long-pollers
+	b.mu.Unlock()
+
+	start := time.Now()
+	if rd.total == 0 {
+		rd.finish(nil) // empty round: nothing to wait for
+	}
+	timeout := b.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-rd.complete:
+	case <-timer.C:
+		missing, requested := rd.missing()
+		rd.finish(fmt.Errorf("serve: round t=%d timed out after %v: %d/%d users did not report",
+			req.T, timeout, missing, requested))
+	case <-b.done:
+		rd.finish(errors.New("serve: backend closed mid-round"))
+	}
+	rd.folders.Wait() // no fold may still touch the sink after we return
+
+	b.mu.Lock()
+	b.round = nil
+	b.mu.Unlock()
+
+	rd.mu.Lock()
+	err := rd.err
+	rd.mu.Unlock()
+	b.Metrics.observeRound(time.Since(start), err == nil)
+	return err
+}
+
+// Close fails any in-flight round and refuses further rounds and requests.
+// Shutting down the surrounding http.Server is the caller's job.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed {
+		b.closed = true
+		close(b.done)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handlers.
+// ---------------------------------------------------------------------------
+
+// ServeHTTP implements http.Handler, routing /v1/round and /v1/report.
+func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/round":
+		b.handleRound(w, r)
+	case "/v1/report":
+		b.handleReport(w, r)
+	default:
+		httpError(w, http.StatusNotFound, "serve: unknown path %s", r.URL.Path)
+	}
+}
+
+// httpError writes the JSON error envelope.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wireError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// currentRound snapshots the open round, the announce channel to wait on,
+// and the closed flag.
+func (b *Backend) currentRound() (rd *round, announce chan struct{}, closed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.round, b.announce, b.closed
+}
+
+// handleRound serves GET /v1/round?after=ID&wait=DURATION: it returns the
+// open round once one with id > after exists, parking the request up to
+// wait (long poll) and answering 204 when none opened in time.
+func (b *Backend) handleRound(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "serve: %s /v1/round", r.Method)
+		return
+	}
+	var after int64
+	if s := r.URL.Query().Get("after"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &after); err != nil {
+			httpError(w, http.StatusBadRequest, "serve: bad after parameter %q", s)
+			return
+		}
+	}
+	wait := DefaultPollWait
+	if s := r.URL.Query().Get("wait"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			httpError(w, http.StatusBadRequest, "serve: bad wait parameter %q", s)
+			return
+		}
+		wait = min(d, maxPollWait)
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		rd, announce, closed := b.currentRound()
+		if closed {
+			httpError(w, http.StatusServiceUnavailable, "serve: backend closed")
+			return
+		}
+		if rd != nil && rd.id > after {
+			writeJSON(w, roundInfo{
+				Round: rd.id, T: rd.t, Eps: rd.eps, Numeric: rd.numeric,
+				Token: rd.token, Users: rd.users, N: b.n,
+			})
+			return
+		}
+		select {
+		case <-announce:
+		case <-deadline.C:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-r.Context().Done():
+			return
+		case <-b.done:
+			httpError(w, http.StatusServiceUnavailable, "serve: backend closed")
+			return
+		}
+	}
+}
+
+// handleReport serves POST /v1/report: decode the batch, authenticate it
+// against the open round, and fold every report — shard-locally when the
+// sink stripes.
+func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "serve: %s /v1/report", r.Method)
+		return
+	}
+	if _, _, closed := b.currentRound(); closed {
+		httpError(w, http.StatusServiceUnavailable, "serve: backend closed")
+		return
+	}
+	maxBody := b.MaxBody
+	if maxBody == 0 {
+		maxBody = DefaultMaxBody
+	}
+	body := &countingReader{inner: http.MaxBytesReader(w, r.Body, maxBody)}
+	var batch reportBatch
+	if err := json.NewDecoder(body).Decode(&batch); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "serve: request body exceeds %d bytes", maxBody)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "serve: malformed report batch: %v", err)
+		return
+	}
+	maxBatch := b.MaxBatch
+	if maxBatch == 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if len(batch.Reports) > maxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, "serve: batch of %d reports exceeds the maximum of %d", len(batch.Reports), maxBatch)
+		return
+	}
+
+	rd, _, _ := b.currentRound()
+	if rd == nil || batch.Round != rd.id ||
+		subtle.ConstantTimeCompare([]byte(batch.Token), []byte(rd.token)) != 1 {
+		httpError(w, http.StatusConflict, "serve: stale round token (round %d is not open)", batch.Round)
+		return
+	}
+	if err := rd.beginFold(); err != nil {
+		httpError(w, http.StatusConflict, "serve: stale round token (round %d already closed)", batch.Round)
+		return
+	}
+	defer rd.endFold()
+
+	for _, wr := range batch.Reports {
+		c, err := wr.decode(rd.numeric)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "serve: user %d: %v", wr.User, err)
+			return
+		}
+		if err := rd.take(wr.User); err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		if err := rd.fold(wr.User, c); err != nil {
+			// The sink rejected the report (wrong shape for the oracle):
+			// the round cannot complete coherently, so it fails now.
+			rd.finish(fmt.Errorf("serve: user %d: %w", wr.User, err))
+			httpError(w, http.StatusUnprocessableEntity, "serve: user %d: %v", wr.User, err)
+			return
+		}
+		b.Metrics.addReport()
+		rd.folded()
+	}
+	b.Metrics.addBytes(body.n)
+	writeJSON(w, reportAck{Accepted: len(batch.Reports)})
+}
+
+// countingReader counts the bytes read through it (ingested body bytes for
+// the metrics).
+type countingReader struct {
+	inner interface{ Read([]byte) (int, error) }
+	n     int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.inner.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ldpids/internal/collect"
+	"ldpids/internal/fo"
+)
+
+// roundInfo announces one open collection round to polling clients
+// (GET /v1/round). Token authenticates reports into exactly this round: it
+// is fresh per round, so a captured batch cannot be replayed into a later
+// one.
+type roundInfo struct {
+	// Round is the monotonically increasing round id.
+	Round int64 `json:"round"`
+	// T is the mechanism timestamp the round collects for.
+	T int `json:"t"`
+	// Eps is the round's privacy budget.
+	Eps float64 `json:"eps"`
+	// Numeric marks a numeric mean round instead of a frequency round.
+	Numeric bool `json:"numeric,omitempty"`
+	// Token must be echoed on every report batch for this round.
+	Token string `json:"token"`
+	// Users lists the requested user ids; null means the whole population.
+	Users []int `json:"users"`
+	// N is the population size.
+	N int `json:"n"`
+}
+
+// wireReport is one user's perturbed contribution inside a report batch.
+// Kind selects the payload exactly as fo.Kind does, plus "numeric" for mean
+// rounds. Bit-packed unary payloads travel as base64 (encoding/json encodes
+// []byte that way) of little-endian uint64 words.
+type wireReport struct {
+	User int    `json:"user"`
+	Kind string `json:"kind"`
+	// Value is the categorical payload (GRR value, OLH/OLH-C bucket; -1
+	// for unary/packed reports, matching the in-memory representation).
+	Value int `json:"value,omitempty"`
+	// Seed is the OLH per-user seed or the OLH-C cohort index.
+	Seed uint64 `json:"seed,omitempty"`
+	// Bits is the byte-per-element unary payload (base64 on the wire).
+	Bits []byte `json:"bits,omitempty"`
+	// Packed is the bit-packed unary payload: little-endian uint64 words
+	// (base64 on the wire).
+	Packed []byte `json:"packed,omitempty"`
+	// Num is the perturbed value of a numeric mean round.
+	Num float64 `json:"num,omitempty"`
+}
+
+// reportBatch is the body of POST /v1/report: a batch of contributions for
+// one round, authenticated by the round token.
+type reportBatch struct {
+	Round   int64        `json:"round"`
+	Token   string       `json:"token"`
+	Reports []wireReport `json:"reports"`
+}
+
+// reportAck is the success response to a report batch.
+type reportAck struct {
+	Accepted int `json:"accepted"`
+}
+
+// wireError is the JSON error envelope of every non-2xx response.
+type wireError struct {
+	Error string `json:"error"`
+}
+
+// packWords flattens uint64 words into little-endian bytes for the wire.
+func packWords(words []uint64) []byte {
+	out := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(out[8*i:], w)
+	}
+	return out
+}
+
+// unpackWords parses little-endian bytes back into uint64 words.
+func unpackWords(b []byte) ([]uint64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("serve: packed payload of %d bytes is not a whole number of words", len(b))
+	}
+	words := make([]uint64, len(b)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return words, nil
+}
+
+// encodeContribution renders one contribution for user u on the wire.
+func encodeContribution(u int, c collect.Contribution) wireReport {
+	if c.Numeric {
+		return wireReport{User: u, Kind: "numeric", Num: c.Value}
+	}
+	r := c.Report
+	w := wireReport{User: u, Kind: r.Kind.String(), Value: r.Value, Seed: r.Seed}
+	switch r.Kind {
+	case fo.KindUnary:
+		w.Bits = r.Bits
+	case fo.KindPacked:
+		w.Packed = packWords(r.Packed)
+	}
+	return w
+}
+
+// decode parses a wire report back into a contribution. numeric says which
+// round kind the report must answer; mismatches are rejected here, before
+// the sink sees anything.
+func (w wireReport) decode(numeric bool) (collect.Contribution, error) {
+	if numeric {
+		if w.Kind != "numeric" {
+			return collect.Contribution{}, fmt.Errorf("serve: %s report in a numeric round", w.Kind)
+		}
+		return collect.Contribution{Numeric: true, Value: w.Num}, nil
+	}
+	r := fo.Report{Value: w.Value, Seed: w.Seed}
+	switch w.Kind {
+	case "value":
+		r.Kind = fo.KindValue
+	case "unary":
+		r.Kind = fo.KindUnary
+		r.Bits = w.Bits
+	case "packed":
+		r.Kind = fo.KindPacked
+		words, err := unpackWords(w.Packed)
+		if err != nil {
+			return collect.Contribution{}, err
+		}
+		r.Packed = words
+	case "hash":
+		r.Kind = fo.KindHash
+	case "cohort":
+		r.Kind = fo.KindCohort
+	case "numeric":
+		return collect.Contribution{}, fmt.Errorf("serve: numeric report in a frequency round")
+	default:
+		return collect.Contribution{}, fmt.Errorf("serve: unknown report kind %q", w.Kind)
+	}
+	return collect.Contribution{Report: r}, nil
+}

@@ -128,6 +128,19 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // N implements collect.Collector.
 func (s *Server) N() int { return s.n }
 
+// gobFrameOverhead approximates the wire bytes gob adds per report inside a
+// batched response beyond the payload itself: field numbers and lengths for
+// the populated Report fields plus the slice-element bookkeeping — roughly
+// a dozen bytes regardless of payload size (the type descriptor is sent
+// once per connection and amortizes to ~0).
+const gobFrameOverhead = 12
+
+// FrameOverhead implements collect.Framed: the per-contribution framing
+// cost of the batched gob wire format, so communication metrics over TCP
+// are comparable with other network backends instead of counting bare
+// payload bytes.
+func (s *Server) FrameOverhead(payload int) int { return gobFrameOverhead }
+
 func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()

@@ -202,8 +202,10 @@ func TestMeanMechanismOverTCP(t *testing.T) {
 	if stats.Reports != int64(T*(n/w)) {
 		t.Fatalf("numeric rounds uploaded %d reports, want %d", stats.Reports, T*(n/w))
 	}
-	if stats.Bytes != 8*stats.Reports {
-		t.Fatalf("numeric rounds accounted %d bytes, want %d", stats.Bytes, 8*stats.Reports)
+	// Each 8-byte value is billed with the gob framing overhead on top.
+	wantBytes := stats.Reports * int64(8+c.srv.FrameOverhead(8))
+	if stats.Bytes != wantBytes {
+		t.Fatalf("numeric rounds accounted %d bytes, want %d", stats.Bytes, wantBytes)
 	}
 }
 

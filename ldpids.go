@@ -17,7 +17,8 @@
 // runtime w-event privacy auditor, and a pluggable collection layer:
 // mechanisms step through a CollectEnv over any Collector backend — the
 // in-process simulation, the in-memory channel backend (one goroutine per
-// user device), or the TCP transport for real processes — all producing
+// user device), the TCP transport for real processes, or the HTTP
+// ingestion backend behind cmd/ldpids-gateway — all producing
 // bit-identical estimates from identical seeds.
 //
 // # Quick start
@@ -87,6 +88,18 @@ type ShardedAggregator = fo.ShardedAggregator
 // budget eps across the given shard count (< 1 selects one per CPU).
 func NewShardedAggregator(o Oracle, eps float64, shards int) (*ShardedAggregator, error) {
 	return fo.NewShardedAggregator(o, eps, shards)
+}
+
+// StripedAggregator is the concurrent shard fold entry point: already-
+// concurrent producers (HTTP handlers, device goroutines) fold reports
+// into per-stripe locked counters; estimates are bit-identical to the
+// plain Aggregator.
+type StripedAggregator = fo.StripedAggregator
+
+// NewStripedAggregator returns a concurrent aggregator for the oracle at
+// budget eps across the given stripe count (< 1 selects one per CPU).
+func NewStripedAggregator(o Oracle, eps float64, stripes int) (*StripedAggregator, error) {
+	return fo.NewStripedAggregator(o, eps, stripes)
 }
 
 // NewGRR returns the Generalized Randomized Response oracle for domain
