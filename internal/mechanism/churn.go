@@ -3,6 +3,7 @@ package mechanism
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"ldpids/internal/ldprand"
 	"ldpids/internal/window"
@@ -55,15 +56,24 @@ func NewChurnPool(initial []int, w int, src *ldprand.Source) *ChurnPool {
 
 // Advance moves the pool to timestamp t (must be called once per
 // timestamp, increasing) and readmits users whose cooldown expired.
+// Readmissions append in ascending id order: avail's order feeds the
+// seeded sampling in Draw, so appending in map-iteration order would make
+// identically-seeded runs draw different users.
 func (p *ChurnPool) Advance(t int) {
 	p.t = t
+	var expired []int
+	//ldpids:orderinvariant expired is sorted below before any order-sensitive use
 	for id, until := range p.outUntil {
 		if t >= until {
-			delete(p.outUntil, id)
-			if p.member[id] && !p.inPool[id] {
-				p.inPool[id] = true
-				p.avail = append(p.avail, id)
-			}
+			expired = append(expired, id)
+		}
+	}
+	sort.Ints(expired)
+	for _, id := range expired {
+		delete(p.outUntil, id)
+		if p.member[id] && !p.inPool[id] {
+			p.inPool[id] = true
+			p.avail = append(p.avail, id)
 		}
 	}
 }

@@ -158,3 +158,31 @@ func TestChurnLPAValidation(t *testing.T) {
 		t.Fatal("tiny initial population accepted")
 	}
 }
+
+// TestChurnAdvanceDeterministic is the regression test for the
+// map-iteration-order bug the determinism analyzer surfaced: Advance used
+// to readmit cooled-down users in map order, so two identically-seeded
+// pools could rebuild avail in different orders and Draw different user
+// sets. Identical schedules must now yield identical draw sequences.
+func TestChurnAdvanceDeterministic(t *testing.T) {
+	run := func() [][]int {
+		p := NewChurnPool(ids(200), 2, ldprand.New(42))
+		var draws [][]int
+		for step := 1; step <= 8; step++ {
+			p.Advance(step)
+			draws = append(draws, p.Draw(60))
+		}
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("step %d: draw sizes differ: %d vs %d", i+1, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("step %d: identically-seeded pools drew different users: %v vs %v", i+1, a[i], b[i])
+			}
+		}
+	}
+}
