@@ -95,9 +95,13 @@ type Report struct {
 // communication accounting layer. Categorical reports cost 4 bytes; unary
 // reports cost one byte per domain element plus header; packed unary costs
 // 8 bytes per 64 domain elements plus header; OLH costs 12 (8-byte seed +
-// bucket); OLH-C costs 8 (small cohort index + bucket).
+// bucket); OLH-C costs 8 (small cohort index + bucket). A kind this
+// version does not know costs the 4-byte header: the accounting layer
+// must keep working on logs written by newer versions.
 func (r Report) Size() int {
 	switch r.Kind {
+	case KindValue:
+		return 4
 	case KindUnary:
 		return len(r.Bits) + 4
 	case KindPacked:

@@ -403,6 +403,13 @@ func TestReportSize(t *testing.T) {
 	if (Report{Kind: KindCohort, Value: 2, Seed: 0}).Size() != 8 {
 		t.Fatal("OLH-C report with cohort 0 misclassified")
 	}
+	// A kind this version does not know costs the 4-byte header: the
+	// accounting layer must keep working on logs written by newer versions.
+	// KindValue hits its own explicit case, not this fallback (kindswitch
+	// analyzer: every registered kind is enumerated).
+	if (Report{Kind: Kind(99), Value: 2, Seed: 7}).Size() != 4 {
+		t.Fatal("unknown-kind report size")
+	}
 }
 
 func TestKindStrings(t *testing.T) {
