@@ -96,11 +96,18 @@ func encodeContribution(u int, c collect.Contribution) wireReport {
 	}
 	r := c.Report
 	w := wireReport{User: u, Kind: r.Kind.String(), Value: r.Value, Seed: r.Seed}
+	// Every registered kind is enumerated: a kind this switch does not
+	// know would silently drop its auxiliary payload on the wire (the
+	// PR 1 OLH seed-0 bug class), so adding a kind must extend it.
 	switch r.Kind {
+	case fo.KindValue, fo.KindHash, fo.KindCohort:
+		// The whole payload already travels in Value/Seed.
 	case fo.KindUnary:
 		w.Bits = r.Bits
 	case fo.KindPacked:
 		w.Packed = packWords(r.Packed)
+	default:
+		panic(fmt.Sprintf("serve: cannot encode report kind %s", r.Kind))
 	}
 	return w
 }
