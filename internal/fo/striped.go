@@ -39,7 +39,7 @@ type StripedAggregator struct {
 // lockedStripe is one stripe's private counters plus its fold lock.
 type lockedStripe struct {
 	mu  sync.Mutex
-	agg shardMergeable
+	agg shardMergeable //ldpids:guardedby mu concurrent folds tear the counters unless every access is inside the stripe's locked region
 }
 
 // NewStripedAggregator returns a concurrent aggregator for reports
@@ -60,6 +60,7 @@ func NewStripedAggregator(o Oracle, eps float64, stripes int) (*StripedAggregato
 		if !ok {
 			return nil, fmt.Errorf("fo: %s aggregator %T does not support striped merging", o.Name(), agg)
 		}
+		//ldpids:unshared s has not been returned yet, so no goroutine can reach this stripe
 		s.stripes[i].agg = sm
 	}
 	return s, nil
@@ -98,7 +99,14 @@ func (s *StripedAggregator) Reports() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.merged {
-		return s.stripes[0].agg.Reports()
+		// All counters live in stripe 0 after the merge. Taking its lock
+		// keeps every read of stripe state inside a stripe's locked
+		// region (stripelock analyzer), instead of relying on the merged
+		// flag to prove no fold can be in flight.
+		st := &s.stripes[0]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.agg.Reports()
 	}
 	total := 0
 	for i := range s.stripes {

@@ -147,3 +147,46 @@ func TestStripedErrors(t *testing.T) {
 		t.Fatalf("default stripes %d", s.Stripes())
 	}
 }
+
+// TestStripedReportsDuringEstimate hammers Reports from many goroutines
+// while Estimate merges and while post-merge reads land on stripe 0 — the
+// stripelock finding: the merged fast path of Reports used to read stripe
+// 0's counters outside the stripe's locked region. Run under -race.
+func TestStripedReportsDuringEstimate(t *testing.T) {
+	o := NewGRR(4)
+	striped, err := NewStripedAggregator(o, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := striped.Add(Report{Kind: KindValue, Value: i % 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 100; i++ {
+				if got := striped.Reports(); got != n {
+					t.Errorf("Reports() = %d, want %d", got, n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if _, err := striped.Estimate(); err != nil {
+			t.Error(err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+}
