@@ -1,79 +1,43 @@
-// Command ldpids-doccheck enforces the repo's documentation floor: every
-// package under internal/ (and the root package) must carry a package-level
-// doc comment, so `go doc` reads as a coherent tour of the codebase. CI
-// runs it in the docs job next to gofmt and go vet; it exits non-zero
-// listing every package that lacks a comment.
+// Command ldpids-doccheck is deprecated: the package-doc rule it enforced
+// is now the pkgdoc analyzer inside ldpids-lint, which covers cmd/ and
+// examples/ as well as internal/ and reports positions instead of bare
+// directories. This wrapper keeps the old entry point (and its optional
+// directory argument) alive for scripts; prefer
+//
+//	go run ./cmd/ldpids-lint -analyzers pkgdoc ./...
 //
 // Usage: go run ./cmd/ldpids-doccheck [dir]   (dir defaults to ".")
 package main
 
 import (
 	"fmt"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"strings"
+
+	"ldpids/internal/analysis"
+	"ldpids/internal/analysis/driver"
+	"ldpids/internal/analysis/passes/pkgdoc"
 )
 
-// hasPackageDoc reports whether any non-test Go file in dir carries a
-// package doc comment.
-func hasPackageDoc(dir string) (bool, error) {
-	pkgs, err := parser.ParseDir(token.NewFileSet(), dir, func(fi fs.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments|parser.PackageClauseOnly)
-	if err != nil {
-		return false, err
-	}
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
-			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-				return true, nil
-			}
-		}
-	}
-	return false, nil
-}
-
 func main() {
-	root := "."
+	dir := ""
 	if len(os.Args) > 1 {
-		root = os.Args[1]
+		dir = os.Args[1]
 	}
-	var missing []string
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || !d.IsDir() {
-			return err
-		}
-		// Skip hidden trees (.git, .github) — but not the root itself,
-		// which is "." when run with the default argument.
-		if path != root && strings.HasPrefix(d.Name(), ".") {
-			return fs.SkipDir
-		}
-		if globs, _ := filepath.Glob(filepath.Join(path, "*.go")); len(globs) == 0 {
-			return nil
-		}
-		if path != root && !strings.HasPrefix(path, filepath.Join(root, "internal")) {
-			return nil
-		}
-		ok, err := hasPackageDoc(path)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			missing = append(missing, path)
-		}
-		return nil
-	})
+	fmt.Fprintln(os.Stderr, "doccheck: deprecated; use `go run ./cmd/ldpids-lint -analyzers pkgdoc ./...`")
+	pkgs, err := driver.Load(dir, "./...")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
 		os.Exit(1)
 	}
-	if len(missing) > 0 {
-		for _, p := range missing {
-			fmt.Fprintf(os.Stderr, "doccheck: package %s has no package doc comment\n", p)
-		}
+	diags, err := driver.Run(pkgs, []*analysis.Analyzer{pkgdoc.Analyzer})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
 	fmt.Println("doccheck: every checked package has a package doc comment")

@@ -1,0 +1,95 @@
+// Command ldpids-lint machine-checks the repo's domain invariants: the
+// determinism, privacy-budget, kind-exhaustiveness, lock-discipline, HTTP,
+// and documentation rules that ordinary vet cannot know about. It runs
+// every analyzer in internal/analysis/passes over the requested packages
+// (default ./...) and exits 1 if any diagnostic is reported, 2 if the
+// packages fail to load, so CI can distinguish findings from breakage.
+//
+// Usage:
+//
+//	go run ./cmd/ldpids-lint [flags] [packages]
+//	  -list             print the analyzers and exit
+//	  -analyzers a,b    run only the named analyzers
+//
+// Diagnostics print one per line as position: message [analyzer], the way
+// go vet does. See internal/analysis for the framework and each pass's
+// documentation for the invariant it encodes and its escape hatches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ldpids/internal/analysis"
+	"ldpids/internal/analysis/driver"
+	"ldpids/internal/analysis/passes/determinism"
+	"ldpids/internal/analysis/passes/epsbudget"
+	"ldpids/internal/analysis/passes/httpdiscipline"
+	"ldpids/internal/analysis/passes/kindswitch"
+	"ldpids/internal/analysis/passes/pkgdoc"
+	"ldpids/internal/analysis/passes/stripelock"
+)
+
+// all registers every domain analyzer, in report order.
+var all = []*analysis.Analyzer{
+	determinism.Analyzer,
+	epsbudget.Analyzer,
+	httpdiscipline.Analyzer,
+	kindswitch.Analyzer,
+	pkgdoc.Analyzer,
+	stripelock.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-15s %s\n", a.Name, summary)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ldpids-lint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldpids-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldpids-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named, documented static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer (the de-facto standard), so the
+// domain analyzers in passes/ can migrate to the upstream framework
+// unchanged if the module ever takes the x/tools dependency.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the ldpids-lint
+	// command line. By convention it is a single lowercase word.
+	Name string
+	// Doc states the invariant the analyzer encodes: the first line is a
+	// summary, the rest explains what is reported, what is not, and which
+	// escape-hatch directive (if any) suppresses a report.
+	Doc string
+	// Run analyzes one package, reporting findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions in Files.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types and objects for the expressions in Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+
+	directives map[*ast.File][]Directive
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position and a message. The analyzer name
+// is attached by the driver.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

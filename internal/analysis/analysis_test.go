@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `// Package p is a directive parsing fixture.
+//
+//ldpids:deterministic fixture opts in
+package p
+
+func f() int {
+	//ldpids:wallclock recorded stamp only
+	x := 1
+	//ldpids:unshared
+	y := 2
+	return x + y // plain comment; "ldpids:" mid-text is not a directive
+}
+`
+
+func TestDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reported []Diagnostic
+	pass := &Pass{
+		Fset:   fset,
+		Files:  []*ast.File{f},
+		Report: func(d Diagnostic) { reported = append(reported, d) },
+	}
+
+	if _, ok := pass.PackageDirective("deterministic"); !ok {
+		t.Fatal("package directive above the clause not found")
+	}
+	if _, ok := pass.PackageDirective("wallclock"); ok {
+		t.Fatal("function-body directive must not count as a package directive")
+	}
+
+	ds := fileDirectives(f)
+	if len(ds) != 3 {
+		t.Fatalf("parsed %d directives, want 3", len(ds))
+	}
+	if ds[1].Name != "wallclock" || ds[1].Justification != "recorded stamp only" {
+		t.Fatalf("wallclock directive parsed as %+v", ds[1])
+	}
+
+	// x := 1 sits on the line after the justified wallclock directive.
+	if !pass.Exempted(posOnLine(fset, f, srcLine(t, "x := 1")), "wallclock") {
+		t.Fatal("justified directive on the previous line must exempt")
+	}
+	if len(reported) != 0 {
+		t.Fatalf("justified exemption reported %v", reported)
+	}
+
+	// y := 2 follows the bare unshared directive: the underlying finding
+	// is suppressed, and the missing justification is reported instead.
+	if !pass.Exempted(posOnLine(fset, f, srcLine(t, "y := 2")), "unshared") {
+		t.Fatal("bare directive must still suppress the underlying finding")
+	}
+	if len(reported) != 1 {
+		t.Fatalf("bare directive reported %d diagnostics, want 1", len(reported))
+	}
+	if got := reported[0].Message; got != "//ldpids:unshared directive needs a justification" {
+		t.Fatalf("unexpected message %q", got)
+	}
+
+	// A directive two lines up does not reach.
+	if pass.Exempted(posOnLine(fset, f, srcLine(t, "return x + y")), "unshared") {
+		t.Fatal("directive must only reach its own and the next line")
+	}
+}
+
+// srcLine returns the 1-based line of the first source line containing
+// needle.
+func srcLine(t *testing.T, needle string) int {
+	t.Helper()
+	for i, line := range strings.Split(directiveSrc, "\n") {
+		if strings.Contains(line, needle) {
+			return i + 1
+		}
+	}
+	t.Fatalf("%q not in fixture", needle)
+	return 0
+}
+
+// posOnLine returns a position on the given line of f.
+func posOnLine(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	return fset.File(f.Pos()).LineStart(line)
+}

@@ -1,0 +1,151 @@
+// Package analysistest runs an analyzer over golden test packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A test package lives under <testdata>/src/<name> (an ordinary in-module
+// package, so it may import real repo packages like ldpids/internal/fo;
+// the go tool never builds testdata trees into ./...). Lines that should
+// be reported carry a trailing expectation comment:
+//
+//	time.Now() // want `wall-clock read`
+//
+// Each backquoted or double-quoted argument is a regular expression; one
+// expectation may list several. Every diagnostic on a line must match an
+// expectation on that line and every expectation must be matched by at
+// least one diagnostic — so golden packages double as false-positive
+// guards: clean declarations with no // want comments fail the test if
+// the analyzer fires on them.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ldpids/internal/analysis"
+	"ldpids/internal/analysis/driver"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// Run loads each pattern package from <testdata>/src and checks a's
+// diagnostics against the package's // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	for _, pattern := range patterns {
+		dir := filepath.Join(testdata, "src", pattern)
+		pkgs, err := driver.Load(dir, ".")
+		if err != nil {
+			t.Errorf("%s: %v", pattern, err)
+			continue
+		}
+		diags, err := driver.Run(pkgs, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: %v", pattern, err)
+			continue
+		}
+		check(t, pattern, pkgs, diags)
+	}
+}
+
+// expectation is one // want comment: the regexes that must be matched by
+// diagnostics on its line.
+type expectation struct {
+	file    string
+	line    int
+	regexps []*regexp.Regexp
+	matched []bool
+}
+
+func check(t *testing.T, pattern string, pkgs []*driver.Package, diags []driver.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					w, err := parseWant(pkg.Fset.Position(c.Pos()), c.Text)
+					if err != nil {
+						t.Errorf("%s: %v", pattern, err)
+						continue
+					}
+					if w != nil {
+						wants = append(wants, w)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", pattern, d)
+		}
+	}
+	for _, w := range wants {
+		for i, re := range w.regexps {
+			if !w.matched[i] {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", pattern, filepath.Base(w.file), w.line, re)
+			}
+		}
+	}
+}
+
+func matchWant(wants []*expectation, d driver.Diagnostic) bool {
+	for _, w := range wants {
+		if w.file != d.Position.Filename || w.line != d.Position.Line {
+			continue
+		}
+		for i, re := range w.regexps {
+			if re.MatchString(d.Message) {
+				w.matched[i] = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseWant extracts the expectation from one comment, if it carries one.
+// Supported argument forms: `regexp` and "regexp".
+func parseWant(pos token.Position, text string) (*expectation, error) {
+	idx := strings.Index(text, "// want ")
+	if idx < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(text[idx+len("// want "):])
+	w := &expectation{file: pos.Filename, line: pos.Line}
+	for rest != "" {
+		var quote byte = rest[0]
+		if quote != '`' && quote != '"' {
+			return nil, fmt.Errorf("%s: malformed // want argument %q", pos, rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("%s: unterminated // want argument %q", pos, rest)
+		}
+		re, err := regexp.Compile(rest[1 : 1+end])
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad // want regexp: %v", pos, err)
+		}
+		w.regexps = append(w.regexps, re)
+		w.matched = append(w.matched, false)
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	if len(w.regexps) == 0 {
+		return nil, fmt.Errorf("%s: // want with no arguments", pos)
+	}
+	return w, nil
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix marks an ldpids analyzer directive comment. Directives
+// are machine-readable comments of the form
+//
+//	//ldpids:NAME justification...
+//
+// (no space after //, like //go: directives, so gofmt and godoc treat
+// them as directives rather than documentation). Every directive must
+// carry a justification: an escape hatch without a recorded reason is
+// itself a diagnostic.
+const DirectivePrefix = "//ldpids:"
+
+// A Directive is one parsed //ldpids: comment.
+type Directive struct {
+	// Name is the directive word after the colon ("wallclock", ...).
+	Name string
+	// Justification is the free text after the name. Analyzers honoring a
+	// directive must reject an empty justification.
+	Justification string
+	// Pos is the comment's position.
+	Pos token.Pos
+}
+
+// fileDirectives parses every //ldpids: directive in f.
+func fileDirectives(f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+			if !ok {
+				continue
+			}
+			name, just, _ := strings.Cut(rest, " ")
+			if name == "" {
+				continue
+			}
+			out = append(out, Directive{
+				Name:          name,
+				Justification: strings.TrimSpace(just),
+				Pos:           c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// Directive returns the named directive annotating pos: one on the same
+// line as pos, or on the line immediately above it, in the same file.
+// This is the escape-hatch lookup — an analyzer that finds a violation at
+// pos honors the directive (after checking its Justification is
+// non-empty) instead of reporting.
+func (p *Pass) Directive(pos token.Pos, name string) (Directive, bool) {
+	f := p.fileOf(pos)
+	if f == nil {
+		return Directive{}, false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, d := range p.directivesOf(f) {
+		if d.Name != name {
+			continue
+		}
+		if dl := p.Fset.Position(d.Pos).Line; dl == line || dl == line-1 {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// PackageDirective returns the named directive if any file of the package
+// carries it above (or on the line of) its package clause — the way a
+// whole package opts into a package-scoped check.
+func (p *Pass) PackageDirective(name string) (Directive, bool) {
+	for _, f := range p.Files {
+		clause := p.Fset.Position(f.Name.Pos()).Line
+		for _, d := range p.directivesOf(f) {
+			if d.Name == name && p.Fset.Position(d.Pos).Line <= clause {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+func (p *Pass) directivesOf(f *ast.File) []Directive {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File][]Directive)
+	}
+	ds, ok := p.directives[f]
+	if !ok {
+		ds = fileDirectives(f)
+		p.directives[f] = ds
+	}
+	return ds
+}

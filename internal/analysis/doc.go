@@ -1,0 +1,49 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// dependency-free core (Analyzer, Pass, Diagnostic) whose shapes mirror
+// golang.org/x/tools/go/analysis, so the domain passes could migrate to
+// the upstream framework unchanged if the module ever takes that
+// dependency. Packages are loaded and type-checked by the sibling driver
+// package (go list -export plus the gc importer — no x/tools), golden
+// tests run through analysistest, and cmd/ldpids-lint is the multichecker
+// CI runs over ./...
+//
+// Analyzers communicate with the code they check through //ldpids:
+// directive comments (see DirectivePrefix): //ldpids:wallclock,
+// //ldpids:orderinvariant, and //ldpids:unshared excuse an individual
+// finding but only when they carry a justification — a bare escape hatch
+// is itself a diagnostic; //ldpids:deterministic opts a whole package into
+// checking; //ldpids:guardedby declares a lock-guard invariant for a
+// struct field.
+//
+// The passes, each born from a bug this repo actually had:
+//
+//   - determinism (passes/determinism) forbids wall-clock reads,
+//     math/rand, and order-sensitive map iteration in the packages whose
+//     outputs feed the run journal's content hashes. Motivated by
+//     ChurnPool.Advance readmitting users in map order, which made
+//     identically-seeded churn runs draw different reporters.
+//
+//   - kindswitch (passes/kindswitch) requires every switch over fo.Kind
+//     to cover all registered kinds or fail loudly in its default.
+//     Motivated by the wire encoder silently dropping payloads of kinds
+//     added after it was written, and Report.Size mispricing them.
+//
+//   - epsbudget (passes/epsbudget) keeps privacy budgets inside
+//     validated constructors: no hand-built oracles, no Eps-carrying
+//     config literal that never reaches a New* call, no post-construction
+//     Eps assignment. An unvalidated ε ≤ 0 silently abolishes privacy.
+//
+//   - stripelock (passes/stripelock) checks //ldpids:guardedby fields
+//     are only touched under their lock. Motivated by
+//     StripedAggregator.Reports reading merged stripe counters outside
+//     any stripe's locked region.
+//
+//   - httpdiscipline (passes/httpdiscipline) catches handler shapes that
+//     corrupt responses: header writes after WriteHeader, double
+//     WriteHeader, error responses not followed by return, and
+//     single-value Flusher assertions that panic behind buffering
+//     middleware.
+//
+//   - pkgdoc (passes/pkgdoc) requires a package doc comment on every
+//     module package, absorbing the old cmd/ldpids-doccheck walker.
+package analysis

@@ -1,0 +1,219 @@
+// Package driver loads type-checked packages and runs analyzers over
+// them. It is the stdlib-only stand-in for golang.org/x/tools/go/packages
+// plus the analysis runner: the module deliberately has no external
+// dependencies, so instead of x/tools' loader it shells out to
+//
+//	go list -export -deps -json ...
+//
+// and type-checks each requested package's sources against the compiler
+// export data the go command just produced (the same data a real build
+// uses, read through go/importer's lookup hook). The result is full
+// go/types information — identical to what x/tools-based linters see —
+// without vendoring the dependency.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"ldpids/internal/analysis"
+)
+
+// A Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Dir is the package directory.
+	Dir string
+	// Fset maps positions (shared by every package of one Load).
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, with comments. Test files
+	// are not analyzed: the invariants the analyzers encode guard
+	// production behavior, and several (epsbudget) explicitly exempt
+	// tests.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's findings for Files.
+	Info *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command (run in dir; "" means the
+// current directory) and returns the matched packages, parsed and
+// type-checked. Dependencies are imported from compiler export data, so
+// only the matched packages themselves are parsed from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("driver: go %v: %v\n%s", args, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("driver: loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("driver: no packages matched")
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	// One importer for the whole load: it caches imported packages, so
+	// shared dependencies resolve to identical type objects across the
+	// analyzed packages.
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, tgt := range targets {
+		if len(tgt.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(tgt.GoFiles))
+		for _, name := range tgt.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(tgt.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("driver: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(tgt.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("driver: type-checking %s: %v", tgt.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath: tgt.ImportPath,
+			Dir:     tgt.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return pkgs, nil
+}
+
+// A Diagnostic is one analyzer finding, resolved to a file position.
+type Diagnostic struct {
+	// Analyzer names the check that reported it.
+	Analyzer string
+	// Position locates the finding.
+	Position token.Position
+	// Message states the finding.
+	Message string
+}
+
+// String renders the diagnostic the way go vet does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the collected
+// diagnostics sorted by position. A nil error with a non-empty slice is
+// the "lint found problems" outcome; an error means an analyzer itself
+// failed.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Analyzer: name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("driver: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,164 @@
+// Package determinism defines an Analyzer that keeps bit-identity-critical
+// packages free of wall-clock reads, global randomness, and order-sensitive
+// map iteration.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"ldpids/internal/analysis"
+)
+
+// Analyzer flags the three nondeterminism sources that have each broken a
+// replayed run at least once.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid wall-clock, math/rand, and ordered map iteration in bit-identity-critical packages
+
+The resumable run journal deduplicates experiment cells by a content hash
+of their outputs, so any nondeterminism silently defeats resume and makes
+paper figures unreproducible. In the critical packages (internal/fo,
+mechanism, collect, device, runlog — or any package carrying a
+//ldpids:deterministic directive above its package clause) this analyzer
+reports:
+
+  - calls to time.Now, time.Since, and friends (escape hatch:
+    //ldpids:wallclock <why> on or above the line);
+  - imports of math/rand or math/rand/v2 — randomness must come from
+    internal/ldprand so it replays from a recorded seed;
+  - range over a map whose body appends, sends, writes, or encodes —
+    iteration order would leak into output (escape hatch:
+    //ldpids:orderinvariant <why>).
+
+Map ranges that only fill another map or accumulate a commutative
+reduction are not reported.`,
+	Run: run,
+}
+
+// critical lists the packages whose outputs feed content hashes in the run
+// journal. A package outside this list opts in with //ldpids:deterministic.
+var critical = map[string]bool{
+	"ldpids/internal/fo":                  true,
+	"ldpids/internal/mechanism":           true,
+	"ldpids/internal/collect":             true,
+	"ldpids/internal/collect/collecttest": true,
+	"ldpids/internal/device":              true,
+	"ldpids/internal/runlog":              true,
+}
+
+// wallclock lists the time package functions that read or schedule against
+// the wall clock. Duration arithmetic (time.Duration, constants) is fine.
+var wallclock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !critical[pass.Pkg.Path()] {
+		if _, ok := pass.PackageDirective("deterministic"); !ok {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"bit-identity-critical package imports %s: draw randomness from internal/ldprand so seeded runs replay", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallclock(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWallclock(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !wallclock[obj.Name()] {
+		return
+	}
+	if pass.Exempted(call.Pos(), "wallclock") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"wall-clock read time.%s in a bit-identity-critical package: thread a clock in, or annotate //ldpids:wallclock <why>", obj.Name())
+}
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+		return
+	}
+	if !orderSensitive(pass, rng.Body) {
+		return
+	}
+	if pass.Exempted(rng.Pos(), "orderinvariant") {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order reaches output (append/send/write in the loop body): iterate sorted keys, or annotate //ldpids:orderinvariant <why>")
+}
+
+// outputMethod matches method names that move bytes or elements somewhere
+// order-visible.
+var outputMethod = regexp.MustCompile(`^(Write|Print|Fprint|Encode|Append|Push|Add)`)
+
+// outputPkgs are packages whose functions emit in call order.
+var outputPkgs = map[string]bool{
+	"fmt": true, "io": true, "bufio": true, "os": true,
+	"encoding/json": true, "encoding/csv": true,
+	"encoding/gob": true, "encoding/binary": true,
+}
+
+// orderSensitive reports whether executing body in a different order could
+// produce a different observable result: it appends to a slice, sends on a
+// channel, or calls into an output package or an output-shaped method.
+func orderSensitive(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	sensitive := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sensitive {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sensitive = true
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && obj.Name() == "append" {
+					sensitive = true
+				}
+			case *ast.SelectorExpr:
+				obj := pass.TypesInfo.Uses[fun.Sel]
+				if obj == nil {
+					return true
+				}
+				if obj.Pkg() != nil && outputPkgs[obj.Pkg().Path()] {
+					sensitive = true
+				} else if outputMethod.MatchString(obj.Name()) {
+					sensitive = true
+				}
+			}
+		}
+		return true
+	})
+	return sensitive
+}

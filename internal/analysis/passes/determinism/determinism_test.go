@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"ldpids/internal/analysis/analysistest"
+	"ldpids/internal/analysis/passes/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "a", "b")
+}

@@ -1,0 +1,86 @@
+// Package a seeds every violation class the determinism analyzer knows,
+// alongside clean code it must not flag. It opts into checking with the
+// package-level directive below, the same way a new critical package
+// outside the hardcoded list would.
+//
+//ldpids:deterministic golden test package
+package a
+
+import (
+	_ "math/rand" // want `imports math/rand`
+	"time"
+)
+
+// Wall reads the clock with no annotation.
+func Wall() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time.Now`
+}
+
+// Since is one of the other banned time functions.
+func Since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time.Since`
+}
+
+// Stamped carries a justified escape hatch and is not reported.
+func Stamped() time.Time {
+	//ldpids:wallclock journal header records submission time, which is never hashed
+	return time.Now()
+}
+
+// Unjustified carries the escape hatch without a reason, which is itself
+// the finding.
+func Unjustified() time.Time {
+	//ldpids:wallclock
+	return time.Now() // want `needs a justification`
+}
+
+// FromUnix only converts a recorded stamp; no clock is read.
+func FromUnix(s int64) time.Time {
+	return time.Unix(s, 0)
+}
+
+// Leak lets map iteration order reach an output slice.
+func Leak(src map[int]int) []int {
+	var out []int
+	for _, v := range src { // want `map iteration order`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Keys does the same but justifies it.
+func Keys(src map[int]struct{}) []int {
+	out := make([]int, 0, len(src))
+	//ldpids:orderinvariant caller sorts before any output
+	for k := range src {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Fold copies map to map: order cannot be observed, so no report.
+func Fold(src map[int]int) map[int]int {
+	dst := make(map[int]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// Sum accumulates a commutative reduction: no report.
+func Sum(src map[int]int) int {
+	total := 0
+	for _, v := range src {
+		total += v
+	}
+	return total
+}
+
+// Slice ranges over a slice, which is ordered; appends are fine.
+func Slice(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}

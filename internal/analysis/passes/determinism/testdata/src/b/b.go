@@ -1,0 +1,9 @@
+// Package b is the false-positive guard: a package outside the critical
+// list that never opted in with //ldpids:deterministic is not checked at
+// all, so this clock read must not be reported.
+package b
+
+import "time"
+
+// Wall would be a violation in a critical package.
+func Wall() time.Time { return time.Now() }

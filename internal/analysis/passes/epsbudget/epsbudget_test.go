@@ -1,0 +1,12 @@
+package epsbudget_test
+
+import (
+	"testing"
+
+	"ldpids/internal/analysis/analysistest"
+	"ldpids/internal/analysis/passes/epsbudget"
+)
+
+func TestEpsBudget(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), epsbudget.Analyzer, "a")
+}

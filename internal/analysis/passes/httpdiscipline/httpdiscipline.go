@@ -1,0 +1,242 @@
+// Package httpdiscipline defines an Analyzer for handler hygiene in
+// packages that serve HTTP.
+package httpdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"ldpids/internal/analysis"
+)
+
+// Analyzer reports the handler mistakes that corrupt responses or streams.
+var Analyzer = &analysis.Analyzer{
+	Name: "httpdiscipline",
+	Doc: `catch handler bugs that corrupt responses: late headers, double WriteHeader, fallthrough after errors, unchecked Flusher
+
+In any package importing net/http this analyzer reports, per statement
+list:
+
+  - a header mutation (w.Header().Set/Add/Del) positioned after
+    WriteHeader — the header map is already serialized, the write is
+    silently ignored;
+  - a second WriteHeader — "superfluous response.WriteHeader" at runtime;
+  - a statement calling an error responder (http.Error, or any function
+    whose name contains "error" taking a ResponseWriter first) that is
+    not immediately followed by return/break/continue/goto — the handler
+    falls through and appends a success body to an error response;
+  - a single-value type assertion to an http.* streaming interface
+    (Flusher, Hijacker, Pusher) — behind a buffering middleware the
+    assertion panics the handler; use the comma-ok form.
+
+The positional checks stay within one statement list and do not cross
+into nested function literals, so branches that each write once are not
+confused for double writes.`,
+	Run: run,
+}
+
+// streamIfaces are the net/http interfaces a ResponseWriter may or may not
+// implement depending on middleware wrapping.
+var streamIfaces = map[string]bool{"Flusher": true, "Hijacker": true, "Pusher": true}
+
+// errorish matches functions that write an error response.
+var errorish = regexp.MustCompile(`(?i)error`)
+
+func run(pass *analysis.Pass) error {
+	if !importsNetHTTP(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkAssertions(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkList(pass, n.List)
+			case *ast.CaseClause:
+				checkList(pass, n.Body)
+			case *ast.CommClause:
+				checkList(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func importsNetHTTP(pkg *types.Package) bool {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == "net/http" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAssertions flags single-value assertions to streaming interfaces.
+func checkAssertions(pass *analysis.Pass, f *ast.File) {
+	analysis.WithStack([]*ast.File{f}, func(n ast.Node, stack []ast.Node) bool {
+		ta, ok := n.(*ast.TypeAssertExpr)
+		if !ok || ta.Type == nil {
+			return true
+		}
+		named, ok := pass.TypesInfo.TypeOf(ta.Type).(*types.Named)
+		if !ok {
+			return true
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != "net/http" || !streamIfaces[obj.Name()] {
+			return true
+		}
+		if commaOK(stack) {
+			return true
+		}
+		pass.Reportf(ta.Pos(),
+			"single-value assertion to http.%s panics behind buffering middleware: use the comma-ok form and degrade gracefully", obj.Name())
+		return true
+	})
+}
+
+// commaOK reports whether the assertion at the top of stack is consumed in
+// a two-value context.
+func commaOK(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch p := stack[len(stack)-2].(type) {
+	case *ast.AssignStmt:
+		return len(p.Lhs) == 2 && len(p.Rhs) == 1
+	case *ast.ValueSpec:
+		return len(p.Names) == 2 && len(p.Values) == 1
+	case *ast.TypeSwitchStmt:
+		return true
+	}
+	return false
+}
+
+// checkList runs the positional checks over one statement list.
+func checkList(pass *analysis.Pass, list []ast.Stmt) {
+	wroteHeader := token.NoPos
+	for i, stmt := range list {
+		if pos := findHeaderMutation(pass, stmt); pos.IsValid() && wroteHeader.IsValid() {
+			pass.Reportf(pos, "header mutated after WriteHeader: the header map is already serialized, this write is ignored")
+		}
+		if pos := findWriteHeader(pass, stmt); pos.IsValid() {
+			if wroteHeader.IsValid() {
+				pass.Reportf(pos, "second WriteHeader in the same block: the status line is already out")
+			}
+			wroteHeader = pos
+		}
+		if pos := errorResponderStmt(pass, stmt); pos.IsValid() && i+1 < len(list) {
+			if !diverts(list[i+1]) {
+				pass.Reportf(pos, "error response is not followed by return: the handler falls through and appends to the error body")
+			}
+		}
+	}
+}
+
+// diverts reports whether stmt transfers control out of the list.
+func diverts(stmt ast.Stmt) bool {
+	switch stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	}
+	return false
+}
+
+// errorResponderStmt returns the position of a bare call statement writing
+// an error response, if stmt is one.
+func errorResponderStmt(pass *analysis.Pass, stmt ast.Stmt) token.Pos {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return token.NoPos
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return token.NoPos
+	}
+	if !isResponseWriter(pass.TypesInfo.TypeOf(call.Args[0])) {
+		return token.NoPos
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return token.NoPos
+	}
+	if !errorish.MatchString(name) {
+		return token.NoPos
+	}
+	return call.Pos()
+}
+
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// findWriteHeader returns the position of a ResponseWriter.WriteHeader call
+// directly inside stmt (not inside a nested function literal).
+func findWriteHeader(pass *analysis.Pass, stmt ast.Stmt) token.Pos {
+	return findCall(stmt, func(call *ast.CallExpr) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "WriteHeader" {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+	})
+}
+
+// findHeaderMutation returns the position of a w.Header().Set/Add/Del chain
+// directly inside stmt.
+func findHeaderMutation(pass *analysis.Pass, stmt ast.Stmt) token.Pos {
+	return findCall(stmt, func(call *ast.CallExpr) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		switch sel.Sel.Name {
+		case "Set", "Add", "Del":
+		default:
+			return false
+		}
+		inner, ok := sel.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		innerSel, ok := inner.Fun.(*ast.SelectorExpr)
+		if !ok || innerSel.Sel.Name != "Header" {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[innerSel.Sel]
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+	})
+}
+
+// findCall scans stmt for a call matching ok, skipping nested function
+// literals (their statements belong to a different execution).
+func findCall(stmt ast.Stmt, ok func(*ast.CallExpr) bool) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall && ok(call) {
+			pos = call.Pos()
+		}
+		return true
+	})
+	return pos
+}

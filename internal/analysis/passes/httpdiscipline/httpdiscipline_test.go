@@ -1,0 +1,12 @@
+package httpdiscipline_test
+
+import (
+	"testing"
+
+	"ldpids/internal/analysis/analysistest"
+	"ldpids/internal/analysis/passes/httpdiscipline"
+)
+
+func TestHTTPDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), httpdiscipline.Analyzer, "a")
+}

@@ -1,0 +1,99 @@
+// Package a seeds each handler mistake the httpdiscipline analyzer
+// reports, next to the disciplined versions it must accept.
+package a
+
+import "net/http"
+
+// sloppy mutates a header after the status line is out and writes the
+// status twice.
+func sloppy(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Header().Set("X-Late", "1") // want `header mutated after WriteHeader`
+	w.WriteHeader(http.StatusOK)  // want `second WriteHeader`
+}
+
+// fallsThrough keeps writing after an error response.
+func fallsThrough(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "post only", http.StatusMethodNotAllowed) // want `not followed by return`
+		w.Write([]byte("extra"))
+	}
+}
+
+// writeError is this package's own error responder; callers owe it the
+// same discipline as http.Error.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write([]byte(msg))
+}
+
+func usesHelper(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("q") == "" {
+		writeError(w, http.StatusBadRequest, "missing q") // want `not followed by return`
+		w.Write(nil)
+	}
+}
+
+// disciplined is the shape every serve handler follows: error, return,
+// then headers before status before body.
+func disciplined(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "post only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok"))
+}
+
+// lastError ends the handler; the implicit return is fine.
+func lastError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusTeapot)
+}
+
+// branches write once per branch; separate statement lists are never
+// counted as a double write.
+func branches(w http.ResponseWriter, ok bool) {
+	if ok {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusAccepted)
+	}
+}
+
+// deferredWrite builds a send closure; the closure's WriteHeader belongs
+// to a different execution and must not flag the header set below it.
+func deferredWrite(w http.ResponseWriter) {
+	send := func(code int) {
+		w.WriteHeader(code)
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	send(http.StatusOK)
+}
+
+// panicky asserts the Flusher without the comma-ok form.
+func panicky(w http.ResponseWriter) {
+	f := w.(http.Flusher) // want `single-value assertion to http.Flusher`
+	f.Flush()
+}
+
+// graceful degrades when the middleware buffers.
+func graceful(w http.ResponseWriter) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	f.Flush()
+}
+
+// typeSwitchOK dispatches on capability; a type switch is comma-ok by
+// construction.
+func typeSwitchOK(w http.ResponseWriter) {
+	switch v := w.(type) {
+	case http.Flusher:
+		v.Flush()
+	default:
+	}
+}

@@ -1,0 +1,12 @@
+package kindswitch_test
+
+import (
+	"testing"
+
+	"ldpids/internal/analysis/analysistest"
+	"ldpids/internal/analysis/passes/kindswitch"
+)
+
+func TestKindSwitch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), kindswitch.Analyzer, "a")
+}

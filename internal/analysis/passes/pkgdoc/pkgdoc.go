@@ -1,0 +1,44 @@
+// Package pkgdoc defines an Analyzer that enforces the repo's
+// documentation floor, absorbing the standalone ldpids-doccheck command.
+package pkgdoc
+
+import (
+	"strings"
+
+	"ldpids/internal/analysis"
+)
+
+// Analyzer requires a package doc comment on every module package.
+var Analyzer = &analysis.Analyzer{
+	Name: "pkgdoc",
+	Doc: `require a package doc comment on every module package
+
+go doc should read as a coherent tour of the reproduction: which paper
+section a package implements, what its entry points are. Any package in
+the ldpids module (the root, internal/..., cmd/..., examples/...) with no
+non-empty package doc comment in any of its files is reported at its
+package clause. Packages outside the module — dependencies loaded for
+type information — are never checked.
+
+This analyzer subsumes the old cmd/ldpids-doccheck walker, which only
+covered internal/; the command remains as a deprecated wrapper.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if path != "ldpids" && !strings.HasPrefix(path, "ldpids/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return nil
+		}
+	}
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	pass.Reportf(pass.Files[0].Name.Pos(),
+		"package %s has no package doc comment: state what it implements and how it is entered", pass.Pkg.Name())
+	return nil
+}

@@ -1,0 +1,12 @@
+package pkgdoc_test
+
+import (
+	"testing"
+
+	"ldpids/internal/analysis/analysistest"
+	"ldpids/internal/analysis/passes/pkgdoc"
+)
+
+func TestPkgDoc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), pkgdoc.Analyzer, "documented", "undocumented")
+}

@@ -1,0 +1,4 @@
+package documented
+
+// V exists so the package has content beyond its doc file.
+var V = 1

@@ -1,0 +1,4 @@
+// Package documented carries its doc comment in a dedicated file, the
+// same layout several real packages use; the analyzer accepts a comment
+// in any file of the package.
+package documented

@@ -1,0 +1,4 @@
+package undocumented // want `package undocumented has no package doc comment`
+
+// V is documented, but the package itself is not.
+var V = 1

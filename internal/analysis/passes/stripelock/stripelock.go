@@ -1,0 +1,165 @@
+// Package stripelock defines an Analyzer that checks lock-guard
+// annotations on struct fields.
+package stripelock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ldpids/internal/analysis"
+)
+
+// Analyzer enforces //ldpids:guardedby annotations.
+var Analyzer = &analysis.Analyzer{
+	Name: "stripelock",
+	Doc: `require annotated guarded fields to be accessed under their lock
+
+StripedAggregator's correctness argument is that every read or write of a
+stripe's counters happens inside that stripe's locked region (or under
+the aggregator's exclusive outer lock, which serializes everything) — a
+bare access compiles fine and only fails as a rare torn read under load.
+The invariant is declared in the source:
+
+	agg shardMergeable //ldpids:guardedby mu <why>
+
+names the sibling lock field guarding agg. Within the declaring package,
+every selector reaching an annotated field must be preceded (in the same
+function) by base.mu.Lock() or base.mu.RLock() on the same base
+expression, or by an exclusive recv.mu.Lock() on the method's receiver.
+Pre-publication access — a constructor filling fields before any other
+goroutine can see the value — is excused by //ldpids:unshared <why>.
+
+The check is lexical, not a happens-before proof: it catches the "forgot
+to take the stripe lock on the merged fast path" class, and the race
+detector remains the backstop.`,
+	Run: run,
+}
+
+// guard records one annotated field: the lock's field name.
+type guard struct {
+	lock string
+}
+
+// lockCall is one base.lock.Lock()/RLock() observed in a function.
+type lockCall struct {
+	base      string
+	lock      string
+	exclusive bool
+	pos       token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuards(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds every struct field annotated //ldpids:guardedby.
+func collectGuards(pass *analysis.Pass) map[types.Object]guard {
+	guarded := make(map[types.Object]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				d, ok := pass.Directive(field.Pos(), "guardedby")
+				if !ok {
+					continue
+				}
+				parts := strings.Fields(d.Justification)
+				if len(parts) == 0 {
+					pass.Reportf(field.Pos(), "//ldpids:guardedby needs a lock field name and a justification")
+					continue
+				}
+				if len(parts) == 1 {
+					pass.Reportf(field.Pos(), "//ldpids:guardedby %s needs a justification", parts[0])
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = guard{lock: parts[0]}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guarded map[types.Object]guard) {
+	recv := ""
+	if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		recv = fn.Recv.List[0].Names[0].Name
+	}
+
+	var locks []lockCall
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		outer, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (outer.Sel.Name != "Lock" && outer.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := outer.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		locks = append(locks, lockCall{
+			base:      types.ExprString(inner.X),
+			lock:      inner.Sel.Name,
+			exclusive: outer.Sel.Name == "Lock",
+			pos:       call.Pos(),
+		})
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok {
+			return true
+		}
+		g, ok := guarded[s.Obj()]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		held := false
+		for _, lc := range locks {
+			if lc.pos >= sel.Pos() || lc.lock != g.lock {
+				continue
+			}
+			if lc.base == base || (recv != "" && lc.base == recv && lc.exclusive) {
+				held = true
+				break
+			}
+		}
+		if held || pass.Exempted(sel.Pos(), "unshared") {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s.%s, which is not held here: take the lock, or annotate //ldpids:unshared <why> for pre-publication access",
+			base, sel.Sel.Name, base, g.lock)
+		return true
+	})
+}

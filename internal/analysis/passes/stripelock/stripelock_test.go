@@ -1,0 +1,12 @@
+package stripelock_test
+
+import (
+	"testing"
+
+	"ldpids/internal/analysis/analysistest"
+	"ldpids/internal/analysis/passes/stripelock"
+)
+
+func TestStripeLock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), stripelock.Analyzer, "a")
+}

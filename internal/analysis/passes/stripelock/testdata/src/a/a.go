@@ -1,0 +1,106 @@
+// Package a declares its own lock-guarded structs — the stripelock
+// analyzer is driven entirely by //ldpids:guardedby annotations, so the
+// golden package exercises it without importing internal/fo.
+package a
+
+import "sync"
+
+// counter is the minimal guarded shape: a lock and the field it guards.
+type counter struct {
+	mu sync.Mutex
+	n  int //ldpids:guardedby mu concurrent folds tear the counter without the stripe lock
+}
+
+// inc holds the lock over the write.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// racyRead skips the lock.
+func (c *counter) racyRead() int {
+	return c.n // want `guarded by c.mu, which is not held`
+}
+
+// lateLock takes the lock only after the access; lexical order matters.
+func (c *counter) lateLock() int {
+	v := c.n // want `guarded by c.mu, which is not held`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return v
+}
+
+// newCounter fills the field before the value can be shared, and says so.
+func newCounter() *counter {
+	c := &counter{}
+	//ldpids:unshared c has not escaped the constructor; no goroutine can hold it
+	c.n = 1
+	return c
+}
+
+// newCounterBad uses the escape hatch without a reason.
+func newCounterBad() *counter {
+	c := &counter{}
+	//ldpids:unshared
+	c.n = 1 // want `needs a justification`
+	return c
+}
+
+// rwcounter shows that a read lock on the same base satisfies the guard.
+type rwcounter struct {
+	mu sync.RWMutex
+	n  int //ldpids:guardedby mu readers and the fold path share this counter
+}
+
+func (c *rwcounter) get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// pool shows the receiver rule: an exclusive lock named like the guard on
+// the method's receiver serializes every stripe, covering element access.
+type pool struct {
+	mu    sync.Mutex
+	items []counter
+}
+
+func (p *pool) total() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := 0
+	for i := range p.items {
+		t += p.items[i].n
+	}
+	return t
+}
+
+// rlockedPool only holds a read lock on the receiver, which does not
+// exclude concurrent folds into an individual stripe.
+type rlockedPool struct {
+	mu    sync.RWMutex
+	items []rwcounter
+}
+
+func (p *rlockedPool) total() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	t := 0
+	for i := range p.items {
+		t += p.items[i].n // want `guarded by p.items\[i\].mu, which is not held`
+	}
+	return t
+}
+
+// badguard's annotation names no lock field at all.
+type badguard struct {
+	mu sync.Mutex
+	//ldpids:guardedby
+	n int // want `needs a lock field name`
+}
+
+// unguarded fields are never checked.
+type plain struct{ n int }
+
+func bump(p *plain) { p.n++ }

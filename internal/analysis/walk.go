@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// WithStack traverses every node of every file in depth-first order,
+// calling fn with each node and the stack of its ancestors: stack[0] is
+// the enclosing *ast.File and stack[len(stack)-1] is n itself. Returning
+// false skips n's children. It is the stdlib stand-in for
+// x/tools/go/ast/inspector's WithStack, which several passes need to see
+// a node's context (is this composite literal a constructor argument?).
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Exempted reports whether a violation at pos is excused by the named
+// escape-hatch directive on the same or the preceding line. A directive
+// without a justification never excuses silently: the missing
+// justification is reported in place of the violation, so every escape
+// hatch in the tree carries a recorded reason.
+func (p *Pass) Exempted(pos token.Pos, name string) bool {
+	d, ok := p.Directive(pos, name)
+	if !ok {
+		return false
+	}
+	if d.Justification == "" {
+		p.Reportf(pos, "//ldpids:%s directive needs a justification", name)
+		return true
+	}
+	return true
+}
