@@ -7,10 +7,12 @@
 //
 //	POST /v1/report    batched, bit-packed perturbed reports (clients)
 //	GET  /v1/round     long-poll for the next collection round (clients)
+//	GET  /v1/healthz   readiness probe (503 until the first round opens)
 //	GET  /v1/estimate  the current released histogram/mean as JSON
 //	GET  /v1/stream    Server-Sent Events, one event per release
 //	GET  /metrics      Prometheus-style counters (reports folded, bytes
-//	                   in, round latency, releases)
+//	                   in, round latency, releases; cluster membership and
+//	                   frame counters on a coordinator)
 //
 // With -backend sim the gateway hosts the simulated device population
 // in-process instead of collecting over HTTP (the query endpoints still
@@ -21,7 +23,25 @@
 // current round finishes (or is pruned), the release log is flushed, and
 // the communication bill is printed.
 //
-// Demo (two shells):
+// Distributed ingestion (-role): one coordinator process owns the
+// mechanism, the round sequence, and the release stream; N replica
+// processes each ingest a contiguous user shard and ship merged integer
+// counters back per round (internal/cluster). Frequency aggregation is
+// commutative integer counting, so the cluster's release log is
+// byte-identical to a single process over the same seeds — CI's
+// cluster-smoke job diffs exactly that, across a mid-stream replica
+// restart.
+//
+// Cluster quickstart (three shells, population split 2x150):
+//
+//	ldpids-gateway -role coordinator -addr 127.0.0.1:7900 -n 300 -d 8 -method LPA -T 100
+//	ldpids-gateway -role replica -addr 127.0.0.1:7901 -peers http://127.0.0.1:7900 -shard 0:150 -n 300 -d 8
+//	ldpids-gateway -role replica -addr 127.0.0.1:7902 -peers http://127.0.0.1:7900 -shard 150:300 -n 300 -d 8
+//	ldpids-client -transport http -addr 127.0.0.1:7901 -n 150 -first 0   -d 8
+//	ldpids-client -transport http -addr 127.0.0.1:7902 -n 150 -first 150 -d 8
+//	curl -s http://127.0.0.1:7900/v1/estimate
+//
+// Single-process demo (two shells):
 //
 //	ldpids-gateway -addr 127.0.0.1:8080 -n 200 -d 8 -method LPA -T 100 -interval 500ms
 //	ldpids-client -transport http -addr http://127.0.0.1:8080 -n 200 -d 8
@@ -43,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"ldpids/internal/cluster"
 	"ldpids/internal/collect"
 	"ldpids/internal/device"
 	"ldpids/internal/fo"
@@ -53,70 +74,58 @@ import (
 	"ldpids/internal/store"
 )
 
+// gatewayFlags carries the parsed command line into the role runners.
+type gatewayFlags struct {
+	addr, backend, method, oracleName string
+	role, peers, shard, name, out     string
+	n, d, w, T                        int
+	eps                               float64
+	seed, clientSeed                  uint64
+	timeout, interval                 time.Duration
+	isMean                            bool
+}
+
 func main() {
-	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		backend    = flag.String("backend", "http", "collection backend: http (remote clients) or sim (in-process devices)")
-		n          = flag.Int("n", 100, "user population size")
-		d          = flag.Int("d", 5, "domain size")
-		method     = flag.String("method", "LPA", "mechanism: "+strings.Join(mechanism.Names, " ")+" (with -numeric: LPU LPA)")
-		w          = flag.Int("w", 10, "window size")
-		eps        = flag.Float64("eps", 1.0, "privacy budget per window")
-		T          = flag.Int("T", 0, "timestamps to run (0 = until SIGINT/SIGTERM)")
-		oracleName = flag.String("oracle", "GRR", "frequency oracle: "+strings.Join(fo.Names(), " "))
-		seed       = flag.Uint64("seed", 1, "server-side random seed (mechanism sampling)")
-		clientSeed = flag.Uint64("client-seed", 99, "device seed for -backend sim (must match ldpids-client -seed to compare runs)")
-		timeout    = flag.Duration("round-timeout", serve.DefaultTimeout, "per-round collection deadline (slow/dead clients are pruned)")
-		interval   = flag.Duration("interval", 0, "pause between timestamps (gives live queries something to watch)")
-		isMean     = flag.Bool("numeric", false, "run a streaming mean mechanism instead of a frequency mechanism")
-		out        = flag.String("out", "", "optional path to persist releases as an append-only log")
-	)
+	var f gatewayFlags
+	flag.StringVar(&f.addr, "addr", "127.0.0.1:8080", "HTTP listen address")
+	flag.StringVar(&f.backend, "backend", "http", "collection backend for -role single: http (remote clients) or sim (in-process devices)")
+	flag.IntVar(&f.n, "n", 100, "user population size (the whole population, in every role)")
+	flag.IntVar(&f.d, "d", 5, "domain size")
+	flag.StringVar(&f.method, "method", "LPA", "mechanism: "+strings.Join(mechanism.Names, " ")+" (with -numeric: LPU LPA)")
+	flag.IntVar(&f.w, "w", 10, "window size")
+	flag.Float64Var(&f.eps, "eps", 1.0, "privacy budget per window")
+	flag.IntVar(&f.T, "T", 0, "timestamps to run (0 = until SIGINT/SIGTERM)")
+	flag.StringVar(&f.oracleName, "oracle", "GRR", "frequency oracle: "+strings.Join(fo.Names(), " "))
+	flag.Uint64Var(&f.seed, "seed", 1, "server-side random seed (mechanism sampling)")
+	flag.Uint64Var(&f.clientSeed, "client-seed", 99, "device seed for -backend sim (must match ldpids-client -seed to compare runs)")
+	flag.DurationVar(&f.timeout, "round-timeout", serve.DefaultTimeout, "per-round collection deadline (slow/dead clients are pruned)")
+	flag.DurationVar(&f.interval, "interval", 0, "pause between timestamps (gives live queries something to watch)")
+	flag.BoolVar(&f.isMean, "numeric", false, "run a streaming mean mechanism instead of a frequency mechanism")
+	flag.StringVar(&f.out, "out", "", "optional path to persist releases as an append-only log")
+	flag.StringVar(&f.role, "role", "single", "deployment role: single (all-in-one), coordinator (cluster rounds + releases), or replica (cluster ingestion shard)")
+	flag.StringVar(&f.peers, "peers", "", "coordinator base URL for -role replica, e.g. http://127.0.0.1:7900")
+	flag.StringVar(&f.shard, "shard", "", "user shard lo:hi for -role replica")
+	flag.StringVar(&f.name, "name", "", "replica name, stable across restarts (-role replica; default replica-<lo>-<hi>)")
 	flag.Parse()
-	if *n < 1 || *d < 1 {
-		log.Fatalf("population and domain must be positive, got -n %d -d %d", *n, *d)
+	if f.n < 1 || f.d < 1 {
+		log.Fatalf("population and domain must be positive, got -n %d -d %d", f.n, f.d)
 	}
 
-	snaps := serve.NewSnapshots()
-	metrics := &serve.Metrics{}
-	snaps.Metrics = metrics
-
-	// The collection backend: remote HTTP clients, or an in-process
-	// simulated device population with the same seed derivation.
-	var (
-		collector collect.Collector
-		ingest    *serve.Backend
-	)
-	switch *backend {
-	case "http":
-		b, err := serve.NewBackend(*n)
-		if err != nil {
-			log.Fatal(err)
-		}
-		b.Timeout = *timeout
-		b.Metrics = metrics
-		collector, ingest = b, b
-	case "sim":
-		pop := device.NewPopulation(*clientSeed, 0, *n, *d)
-		o, err := fo.New(*oracleName, *d)
-		if err != nil {
-			log.Fatal(err)
-		}
-		collector = &collect.Sim{Users: *n, Report: pop.Report(o), NumericReport: pop.NumericReport()}
+	switch f.role {
+	case "single":
+		runSingle(f)
+	case "coordinator":
+		runCoordinator(f)
+	case "replica":
+		runReplica(f)
 	default:
-		log.Fatalf("unknown -backend %q (want http or sim)", *backend)
+		log.Fatalf("unknown -role %q (want single, coordinator, or replica)", f.role)
 	}
+}
 
-	// The HTTP front door: ingestion (http backend only), live queries,
-	// metrics.
-	mux := http.NewServeMux()
-	if ingest != nil {
-		mux.Handle("/v1/round", ingest)
-		mux.Handle("/v1/report", ingest)
-	}
-	mux.Handle("/v1/estimate", snaps)
-	mux.Handle("/v1/stream", snaps)
-	mux.Handle("/metrics", metrics)
-	ln, err := net.Listen("tcp", *addr)
+// listenAndServe starts the HTTP front door, fataling on listen errors.
+func listenAndServe(addr string, mux *http.ServeMux) (net.Listener, *http.Server) {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,38 +135,110 @@ func main() {
 			log.Fatalf("http server: %v", err)
 		}
 	}()
-	log.Printf("gateway listening on http://%s (backend %s, n=%d, d=%d, method %s)",
-		ln.Addr(), *backend, *n, *d, *method)
+	return ln, srv
+}
 
-	// The release log.
-	var logW *store.Writer
-	if *out != "" {
-		logD := *d
-		if *isMean {
-			logD = 1
-		}
-		logW, err = store.Create(*out, logD)
-		if err != nil {
-			log.Fatal(err)
-		}
+// shutdown drains the HTTP server.
+func shutdown(srv *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
 	}
-	persist := func(t int, release []float64) {
-		if logW == nil {
-			return
-		}
+}
+
+// releaseLog opens the append-only release log (when -out is set) and
+// returns the per-release persist hook plus a closer.
+func releaseLog(f gatewayFlags) (persist func(int, []float64), closeLog func()) {
+	if f.out == "" {
+		return func(int, []float64) {}, func() {}
+	}
+	logD := f.d
+	if f.isMean {
+		logD = 1
+	}
+	logW, err := store.Create(f.out, logD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	persist = func(t int, release []float64) {
 		if err := logW.Append(t, release); err != nil {
 			log.Fatalf("persisting release at t=%d: %v", t, err)
 		}
 	}
+	closeLog = func() {
+		if err := logW.Close(); err != nil {
+			log.Printf("closing release log: %v", err)
+		}
+	}
+	return persist, closeLog
+}
+
+// runSingle is the all-in-one deployment: ingestion (HTTP or sim),
+// mechanism, and query layer in one process.
+func runSingle(f gatewayFlags) {
+	snaps := serve.NewSnapshots()
+	metrics := &serve.Metrics{}
+	snaps.Metrics = metrics
+	health := &serve.Health{}
+
+	// The collection backend: remote HTTP clients, or an in-process
+	// simulated device population with the same seed derivation.
+	var (
+		collector collect.Collector
+		ingest    *serve.Backend
+	)
+	switch f.backend {
+	case "http":
+		b, err := serve.NewBackend(f.n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b.Timeout = f.timeout
+		b.Metrics = metrics
+		b.Health = health
+		collector, ingest = b, b
+	case "sim":
+		pop := device.NewPopulation(f.clientSeed, 0, f.n, f.d)
+		o, err := fo.New(f.oracleName, f.d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		collector = &collect.Sim{Users: f.n, Report: pop.Report(o), NumericReport: pop.NumericReport()}
+	default:
+		log.Fatalf("unknown -backend %q (want http or sim)", f.backend)
+	}
+
+	// The HTTP front door: ingestion (http backend only), live queries,
+	// health, metrics.
+	mux := http.NewServeMux()
+	if ingest != nil {
+		mux.Handle("/v1/round", ingest)
+		mux.Handle("/v1/report", ingest)
+	}
+	mux.Handle("/v1/healthz", health)
+	mux.Handle("/v1/estimate", snaps)
+	mux.Handle("/v1/stream", snaps)
+	mux.Handle("/metrics", metrics)
+	ln, srv := listenAndServe(f.addr, mux)
+	log.Printf("gateway listening on http://%s (backend %s, n=%d, d=%d, method %s)",
+		ln.Addr(), f.backend, f.n, f.d, f.method)
+
+	persist, closeLog := releaseLog(f)
 
 	// Graceful shutdown: finish (or prune) the current round, then stop.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	env := collect.NewEnv(collector)
+	// The sim backend has no announce path; its probe flips on the first
+	// mechanism step instead (the HTTP backend marks it at announce).
+	if ingest == nil {
+		health.MarkReady()
+	}
 	if err := run(ctx, env, runConfig{
-		method: *method, oracle: *oracleName, d: *d, eps: *eps, w: *w,
-		n: *n, T: *T, seed: *seed, numeric: *isMean, interval: *interval,
+		method: f.method, oracle: f.oracleName, d: f.d, eps: f.eps, w: f.w,
+		n: f.n, T: f.T, seed: f.seed, numeric: f.isMean, interval: f.interval,
 	}, snaps, persist); err != nil {
 		log.Printf("stream ended: %v", err)
 	}
@@ -167,17 +248,139 @@ func main() {
 	if ingest != nil {
 		ingest.Close()
 	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
-	}
-	if logW != nil {
-		if err := logW.Close(); err != nil {
-			log.Printf("closing release log: %v", err)
-		}
-	}
+	shutdown(srv)
+	closeLog()
 	fmt.Printf("communication: %s\n", env.Stats())
+}
+
+// runCoordinator owns the cluster's round sequence and release stream:
+// the mechanism runs here, each Collect fans out to the registered
+// replicas, and their merged counter frames flow back into the round
+// sink. The release log is byte-identical to a single-process run over
+// the same seeds.
+func runCoordinator(f gatewayFlags) {
+	if f.isMean {
+		log.Fatal("-numeric is not supported with -role coordinator: float accumulation does not commute bit-identically across shards")
+	}
+	snaps := serve.NewSnapshots()
+	metrics := &serve.Metrics{}
+	snaps.Metrics = metrics
+	clusterMetrics := &cluster.Metrics{}
+	health := &serve.Health{}
+
+	coord, err := cluster.NewCoordinator(f.n, f.oracleName, f.d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Replica-side rounds are bounded by -round-timeout; the grace covers
+	// shipping, so the replica's own deadline (with its precise missing
+	//-user diagnosis) fires first.
+	coord.Timeout = f.timeout + 15*time.Second
+	coord.Metrics = clusterMetrics
+	coord.Health = health
+
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/v1/", coord)
+	mux.Handle("/v1/healthz", health)
+	mux.Handle("/v1/estimate", snaps)
+	mux.Handle("/v1/stream", snaps)
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		metrics.ServeHTTP(w, r) // sets the exposition Content-Type
+		clusterMetrics.Render(w)
+	}))
+	ln, srv := listenAndServe(f.addr, mux)
+	log.Printf("coordinator listening on http://%s (n=%d, d=%d, method %s, oracle %s)",
+		ln.Addr(), f.n, f.d, f.method, f.oracleName)
+
+	persist, closeLog := releaseLog(f)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	env := collect.NewEnv(coord)
+	if err := run(ctx, env, runConfig{
+		method: f.method, oracle: f.oracleName, d: f.d, eps: f.eps, w: f.w,
+		n: f.n, T: f.T, seed: f.seed, interval: f.interval,
+	}, snaps, persist); err != nil {
+		log.Printf("stream ended: %v", err)
+	}
+
+	coord.Close()
+	shutdown(srv)
+	closeLog()
+	fmt.Printf("communication: %s\n", env.Stats())
+}
+
+// runReplica runs one ingestion shard: a serve.Backend for the shard's
+// device clients, wrapped in a cluster.Replica loop that registers with
+// the coordinator, re-announces its rounds, and ships merged counters.
+func runReplica(f gatewayFlags) {
+	if f.peers == "" {
+		log.Fatal("-role replica needs -peers (the coordinator's base URL)")
+	}
+	peers := f.peers
+	if !strings.Contains(peers, "://") {
+		peers = "http://" + peers
+	}
+	lo, hi, err := parseShard(f.shard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := f.name
+	if name == "" {
+		name = fmt.Sprintf("replica-%d-%d", lo, hi)
+	}
+
+	metrics := &serve.Metrics{}
+	health := &serve.Health{}
+	b, err := serve.NewBackend(f.n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.Timeout = f.timeout
+	b.Metrics = metrics
+	b.Health = health
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/round", b)
+	mux.Handle("/v1/report", b)
+	mux.Handle("/v1/healthz", b)
+	mux.Handle("/metrics", metrics)
+	ln, srv := listenAndServe(f.addr, mux)
+	log.Printf("replica %s listening on http://%s (shard [%d:%d) of %d), coordinator %s",
+		name, ln.Addr(), lo, hi, f.n, peers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep := &cluster.Replica{
+		Coordinator: peers,
+		Name:        name,
+		Lo:          lo,
+		Hi:          hi,
+		Backend:     b,
+		Logf:        log.Printf,
+	}
+	if err := rep.Run(ctx); err != nil {
+		log.Printf("replica stopped: %v", err)
+	} else {
+		log.Printf("replica %s stopped", name)
+	}
+	b.Close()
+	shutdown(srv)
+}
+
+// parseShard parses a -shard lo:hi bound pair.
+func parseShard(s string) (lo, hi int, err error) {
+	if s == "" {
+		return 0, 0, errors.New("-role replica needs -shard lo:hi")
+	}
+	if _, err := fmt.Sscanf(s, "%d:%d", &lo, &hi); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want lo:hi): %w", s, err)
+	}
+	if lo < 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("bad -shard %q: want 0 <= lo < hi", s)
+	}
+	return lo, hi, nil
 }
 
 // runConfig carries the stream parameters into run.

@@ -45,5 +45,5 @@
 //     middleware.
 //
 //   - pkgdoc (passes/pkgdoc) requires a package doc comment on every
-//     module package, absorbing the old cmd/ldpids-doccheck walker.
+//     module package.
 package analysis

@@ -1,5 +1,5 @@
 // Package pkgdoc defines an Analyzer that enforces the repo's
-// documentation floor, absorbing the standalone ldpids-doccheck command.
+// documentation floor: a package doc comment on every module package.
 package pkgdoc
 
 import (
@@ -18,10 +18,7 @@ section a package implements, what its entry points are. Any package in
 the ldpids module (the root, internal/..., cmd/..., examples/...) with no
 non-empty package doc comment in any of its files is reported at its
 package clause. Packages outside the module — dependencies loaded for
-type information — are never checked.
-
-This analyzer subsumes the old cmd/ldpids-doccheck walker, which only
-covered internal/; the command remains as a deprecated wrapper.`,
+type information — are never checked.`,
 	Run: run,
 }
 

@@ -1,0 +1,484 @@
+// Package cluster distributes LDP-IDS ingestion across processes: a round
+// coordinator that owns the mechanism and the release stream, and N
+// ingestion replicas that each fold the reports of a contiguous user-range
+// shard into local aggregator stripes.
+//
+// The coordinator implements collect.Collector, so the existing w-event
+// mechanisms drive it unchanged: each Collect announces one global round
+// (id, token, timestamp, budget, requested users) to the registered
+// replicas, which re-announce it verbatim to their own device clients via
+// serve.Backend.SetNextRound. When a replica's local round closes, it
+// ships its merged integer counters — one fo.CounterFrame, never raw
+// reports — back to the coordinator, which folds the frames into the
+// round's sink in shard order. Frequency aggregation is commutative
+// integer counting, so the merged estimate is bit-identical to a
+// single-process run over the same seeds, regardless of how the
+// population is sharded; numeric mean rounds are refused, because float
+// accumulation order is not.
+//
+// Membership is explicit: replicas join with their shard bounds (the
+// shards must exactly partition [0, n) before a round opens), heartbeat
+// against a TTL, and leave gracefully after shipping any in-flight
+// counters. A replica that vanishes mid-round — missed heartbeats, or a
+// restarted instance re-joining under the same name — fails that round as
+// degraded (counted in Metrics) instead of silently releasing an estimate
+// that misses its shard. A replica that restarts between rounds re-joins
+// and resumes at the coordinator's round sequence, so device watermarks
+// and report tokens stay coherent across the restart.
+//
+// The coordinator's HTTP surface lives under /cluster/v1/ (join,
+// heartbeat, leave, round long-poll, counters) and composes with the
+// serve package's query layer on one mux; cmd/ldpids-gateway wires both
+// roles behind -role coordinator|replica.
+package cluster
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ldpids/internal/collect"
+	"ldpids/internal/fo"
+	"ldpids/internal/serve"
+)
+
+// Defaults for Coordinator knobs.
+const (
+	// DefaultRoundTimeout bounds one distributed round: replicas that have
+	// not shipped counters within it fail the round. It exceeds the serve
+	// backend's DefaultTimeout so the replica-local deadline fires first
+	// and its error reaches the coordinator as a shipment.
+	DefaultRoundTimeout = serve.DefaultTimeout + 15*time.Second
+	// DefaultPartitionTimeout bounds the wait for live replica shards to
+	// exactly cover the population before a round opens.
+	DefaultPartitionTimeout = 2 * time.Minute
+	// DefaultHeartbeatInterval is the heartbeat cadence handed to joining
+	// replicas.
+	DefaultHeartbeatInterval = 2 * time.Second
+	// DefaultTTL is how long a silent replica stays registered.
+	DefaultTTL = 10 * time.Second
+)
+
+// Coordinator owns the global round sequence of a replicated deployment.
+// It implements collect.Collector: mechanisms call Collect serially, and
+// each call opens one distributed round over the registered replicas. The
+// sink must implement collect.CounterSink, since replicas ship merged
+// counter frames rather than raw reports.
+//
+// Mount it on a mux at /cluster/v1/ (it routes by path). Close fails the
+// in-flight round and refuses further work.
+type Coordinator struct {
+	// Timeout bounds one distributed round. Zero selects
+	// DefaultRoundTimeout.
+	Timeout time.Duration
+	// PartitionTimeout bounds the wait for replica shards to cover the
+	// population. Zero selects DefaultPartitionTimeout.
+	PartitionTimeout time.Duration
+	// HeartbeatInterval is the liveness cadence handed to replicas at
+	// join. Zero selects DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// TTL drops replicas silent for longer than this. Zero selects
+	// DefaultTTL.
+	TTL time.Duration
+	// Metrics, when non-nil, counts membership churn, merged frames, and
+	// degraded rounds.
+	Metrics *Metrics
+	// Health, when non-nil, is marked ready when the first round opens.
+	Health *serve.Health
+
+	n      int
+	oracle string
+	d      int
+
+	mu         sync.Mutex
+	replicas   map[int64]*replicaState
+	nextRep    int64
+	nextID     int64
+	round      *clusterRound
+	collecting bool
+	announce   chan struct{} // closed and replaced when a round opens
+	members    chan struct{} // closed and replaced on membership change
+	closed     bool
+	done       chan struct{}
+
+	// tokens overrides round-token generation (tests); nil means
+	// crypto/rand.
+	tokens func() string
+}
+
+// replicaState is one registered replica. name, lo, and hi are immutable
+// after registration; lastSeen is read and written only under the
+// coordinator's mutex.
+type replicaState struct {
+	id       int64
+	name     string
+	lo, hi   int
+	lastSeen time.Time
+}
+
+// NewCoordinator returns a coordinator for a population of n users whose
+// replicas aggregate with the named frequency oracle over domain size d.
+// The oracle configuration is echoed to joining replicas so a
+// misconfigured replica fails at join instead of shipping unmergeable
+// counters.
+func NewCoordinator(n int, oracle string, d int) (*Coordinator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: population must be positive, got %d", n)
+	}
+	if _, err := fo.New(oracle, d); err != nil {
+		return nil, fmt.Errorf("cluster: coordinator oracle: %w", err)
+	}
+	return &Coordinator{
+		n:        n,
+		oracle:   oracle,
+		d:        d,
+		replicas: make(map[int64]*replicaState),
+		announce: make(chan struct{}),
+		members:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// N implements collect.Collector.
+func (c *Coordinator) N() int { return c.n }
+
+func (c *Coordinator) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultRoundTimeout
+}
+
+func (c *Coordinator) partitionTimeout() time.Duration {
+	if c.PartitionTimeout > 0 {
+		return c.PartitionTimeout
+	}
+	return DefaultPartitionTimeout
+}
+
+func (c *Coordinator) heartbeatInterval() time.Duration {
+	if c.HeartbeatInterval > 0 {
+		return c.HeartbeatInterval
+	}
+	return DefaultHeartbeatInterval
+}
+
+func (c *Coordinator) ttl() time.Duration {
+	if c.TTL > 0 {
+		return c.TTL
+	}
+	return DefaultTTL
+}
+
+// token mints a fresh round token.
+func (c *Coordinator) token() string {
+	if c.tokens != nil {
+		return c.tokens()
+	}
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(fmt.Sprintf("cluster: reading random token: %v", err))
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// Close fails any in-flight round and refuses further rounds and requests.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	return nil
+}
+
+// clusterRound is one in-flight distributed round. parts is frozen at
+// round open and immutable after; the frame buffer and completion state
+// live under mu.
+type clusterRound struct {
+	id    int64
+	token string
+	req   collect.Request
+	parts map[int64]*replicaState
+
+	mu       sync.Mutex
+	frames   map[int64]fo.CounterFrame
+	done     bool
+	err      error
+	degraded bool
+	complete chan struct{}
+}
+
+// finish closes the round exactly once. A nil err is a complete round;
+// degraded marks failures caused by a participant vanishing before
+// shipping (they count separately in Metrics, and the release stream
+// never silently drops the shard).
+func (rd *clusterRound) finish(err error, degraded bool) {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	if rd.done {
+		return
+	}
+	rd.done = true
+	rd.err = err
+	rd.degraded = degraded
+	close(rd.complete)
+}
+
+// shipped reports whether the replica's counters for this round arrived.
+func (rd *clusterRound) shipped(id int64) bool {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	_, ok := rd.frames[id]
+	return ok
+}
+
+// missingNames lists the participants that have not shipped counters yet.
+func (rd *clusterRound) missingNames() string {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	var missing []string
+	for id, rep := range rd.parts {
+		if _, ok := rd.frames[id]; !ok {
+			missing = append(missing, fmt.Sprintf("%s[%d:%d)", rep.name, rep.lo, rep.hi))
+		}
+	}
+	sort.Strings(missing)
+	return strings.Join(missing, ", ")
+}
+
+// signalMembersLocked wakes everything waiting on a membership change.
+// Callers hold c.mu.
+func (c *Coordinator) signalMembersLocked() {
+	close(c.members)
+	c.members = make(chan struct{})
+	c.Metrics.setReplicas(len(c.replicas))
+}
+
+// dropLocked removes one replica (cause is "left", "expired", or
+// "replaced") and fails the open round as degraded if the replica was a
+// participant that had not shipped its counters — a vanished shard must
+// fail the round loudly, never silently thin the estimate. Callers hold
+// c.mu.
+func (c *Coordinator) dropLocked(rep *replicaState, cause string) {
+	delete(c.replicas, rep.id)
+	switch cause {
+	case "left":
+		c.Metrics.addLeave()
+	case "expired":
+		c.Metrics.addExpiration()
+	}
+	c.signalMembersLocked()
+	rd := c.round
+	if rd == nil {
+		return
+	}
+	if _, ok := rd.parts[rep.id]; !ok {
+		return
+	}
+	if rd.shipped(rep.id) {
+		return // its shard's counters are already in; the round can complete
+	}
+	rd.finish(fmt.Errorf("cluster: round t=%d degraded: replica %q (shard [%d:%d)) %s before shipping its counters",
+		rd.req.T, rep.name, rep.lo, rep.hi, cause), true)
+}
+
+// pruneLocked drops every replica whose heartbeat lapsed. Callers hold
+// c.mu.
+func (c *Coordinator) pruneLocked(now time.Time) {
+	ttl := c.ttl()
+	for _, rep := range c.replicas {
+		if now.Sub(rep.lastSeen) > ttl {
+			c.dropLocked(rep, "expired")
+		}
+	}
+}
+
+// partitionLocked freezes the round participants when the live shards
+// exactly cover [0, n); otherwise it describes the gap. Callers hold c.mu.
+func (c *Coordinator) partitionLocked() (map[int64]*replicaState, string) {
+	reps := make([]*replicaState, 0, len(c.replicas))
+	for _, rep := range c.replicas {
+		reps = append(reps, rep)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].lo < reps[j].lo })
+	covered := make([]string, 0, len(reps))
+	expect := 0
+	ok := true
+	for _, rep := range reps {
+		covered = append(covered, fmt.Sprintf("[%d:%d)", rep.lo, rep.hi))
+		if rep.lo != expect {
+			ok = false
+		}
+		expect = rep.hi
+	}
+	if !ok || expect != c.n {
+		return nil, fmt.Sprintf("live shards cover %s, want exactly [0:%d)", strings.Join(covered, ","), c.n)
+	}
+	parts := make(map[int64]*replicaState, len(reps))
+	for _, rep := range reps {
+		parts[rep.id] = rep
+	}
+	return parts, ""
+}
+
+// errClosed is the refusal every path answers after Close.
+var errClosed = errors.New("cluster: coordinator closed")
+
+// openRound waits until the live shards partition the population, then
+// freezes them as the round's participants and announces the round. The
+// partition check and the freeze happen under one critical section, so a
+// membership change cannot slip between them.
+func (c *Coordinator) openRound(req collect.Request) (*clusterRound, error) {
+	deadline := time.NewTimer(c.partitionTimeout())
+	defer deadline.Stop()
+	check := time.NewTicker(c.ttl() / 2)
+	defer check.Stop()
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, errClosed
+		}
+		c.pruneLocked(time.Now())
+		parts, gap := c.partitionLocked()
+		if parts != nil {
+			c.nextID++
+			rd := &clusterRound{
+				id:       c.nextID,
+				token:    c.token(),
+				req:      req,
+				parts:    parts,
+				frames:   make(map[int64]fo.CounterFrame, len(parts)),
+				complete: make(chan struct{}),
+			}
+			c.round = rd
+			old := c.announce
+			c.announce = make(chan struct{})
+			close(old) // wake long-polling replicas
+			c.mu.Unlock()
+			c.Health.MarkReady()
+			return rd, nil
+		}
+		members := c.members
+		c.mu.Unlock()
+		select {
+		case <-members:
+		case <-check.C:
+		case <-deadline.C:
+			return nil, fmt.Errorf("cluster: no round opened within %v: %s", c.partitionTimeout(), gap)
+		case <-c.done:
+			return nil, errClosed
+		}
+	}
+}
+
+// Collect implements collect.Collector: it opens one distributed round,
+// waits for every participant's counter frame (or a failure, a vanished
+// participant, or the deadline), and merges the frames into the sink in
+// ascending shard order. Numeric mean rounds are refused — float
+// accumulation order differs across shardings, which would break the
+// bit-identity contract every backend honors.
+func (c *Coordinator) Collect(req collect.Request, sink collect.Sink) error {
+	if err := req.Validate(c.n); err != nil {
+		return err
+	}
+	if req.Numeric {
+		return errors.New("cluster: numeric mean rounds are not supported: float accumulation does not commute bit-identically across shards")
+	}
+	cs, ok := sink.(collect.CounterSink)
+	if !ok {
+		return fmt.Errorf("cluster: sink %T cannot absorb replica counter frames", sink)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errClosed
+	}
+	if c.collecting {
+		c.mu.Unlock()
+		return errors.New("cluster: a collection round is already in progress")
+	}
+	c.collecting = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.collecting = false
+		c.mu.Unlock()
+	}()
+
+	rd, err := c.openRound(req)
+	if err != nil {
+		return err
+	}
+	c.waitRound(rd, req)
+
+	c.mu.Lock()
+	c.round = nil
+	c.mu.Unlock()
+
+	rd.mu.Lock()
+	rdErr, degraded := rd.err, rd.degraded
+	rd.mu.Unlock()
+	if rdErr != nil {
+		if degraded {
+			c.Metrics.addDegradedRound()
+		}
+		return rdErr
+	}
+	return c.merge(rd, cs)
+}
+
+// waitRound blocks until the round completes, times out, loses a
+// participant, or the coordinator closes.
+func (c *Coordinator) waitRound(rd *clusterRound, req collect.Request) {
+	timeout := c.timeout()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	liveness := time.NewTicker(c.ttl() / 2)
+	defer liveness.Stop()
+	for {
+		select {
+		case <-rd.complete:
+			return
+		case <-timer.C:
+			rd.finish(fmt.Errorf("cluster: round t=%d timed out after %v: no counters from %s",
+				req.T, timeout, rd.missingNames()), false)
+			return
+		case <-liveness.C:
+			c.mu.Lock()
+			c.pruneLocked(time.Now()) // a dead participant degrades the round
+			c.mu.Unlock()
+		case <-c.done:
+			rd.finish(errors.New("cluster: coordinator closed mid-round"), false)
+			return
+		}
+	}
+}
+
+// merge folds the round's counter frames into the sink in ascending shard
+// order. Counter merging is commutative, so any order yields the same
+// bits; the fixed order keeps failure attribution deterministic.
+func (c *Coordinator) merge(rd *clusterRound, cs collect.CounterSink) error {
+	ids := make([]int64, 0, len(rd.parts))
+	for id := range rd.parts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return rd.parts[ids[i]].lo < rd.parts[ids[j]].lo })
+	for _, id := range ids {
+		rd.mu.Lock()
+		f := rd.frames[id]
+		rd.mu.Unlock()
+		if err := cs.AbsorbCounters(f); err != nil {
+			return fmt.Errorf("cluster: merging counters of replica %q: %w", rd.parts[id].name, err)
+		}
+		c.Metrics.addFrame(f)
+	}
+	return nil
+}

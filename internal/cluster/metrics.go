@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"ldpids/internal/fo"
+)
+
+// Metrics holds the coordinator's cluster-level counters and renders them
+// in Prometheus text exposition format. All methods are nil-safe, matching
+// serve.Metrics, so instrumented code never checks whether metrics are
+// attached. Render appends the rendered text to an existing response, so
+// a gateway can serve serve.Metrics and cluster.Metrics on one /metrics
+// endpoint.
+type Metrics struct {
+	replicas       atomic.Int64 // gauge: currently registered replicas
+	joins          atomic.Int64
+	leaves         atomic.Int64
+	expirations    atomic.Int64
+	roundsDegraded atomic.Int64
+	framesMerged   atomic.Int64
+	frameBytes     atomic.Int64
+}
+
+// setReplicas records the current registered-replica count.
+func (m *Metrics) setReplicas(n int) {
+	if m == nil {
+		return
+	}
+	m.replicas.Store(int64(n))
+}
+
+// addJoin counts one replica registration.
+func (m *Metrics) addJoin() {
+	if m == nil {
+		return
+	}
+	m.joins.Add(1)
+}
+
+// addLeave counts one graceful replica departure.
+func (m *Metrics) addLeave() {
+	if m == nil {
+		return
+	}
+	m.leaves.Add(1)
+}
+
+// addExpiration counts one replica dropped for missing heartbeats.
+func (m *Metrics) addExpiration() {
+	if m == nil {
+		return
+	}
+	m.expirations.Add(1)
+}
+
+// addDegradedRound counts one round failed because a participant vanished
+// before shipping its counters.
+func (m *Metrics) addDegradedRound() {
+	if m == nil {
+		return
+	}
+	m.roundsDegraded.Add(1)
+}
+
+// addFrame counts one replica counter frame merged into a round's sink.
+func (m *Metrics) addFrame(f fo.CounterFrame) {
+	if m == nil {
+		return
+	}
+	m.framesMerged.Add(1)
+	m.frameBytes.Add(int64(f.WireSize()))
+}
+
+// Render renders the counters in Prometheus text exposition format. It
+// writes body text only (no headers), so it can be appended after another
+// metrics handler's output.
+func (m *Metrics) Render(w io.Writer) {
+	if m == nil {
+		m = &Metrics{} // render zeros: the exposition shape stays stable
+	}
+	write := func(name, help, typ string, value int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, value)
+	}
+	write("ldpids_cluster_replicas",
+		"Ingestion replicas currently registered with the coordinator.", "gauge",
+		m.replicas.Load())
+	write("ldpids_cluster_joins_total",
+		"Replica registrations accepted.", "counter", m.joins.Load())
+	write("ldpids_cluster_leaves_total",
+		"Graceful replica departures.", "counter", m.leaves.Load())
+	write("ldpids_cluster_expirations_total",
+		"Replicas dropped for missing heartbeats.", "counter", m.expirations.Load())
+	write("ldpids_cluster_rounds_degraded_total",
+		"Rounds failed because a participant vanished before shipping counters.", "counter",
+		m.roundsDegraded.Load())
+	write("ldpids_cluster_frames_merged_total",
+		"Replica counter frames merged into round sinks.", "counter", m.framesMerged.Load())
+	write("ldpids_cluster_frame_bytes_total",
+		"Wire bytes of merged counter frames.", "counter", m.frameBytes.Load())
+}
+
+// ServeHTTP implements http.Handler for a standalone cluster metrics
+// endpoint (replica processes; the coordinator usually combines this with
+// serve.Metrics on one handler via Render).
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	m.Render(w)
+}

@@ -1,0 +1,432 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"time"
+
+	"ldpids/internal/collect"
+	"ldpids/internal/fo"
+	"ldpids/internal/serve"
+)
+
+// errRejoin signals that the replica's registration lapsed (heartbeat or
+// poll answered 404) and the serve loop must join again.
+var errRejoin = errors.New("cluster: registration lapsed")
+
+// Replica runs one ingestion shard: it registers with the coordinator,
+// long-polls for rounds, re-announces each round to its own device
+// clients through the wrapped serve.Backend, folds their reports into
+// local aggregator stripes, and ships the merged integer counters back.
+//
+// Run loops until the context is cancelled (it then finishes any in-flight
+// round, ships its counters, and leaves gracefully — a departing shard's
+// data is merged, never dropped), the coordinator closes, or the retry
+// budget is exhausted against an unreachable coordinator.
+type Replica struct {
+	// Coordinator is the coordinator's base URL (e.g. "http://host:7900").
+	Coordinator string
+	// Name identifies the replica across restarts: a re-join under the
+	// same name replaces the previous registration.
+	Name string
+	// Lo and Hi bound the contiguous user range [Lo, Hi) this replica
+	// ingests for.
+	Lo, Hi int
+	// Backend is the HTTP ingestion backend devices report to. Its
+	// population must equal the coordinator's.
+	Backend *serve.Backend
+	// Retry schedules delays between retries of transient coordinator
+	// failures. Nil selects a default Backoff seeded from Name, so two
+	// replicas never share a jitter stream.
+	Retry *serve.Backoff
+	// MaxRetries bounds consecutive transient failures per operation.
+	// Zero selects serve.DefaultMaxRetries.
+	MaxRetries int
+	// PollWait is the long-poll parking time per round poll. Zero
+	// selects 10s.
+	PollWait time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	hc *http.Client
+}
+
+// logf emits one operational log line when a logger is attached.
+func (r *Replica) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// retry reports the replica's retry schedule and budget, applying the
+// defaults.
+func (r *Replica) retry() (*serve.Backoff, int) {
+	if r.Retry == nil {
+		h := fnv.New64a()
+		_, _ = io.WriteString(h, r.Name)
+		r.Retry = serve.NewBackoff(0, 0, h.Sum64()^0x636c7573746572)
+	}
+	max := r.MaxRetries
+	if max == 0 {
+		max = serve.DefaultMaxRetries
+	}
+	return r.Retry, max
+}
+
+// sleepCtx pauses for d, returning false when ctx ended the pause early.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Run registers the replica and serves rounds until ctx is cancelled
+// (returns nil after a graceful leave), the coordinator closes (nil), or
+// the coordinator stays unreachable past the retry budget (the last
+// transport error).
+func (r *Replica) Run(ctx context.Context) error {
+	if r.Backend == nil {
+		return errors.New("cluster: replica needs a Backend")
+	}
+	if r.Coordinator == "" {
+		return errors.New("cluster: replica needs a coordinator URL")
+	}
+	if r.Name == "" {
+		return errors.New("cluster: replica needs a name")
+	}
+	if r.Lo < 0 || r.Hi <= r.Lo || r.Hi > r.Backend.N() {
+		return fmt.Errorf("cluster: shard [%d:%d) is not a sub-range of [0:%d)", r.Lo, r.Hi, r.Backend.N())
+	}
+	if r.hc == nil {
+		r.hc = &http.Client{}
+	}
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		jr, err := r.join(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		r.logf("cluster: replica %s joined as id %d, shard [%d:%d)", r.Name, jr.Replica, r.Lo, r.Hi)
+		err = r.serveRounds(ctx, jr)
+		if errors.Is(err, errRejoin) {
+			r.logf("cluster: replica %s registration lapsed, re-joining", r.Name)
+			continue
+		}
+		return err
+	}
+}
+
+// join registers with the coordinator, retrying transient failures — the
+// coordinator may simply not be up yet.
+func (r *Replica) join(ctx context.Context) (*joinResponse, error) {
+	bo, maxRetries := r.retry()
+	req := joinRequest{Name: r.Name, Lo: r.Lo, Hi: r.Hi, N: r.Backend.N()}
+	for retries := 0; ; {
+		var jr joinResponse
+		status, err := r.postJSON(ctx, "/cluster/v1/join", req, &jr)
+		if err == nil {
+			switch status {
+			case http.StatusOK:
+				bo.Reset()
+				if jr.N != r.Backend.N() {
+					return nil, fmt.Errorf("cluster: coordinator population %d, backend hosts %d", jr.N, r.Backend.N())
+				}
+				return &jr, nil
+			case http.StatusServiceUnavailable:
+				// Starting up or shutting down; retry within the budget.
+			default:
+				return nil, fmt.Errorf("cluster: join refused with status %d", status)
+			}
+		}
+		retries++
+		if retries > maxRetries {
+			if err != nil {
+				return nil, fmt.Errorf("cluster: joining %s: giving up after %d retries: %w", r.Coordinator, retries-1, err)
+			}
+			return nil, fmt.Errorf("cluster: joining %s: giving up after %d retries: coordinator unavailable", r.Coordinator, retries-1)
+		}
+		if !sleepCtx(ctx, bo.Next()) {
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// serveRounds is one registration's round loop: poll, serve, ship.
+func (r *Replica) serveRounds(ctx context.Context, jr *joinResponse) error {
+	oracle, err := fo.New(jr.Oracle, jr.D)
+	if err != nil {
+		return fmt.Errorf("cluster: coordinator oracle: %w", err)
+	}
+	hbStop := make(chan struct{})
+	hbLapsed := make(chan struct{})
+	go r.heartbeatLoop(jr, hbStop, hbLapsed)
+	defer close(hbStop)
+
+	bo, maxRetries := r.retry()
+	retries := 0
+	var after int64
+	for {
+		select {
+		case <-ctx.Done():
+			r.leave(jr.Replica)
+			return nil
+		case <-hbLapsed:
+			return errRejoin
+		default:
+		}
+		ann, status, err := r.poll(ctx, jr.Replica, after)
+		if err != nil || status == http.StatusBadGateway || status == http.StatusGatewayTimeout {
+			if ctx.Err() != nil {
+				r.leave(jr.Replica)
+				return nil
+			}
+			retries++
+			if retries > maxRetries {
+				if err != nil {
+					return fmt.Errorf("cluster: polling for rounds: giving up after %d retries: %w", retries-1, err)
+				}
+				return fmt.Errorf("cluster: polling for rounds: giving up after %d retries: last status %d", retries-1, status)
+			}
+			if !sleepCtx(ctx, bo.Next()) {
+				r.leave(jr.Replica)
+				return nil
+			}
+			continue
+		}
+		retries = 0
+		bo.Reset()
+		switch status {
+		case http.StatusOK:
+		case http.StatusNoContent:
+			continue // long poll expired with no new round
+		case http.StatusNotFound:
+			return errRejoin
+		case http.StatusServiceUnavailable:
+			return nil // coordinator closed: the stream is over
+		default:
+			return fmt.Errorf("cluster: /cluster/v1/round returned status %d", status)
+		}
+		after = ann.Round
+		sh := r.serveRound(jr, oracle, ann)
+		if sh.Err != "" {
+			r.logf("cluster: replica %s: round %d failed locally: %s", r.Name, ann.Round, sh.Err)
+		}
+		if err := r.ship(sh); err != nil {
+			if ctx.Err() != nil {
+				r.leave(jr.Replica)
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// serveRound runs one announced round against the local backend and
+// returns the shipment: the shard's merged counters, or the local error.
+// The (id, token) pair is pinned onto the backend first, so device
+// watermarks and report authentication line up with the global sequence.
+func (r *Replica) serveRound(jr *joinResponse, oracle fo.Oracle, ann *announcement) shipment {
+	sh := shipment{Round: ann.Round, Token: ann.Token, Replica: jr.Replica}
+	fail := func(err error) shipment {
+		sh.Err = err.Error()
+		return sh
+	}
+	agg, err := fo.NewStripedAggregator(oracle, ann.Eps, r.Backend.PreferredStripes())
+	if err != nil {
+		return fail(err)
+	}
+	users := r.shardUsers(ann)
+	if len(users) > 0 {
+		if err := r.Backend.SetNextRound(ann.Round, ann.Token); err != nil {
+			return fail(err)
+		}
+		if err := r.Backend.Collect(collect.Request{T: ann.T, Users: users, Eps: ann.Eps}, collect.AggregatorSink{Agg: agg}); err != nil {
+			return fail(err)
+		}
+	}
+	// An empty intersection still ships: the zero frame carries the
+	// oracle shape, and the coordinator counts every shard present.
+	f, err := fo.ExportCounters(agg)
+	if err != nil {
+		return fail(err)
+	}
+	sh.Frame = f
+	return sh
+}
+
+// shardUsers intersects the announced user list with this replica's
+// shard, preserving announcement order (and multiplicity) so each user's
+// per-round randomness consumption matches the single-process run. The
+// result is non-nil even when empty: an empty list means "none", whereas
+// nil would mean "everyone".
+func (r *Replica) shardUsers(ann *announcement) []int {
+	if ann.Users == nil {
+		users := make([]int, 0, r.Hi-r.Lo)
+		for u := r.Lo; u < r.Hi; u++ {
+			users = append(users, u)
+		}
+		return users
+	}
+	users := make([]int, 0, len(ann.Users))
+	for _, u := range ann.Users {
+		if u >= r.Lo && u < r.Hi {
+			users = append(users, u)
+		}
+	}
+	return users
+}
+
+// heartbeatLoop beats until stop closes; a 404 closes lapsed (the
+// registration is gone and the replica must re-join). Transport errors
+// are ignored — the TTL gives several beats of slack and the next tick
+// retries.
+func (r *Replica) heartbeatLoop(jr *joinResponse, stop, lapsed chan struct{}) {
+	interval := time.Duration(jr.HeartbeatMillis) * time.Millisecond
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			var a ack
+			status, err := r.postJSON(context.Background(), "/cluster/v1/heartbeat", replicaRef{Replica: jr.Replica}, &a)
+			if err == nil && status == http.StatusNotFound {
+				close(lapsed)
+				return
+			}
+		}
+	}
+}
+
+// ship posts one counter shipment, retrying transport errors on a
+// background context: a cancelled replica still ships its final round, so
+// a graceful departure never drops a shard's data. A 409 means the round
+// is settled from the coordinator's side (a duplicate after a lost ack,
+// or the round already failed) — the shipment's job is done either way.
+func (r *Replica) ship(sh shipment) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sh); err != nil {
+		return fmt.Errorf("cluster: encoding counter shipment: %w", err)
+	}
+	bo, maxRetries := r.retry()
+	for retries := 0; ; {
+		status, err := r.post(context.Background(), "/cluster/v1/counters", "application/octet-stream", buf.Bytes())
+		if err == nil {
+			switch status {
+			case http.StatusOK, http.StatusConflict:
+				bo.Reset()
+				return nil
+			default:
+				return fmt.Errorf("cluster: /cluster/v1/counters returned status %d", status)
+			}
+		}
+		retries++
+		if retries > maxRetries {
+			return fmt.Errorf("cluster: shipping counters for round %d: giving up after %d retries: %w", sh.Round, retries-1, err)
+		}
+		d := bo.Next()
+		time.Sleep(d)
+	}
+}
+
+// leave posts a graceful departure; failures are ignored (the TTL cleans
+// up, and the final counters already shipped).
+func (r *Replica) leave(id int64) {
+	var a ack
+	_, _ = r.postJSON(context.Background(), "/cluster/v1/leave", replicaRef{Replica: id}, &a)
+}
+
+// poll issues one long-poll for a round with id > after.
+func (r *Replica) poll(ctx context.Context, id, after int64) (*announcement, int, error) {
+	wait := r.PollWait
+	if wait == 0 {
+		wait = 10 * time.Second
+	}
+	rctx, cancel := context.WithTimeout(ctx, wait+15*time.Second)
+	defer cancel()
+	u := fmt.Sprintf("%s/cluster/v1/round?replica=%d&after=%d&wait=%s", r.Coordinator, id, after, wait)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode, nil
+	}
+	var ann announcement
+	if err := json.NewDecoder(resp.Body).Decode(&ann); err != nil {
+		return nil, 0, fmt.Errorf("cluster: decoding round announcement: %w", err)
+	}
+	return &ann, resp.StatusCode, nil
+}
+
+// postJSON posts one JSON body and decodes a 200 response into out.
+func (r *Replica) postJSON(ctx context.Context, path string, body, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	status, respBody, err := r.postRead(ctx, path, "application/json", buf)
+	if err != nil {
+		return 0, err
+	}
+	if status == http.StatusOK && out != nil {
+		if err := json.Unmarshal(respBody, out); err != nil {
+			return 0, fmt.Errorf("cluster: decoding %s response: %w", path, err)
+		}
+	}
+	return status, nil
+}
+
+// post sends one request body, discarding the response body.
+func (r *Replica) post(ctx context.Context, path, contentType string, body []byte) (int, error) {
+	status, _, err := r.postRead(ctx, path, contentType, body)
+	return status, err
+}
+
+// postRead sends one request body and reads the response.
+func (r *Replica) postRead(ctx context.Context, path, contentType string, body []byte) (int, []byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, r.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}

@@ -80,6 +80,22 @@ type StripedSink interface {
 	AbsorbStripe(stripe int, c Contribution) error
 }
 
+// CounterSink is an optional Sink extension for distributed ingestion:
+// cluster replicas fold their shard's reports into local aggregators and
+// ship whole integer counter frames (fo.CounterFrame) to the coordinator,
+// which absorbs each frame here instead of re-folding individual
+// contributions. Counter merges are commutative integer addition, so a
+// frame-merged round is bit-identical to folding every underlying report
+// into one sink. Collectors serialize AbsorbCounters with Absorb, like
+// every Sink method.
+type CounterSink interface {
+	Sink
+	// AbsorbCounters folds one exported counter frame into the sink. It
+	// rejects frames whose shape or dimensions do not match the sink's
+	// aggregator.
+	AbsorbCounters(f fo.CounterFrame) error
+}
+
 // Striper is an optional Collector extension: backends whose ingestion is
 // concurrent advertise how many shard-local stripes a round aggregator
 // should expose so server folds scale with cores. Env.NewRoundAggregator
@@ -225,6 +241,12 @@ func (s AggregatorSink) AbsorbStripe(stripe int, c Contribution) error {
 		return fmt.Errorf("collect: AggregatorSink cannot absorb a numeric contribution")
 	}
 	return sf.AddStripe(stripe, c.Report)
+}
+
+// AbsorbCounters implements CounterSink by merging the frame into the
+// wrapped aggregator's counters.
+func (s AggregatorSink) AbsorbCounters(f fo.CounterFrame) error {
+	return fo.MergeCounters(s.Agg, f)
 }
 
 // MeanSink accumulates a numeric round into a running mean.

@@ -1,6 +1,7 @@
 package collect
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"ldpids/internal/comm"
@@ -98,6 +99,23 @@ func (s *countingSink) AbsorbStripe(stripe int, c Contribution) error {
 		return err
 	}
 	s.observe(c)
+	return nil
+}
+
+// AbsorbCounters implements CounterSink by forwarding whole counter
+// frames (cluster replicas shipping merged shard counters) and accounting
+// them as the frame's report count and flat wire size; the backend's
+// per-contribution framing does not apply to a frame shipment.
+func (s *countingSink) AbsorbCounters(f fo.CounterFrame) error {
+	cs, ok := s.inner.(CounterSink)
+	if !ok {
+		return fmt.Errorf("collect: sink %T cannot absorb counter frames", s.inner)
+	}
+	if err := cs.AbsorbCounters(f); err != nil {
+		return err
+	}
+	s.reports.Add(int64(f.N))
+	s.bytes.Add(int64(f.WireSize()))
 	return nil
 }
 

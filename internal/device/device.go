@@ -70,12 +70,19 @@ type Population struct {
 
 // NewPopulation returns n devices for users [first, first+n) over a
 // categorical domain of size d, deriving each device's sources by
-// splitting a root source seeded with seed, in id order.
+// splitting a root source seeded with seed, in id order. The first 2*first
+// root splits are burned, so user u's devices are identical whether hosted
+// by one full population or by shard populations sharing the seed — the
+// property that makes a sharded cluster deployment bit-identical to a
+// single process.
 func NewPopulation(seed uint64, first, n, d int) *Population {
-	if n < 1 || d < 1 {
-		panic(fmt.Sprintf("device: population needs positive n and d, got n=%d d=%d", n, d))
+	if first < 0 || n < 1 || d < 1 {
+		panic(fmt.Sprintf("device: population needs non-negative first and positive n and d, got first=%d n=%d d=%d", first, n, d))
 	}
 	root := ldprand.New(seed)
+	for i := 0; i < 2*first; i++ {
+		root.Split()
+	}
 	p := &Population{first: first, d: d, devices: make([]*Device, n)}
 	for i := range p.devices {
 		dv := &Device{src: root.Split(), valueSrc: root.Split(), d: d}

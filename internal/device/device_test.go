@@ -59,3 +59,29 @@ func TestPopulationBounds(t *testing.T) {
 	}()
 	p.Device(3)
 }
+
+// TestPopulationShardAlignment: a shard population [first, first+n) hosts
+// devices identical to the same id range of one full population sharing
+// the seed — the derivation burns the preceding devices' root splits. This
+// is what makes a cluster of shard-hosting client processes bit-identical
+// to one process hosting everyone.
+func TestPopulationShardAlignment(t *testing.T) {
+	const n, d, shard = 12, 5, 4
+	oracle := fo.NewGRR(d)
+
+	whole := NewPopulation(99, 0, n, d)
+	wholeReport := whole.Report(oracle)
+	for first := 0; first < n; first += shard {
+		part := NewPopulation(99, first, shard, d)
+		partReport := part.Report(oracle)
+		for ts := 1; ts <= 4; ts++ {
+			for id := first; id < first+shard; id++ {
+				a, b := wholeReport(id, ts, 1.0), partReport(id, ts, 1.0)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("first=%d t=%d id=%d: shard report diverged from the full population: %+v vs %+v",
+						first, ts, id, a, b)
+				}
+			}
+		}
+	}
+}

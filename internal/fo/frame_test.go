@@ -1,0 +1,288 @@
+package fo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ldpids/internal/ldprand"
+)
+
+// frameOracles returns one oracle per counter shape family, covering every
+// report wire kind.
+func frameOracles() map[string]Oracle {
+	return map[string]Oracle{
+		"GRR":        NewGRR(7),
+		"OUE":        NewOUE(9),
+		"OUE-packed": NewOUEPacked(70),
+		"SUE":        NewSUE(6),
+		"OLH":        NewOLH(8),
+		"OLH-C":      NewOLHCCohorts(16, 4),
+	}
+}
+
+// TestFrameMergeBitIdentical is the cluster's correctness core: folding a
+// report stream into several aggregators, exporting their frames, and
+// merging them into one aggregator must estimate bit-identically to
+// folding every report into a single aggregator — for every oracle, and
+// regardless of how the stream was partitioned.
+func TestFrameMergeBitIdentical(t *testing.T) {
+	const n, eps = 120, 1.0
+	for name, o := range frameOracles() {
+		t.Run(name, func(t *testing.T) {
+			src := ldprand.New(77)
+			reports := make([]Report, n)
+			for u := range reports {
+				reports[u] = o.Perturb(u%o.Domain(), eps, src)
+			}
+
+			reference, err := o.NewAggregator(eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range reports {
+				if err := reference.Add(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := reference.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Partition the stream into three uneven shards.
+			merged, err := o.NewAggregator(eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bounds := range [][2]int{{0, 17}, {17, 80}, {80, n}} {
+				shard, err := o.NewAggregator(eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range reports[bounds[0]:bounds[1]] {
+					if err := shard.Add(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+				frame, err := ExportCounters(shard)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := frame.Validate(); err != nil {
+					t.Fatalf("exported frame invalid: %v", err)
+				}
+				if err := MergeCounters(merged, frame); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := merged.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("estimate length %d, want %d", len(got), len(want))
+			}
+			for k := range got {
+				if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+					t.Fatalf("element %d: merged estimate %v != reference %v", k, got[k], want[k])
+				}
+			}
+		})
+	}
+}
+
+// TestFrameExportCopies: later folds must not alias an exported frame.
+func TestFrameExportCopies(t *testing.T) {
+	o := NewGRR(4)
+	agg, err := o.NewAggregator(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add(Report{Kind: KindValue, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ExportCounters(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add(Report{Kind: KindValue, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if frame.N != 1 || frame.Counts[2] != 1 {
+		t.Fatalf("exported frame mutated by a later fold: %+v", frame)
+	}
+}
+
+// TestFrameStripedExport: a StripedAggregator exports the sum of its
+// stripes — before Estimate from all stripes, after Estimate from the
+// merged stripe — and both match the plain aggregator's frame.
+func TestFrameStripedExport(t *testing.T) {
+	const n, eps = 60, 0.8
+	o := NewOUEPacked(40)
+	src := ldprand.New(5)
+	reports := make([]Report, n)
+	for u := range reports {
+		reports[u] = o.Perturb(u%o.Domain(), eps, src)
+	}
+	plain, err := o.NewAggregator(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	striped, err := NewStripedAggregator(o, eps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, r := range reports {
+		if err := plain.Add(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := striped.AddStripe(u%striped.Stripes(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ExportCounters(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := ExportCounters(striped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFramesEqual(t, "before Estimate", before, want)
+	if _, err := striped.Estimate(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ExportCounters(striped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFramesEqual(t, "after Estimate", after, want)
+}
+
+// assertFramesEqual fails the test unless the two frames are identical.
+func assertFramesEqual(t *testing.T, label string, got, want CounterFrame) {
+	t.Helper()
+	if got.Shape != want.Shape || got.N != want.N || got.K != want.K || got.G != want.G {
+		t.Fatalf("%s: frame header %+v, want %+v", label, got, want)
+	}
+	if len(got.Counts) != len(want.Counts) {
+		t.Fatalf("%s: %d counters, want %d", label, len(got.Counts), len(want.Counts))
+	}
+	for i := range got.Counts {
+		if got.Counts[i] != want.Counts[i] {
+			t.Fatalf("%s: counter %d is %d, want %d", label, i, got.Counts[i], want.Counts[i])
+		}
+	}
+}
+
+// TestFrameStripedMerge: merging a frame into a StripedAggregator is
+// bit-identical to folding the frame's reports directly, and fails after
+// Estimate.
+func TestFrameStripedMerge(t *testing.T) {
+	const eps = 1.2
+	o := NewGRR(5)
+	src := ldprand.New(9)
+
+	remote, err := o.NewAggregator(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	striped, err := NewStripedAggregator(o, eps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := o.NewAggregator(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 50; u++ {
+		r := o.Perturb(u%o.Domain(), eps, src)
+		var local Aggregator = striped
+		if u%2 == 0 {
+			local = remote // "remote" shard half
+		}
+		if err := local.Add(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := reference.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame, err := ExportCounters(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeCounters(striped, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err := striped.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := reference.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range got {
+		if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("element %d: %v != %v", k, got[k], want[k])
+		}
+	}
+	if err := MergeCounters(striped, frame); err == nil {
+		t.Fatal("merge after Estimate succeeded; want error")
+	}
+}
+
+// TestFrameValidate covers the structural failure modes, above all the
+// zero shape: a frame that was never explicitly shaped must not pass.
+func TestFrameValidate(t *testing.T) {
+	cases := map[string]CounterFrame{
+		"zero shape":        {N: 3, Counts: make([]int64, 4)},
+		"unknown shape":     {Shape: FrameShape(99), Counts: make([]int64, 4)},
+		"negative count":    {Shape: FrameCounts, N: -1, Counts: make([]int64, 4)},
+		"counts with dims":  {Shape: FrameCounts, K: 2, G: 2, Counts: make([]int64, 4)},
+		"cohort bad dims":   {Shape: FrameCohort, K: 0, G: 4, Counts: nil},
+		"cohort wrong size": {Shape: FrameCohort, K: 2, G: 3, Counts: make([]int64, 5)},
+	}
+	for name, f := range cases {
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: Validate passed; want error", name)
+		}
+	}
+	ok := CounterFrame{Shape: FrameCounts, N: 2, Counts: make([]int64, 4)}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid counts frame rejected: %v", err)
+	}
+}
+
+// TestFrameShapeMismatch: shape and dimension mismatches are refused by
+// MergeCounters, not silently mis-added.
+func TestFrameShapeMismatch(t *testing.T) {
+	grr, err := NewGRR(4).NewAggregator(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	olhc, err := NewOLHCCohorts(8, 4).NewAggregator(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohortFrame, err := ExportCounters(olhc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeCounters(grr, cohortFrame); err == nil || !strings.Contains(err.Error(), "cohort") {
+		t.Fatalf("cohort frame merged into GRR aggregator: %v", err)
+	}
+	countsFrame, err := ExportCounters(grr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeCounters(olhc, countsFrame); err == nil {
+		t.Fatal("counts frame merged into OLH-C aggregator")
+	}
+	wrong := CounterFrame{Shape: FrameCounts, N: 1, Counts: make([]int64, 9)}
+	if err := MergeCounters(grr, wrong); err == nil {
+		t.Fatal("length-mismatched frame merged")
+	}
+}

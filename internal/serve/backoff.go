@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"time"
+
+	"ldpids/internal/ldprand"
+)
+
+// Backoff defaults.
+const (
+	// DefaultBackoffBase is the first retry delay.
+	DefaultBackoffBase = 100 * time.Millisecond
+	// DefaultBackoffCap bounds any single retry delay.
+	DefaultBackoffCap = 3 * time.Second
+	// DefaultMaxRetries bounds consecutive transient failures before a
+	// client gives up (~1 minute at the default base and cap).
+	DefaultMaxRetries = 30
+)
+
+// Backoff computes capped exponential retry delays with deterministic
+// jitter: attempt k waits uniformly in [d/2, d) for d = min(base<<k, cap).
+// The jitter source is ldprand (seeded, splittable), not math/rand or the
+// wall clock, so retry schedules replay exactly under a fixed seed and the
+// determinism analyzer's no-ambient-randomness rule holds everywhere the
+// client stack is linked.
+//
+// A Backoff is not safe for concurrent use; give each retry loop its own.
+type Backoff struct {
+	base    time.Duration
+	cap     time.Duration
+	attempt int
+	jitter  *ldprand.Source
+}
+
+// NewBackoff returns a Backoff over [base/2, cap) delays, jittered from
+// the given seed. Non-positive base or cap select the defaults.
+func NewBackoff(base, cap time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	if cap < base {
+		cap = base
+	}
+	return &Backoff{base: base, cap: cap, jitter: ldprand.New(seed)}
+}
+
+// Next returns the next delay and advances the attempt counter.
+func (b *Backoff) Next() time.Duration {
+	d := b.cap
+	// base << attempt, saturating at cap (and guarding shift overflow).
+	if b.attempt < 40 {
+		if shifted := b.base << uint(b.attempt); shifted > 0 && shifted < b.cap {
+			d = shifted
+		}
+	}
+	b.attempt++
+	half := d / 2
+	return half + time.Duration(b.jitter.Float64()*float64(half))
+}
+
+// Reset rewinds the attempt counter after a success, so the next failure
+// starts from the base delay again. The jitter stream keeps advancing —
+// rewinding it would replay identical delays, synchronizing retry storms.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempt returns how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }

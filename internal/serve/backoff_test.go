@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic: identical seeds produce identical delay
+// schedules — the property that keeps retry timing replayable and the
+// determinism analyzer's no-ambient-randomness rule intact.
+func TestBackoffDeterministic(t *testing.T) {
+	a := NewBackoff(50*time.Millisecond, time.Second, 42)
+	b := NewBackoff(50*time.Millisecond, time.Second, 42)
+	for i := 0; i < 20; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("attempt %d: schedules diverged: %v vs %v", i, da, db)
+		}
+	}
+}
+
+// TestBackoffEnvelope: attempt k's delay lies in [d/2, d) for
+// d = min(base<<k, cap) — exponential growth, capped, never zero.
+func TestBackoffEnvelope(t *testing.T) {
+	const base, cap = 100 * time.Millisecond, 2 * time.Second
+	bo := NewBackoff(base, cap, 7)
+	for k := 0; k < 12; k++ {
+		d := base << uint(k)
+		if d <= 0 || d > cap {
+			d = cap
+		}
+		got := bo.Next()
+		if got < d/2 || got >= d {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", k, got, d/2, d)
+		}
+	}
+}
+
+// TestBackoffReset rewinds the envelope to the base delay, but keeps the
+// jitter stream advancing so post-reset schedules are not replays.
+func TestBackoffReset(t *testing.T) {
+	bo := NewBackoff(100*time.Millisecond, 10*time.Second, 1)
+	first := bo.Next()
+	for i := 0; i < 5; i++ {
+		bo.Next()
+	}
+	bo.Reset()
+	if got := bo.Attempt(); got != 0 {
+		t.Fatalf("attempt counter %d after Reset, want 0", got)
+	}
+	second := bo.Next()
+	if second < 50*time.Millisecond || second >= 100*time.Millisecond {
+		t.Fatalf("post-reset delay %v escaped the base envelope", second)
+	}
+	// Equality would mean the jitter stream rewound with the counter.
+	if first == second {
+		t.Fatalf("post-reset delay replayed the first delay exactly (%v)", first)
+	}
+}
+
+// TestBackoffDefaults: non-positive knobs select the documented defaults.
+func TestBackoffDefaults(t *testing.T) {
+	bo := NewBackoff(0, 0, 3)
+	d := bo.Next()
+	if d < DefaultBackoffBase/2 || d >= DefaultBackoffBase {
+		t.Fatalf("default first delay %v outside [%v, %v)", d, DefaultBackoffBase/2, DefaultBackoffBase)
+	}
+	for i := 0; i < 30; i++ {
+		if got := bo.Next(); got >= DefaultBackoffCap {
+			t.Fatalf("delay %v at attempt %d exceeds the default cap", got, i)
+		}
+	}
+}

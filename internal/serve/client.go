@@ -38,6 +38,14 @@ type Client struct {
 	// ChunkSize caps the reports per POST; larger rounds are split into
 	// several posts. Zero selects DefaultMaxBatch.
 	ChunkSize int
+	// Retry schedules the delays between retries of transient failures
+	// (transport errors, 502/503/504). Nil selects a default Backoff
+	// seeded from the client's first user id, so two clients never share
+	// a jitter stream.
+	Retry *Backoff
+	// MaxRetries bounds consecutive transient failures before Serve gives
+	// up. Zero selects DefaultMaxRetries; negative disables retrying.
+	MaxRetries int
 
 	base   string
 	first  int
@@ -86,6 +94,51 @@ func (c *Client) stopped() bool {
 	}
 }
 
+// retry reports the client's retry budget and schedule, applying the
+// defaults.
+func (c *Client) retry() (*Backoff, int) {
+	if c.Retry == nil {
+		// Seed from the hosted range: deterministic per client, distinct
+		// across the clients of one process.
+		c.Retry = NewBackoff(0, 0, 0x6c647069647331^uint64(c.first)*0x9e3779b97f4a7c15)
+	}
+	max := c.MaxRetries
+	if max == 0 {
+		max = DefaultMaxRetries
+	}
+	return c.Retry, max
+}
+
+// sleep pauses for d, returning false when Close interrupted the pause.
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.stop:
+		return false
+	}
+}
+
+// retryable reports whether a poll/post outcome is transient: transport
+// errors and upstream-unavailable statuses. 503 is transient because a
+// cluster replica restarting between rounds answers it briefly — a device
+// client must ride that out, since its perturbation state cannot be
+// rebuilt elsewhere. A permanently closed aggregator stops answering
+// entirely, which exhausts the retry budget.
+func retryable(status int, err error) bool {
+	if err != nil {
+		return true
+	}
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	default:
+		return false
+	}
+}
+
 // ctx returns a request context cancelled by Close, with the given
 // timeout.
 func (c *Client) ctx(timeout time.Duration) (context.Context, context.CancelFunc) {
@@ -101,27 +154,44 @@ func (c *Client) ctx(timeout time.Duration) (context.Context, context.CancelFunc
 }
 
 // Serve long-polls for rounds and answers them until Close is called
-// (returns nil), the aggregator reports it is closing (returns nil), or
-// the aggregator becomes unreachable (returns the transport error).
+// (returns nil), the aggregator stays unavailable past the retry budget
+// (returns nil after sustained 503s — it is shutting down — and the last
+// transport error otherwise), or a request fails non-transiently (returns
+// that error). Transient failures — transport errors, 502/503/504 — are
+// retried with capped jittered exponential backoff (Retry/MaxRetries), so
+// a flaky network or a replica restarting between rounds does not strand
+// the client's irreplaceable device state.
 func (c *Client) Serve() error {
 	var after int64
+	bo, maxRetries := c.retry()
+	retries := 0
 	for {
 		if c.stopped() {
 			return nil
 		}
 		ri, status, err := c.poll(after)
-		if err != nil {
+		if retryable(status, err) {
 			if c.stopped() {
 				return nil
 			}
-			return fmt.Errorf("serve: polling for rounds: %w", err)
+			retries++
+			if retries > maxRetries {
+				if err != nil {
+					return fmt.Errorf("serve: polling for rounds: giving up after %d retries: %w", retries-1, err)
+				}
+				return nil // sustained 503: the aggregator is shutting down
+			}
+			if !c.sleep(bo.Next()) {
+				return nil
+			}
+			continue
 		}
+		retries = 0
+		bo.Reset()
 		switch status {
 		case http.StatusOK:
 		case http.StatusNoContent:
 			continue // long poll expired with no new round
-		case http.StatusServiceUnavailable:
-			return nil // aggregator shutting down
 		default:
 			return fmt.Errorf("serve: /v1/round returned status %d", status)
 		}
@@ -213,10 +283,25 @@ func (c *Client) answer(ri *roundInfo) error {
 			batch.Reports = append(batch.Reports, encodeContribution(u, contribution))
 		}
 		users = users[n:]
+		// Transport errors are retried: a lost response cannot double-fold
+		// (the server's per-user take slots refuse the duplicate with 409,
+		// which the client treats as "round closed"), and a replica
+		// restarting under the post comes back within the backoff budget.
+		bo, maxRetries := c.retry()
 		status, err := c.post(batch)
-		if err != nil {
-			return fmt.Errorf("serve: posting reports: %w", err)
+		for retries := 0; err != nil; status, err = c.post(batch) {
+			if c.stopped() {
+				return nil
+			}
+			retries++
+			if retries > maxRetries {
+				return fmt.Errorf("serve: posting reports: giving up after %d retries: %w", retries-1, err)
+			}
+			if !c.sleep(bo.Next()) {
+				return nil
+			}
 		}
+		bo.Reset()
 		switch status {
 		case http.StatusOK:
 		case http.StatusConflict:

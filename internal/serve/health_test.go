@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHealthzLifecycle: the probe answers 503 until the first round is
+// announced and 200 after — the gate orchestrators poll before pointing
+// traffic (or a smoke test's clients) at a gateway process.
+func TestHealthzLifecycle(t *testing.T) {
+	h := &Health{}
+	get := func() (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+		var body struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("healthz body is not JSON: %v (%q)", err, rec.Body.String())
+		}
+		if body.Status == "" {
+			t.Fatalf("healthz body carries no status: %q", rec.Body.String())
+		}
+		return rec.Code, body.Status
+	}
+
+	if code, status := get(); code != http.StatusServiceUnavailable || status != "starting" {
+		t.Fatalf("before MarkReady: got %d %q, want 503 starting", code, status)
+	}
+	h.MarkReady()
+	if code, status := get(); code != http.StatusOK || status != "ok" {
+		t.Fatalf("after MarkReady: got %d %q, want 200 ok", code, status)
+	}
+	h.MarkReady() // idempotent
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("second MarkReady regressed the probe to %d", code)
+	}
+}
+
+// TestHealthzMethodNotAllowed: the probe is GET-only.
+func TestHealthzMethodNotAllowed(t *testing.T) {
+	h := &Health{}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/healthz", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/healthz answered %d, want 405", rec.Code)
+	}
+}
+
+// TestHealthzNilSafe: a nil probe never panics and never reports ready,
+// mirroring the Metrics nil-safety convention.
+func TestHealthzNilSafe(t *testing.T) {
+	var h *Health
+	h.MarkReady()
+	if h.Ready() {
+		t.Fatal("nil Health reports ready")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("nil Health answered %d, want 503", rec.Code)
+	}
+}
+
+// TestBackendMarksHealthReady: announcing the first round flips the
+// backend's probe, and the backend routes /v1/healthz itself.
+func TestBackendMarksHealthReady(t *testing.T) {
+	b, err := NewBackend(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Health = &Health{}
+	ts := httptest.NewServer(b)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before any round: %d, want 503", resp.StatusCode)
+	}
+	if b.Health.Ready() {
+		t.Fatal("backend ready before announcing a round")
+	}
+}

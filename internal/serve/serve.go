@@ -78,12 +78,16 @@ type Backend struct {
 	// Metrics, when non-nil, counts folded reports, ingested bytes, and
 	// round latencies.
 	Metrics *Metrics
+	// Health, when non-nil, is marked ready when the first round is
+	// announced; ServeHTTP also routes GET /v1/healthz to it.
+	Health *Health
 
 	n int
 
 	mu       sync.Mutex
 	round    *round
 	nextID   int64
+	pinToken string        // next round's token when pinned via SetNextRound
 	announce chan struct{} // closed and replaced when a round opens
 	closed   bool
 	done     chan struct{}
@@ -287,12 +291,18 @@ func (b *Backend) Collect(req collect.Request, sink collect.Sink) error {
 		return errors.New("serve: a collection round is already in progress")
 	}
 	b.nextID++
-	rd := newRound(b.nextID, b.token(), req, b.n, sink)
+	token := b.pinToken
+	b.pinToken = ""
+	if token == "" {
+		token = b.token()
+	}
+	rd := newRound(b.nextID, token, req, b.n, sink)
 	b.round = rd
 	old := b.announce
 	b.announce = make(chan struct{})
 	close(old) // wake long-pollers
 	b.mu.Unlock()
+	b.Health.MarkReady()
 
 	start := time.Now()
 	if rd.total == 0 {
@@ -326,6 +336,31 @@ func (b *Backend) Collect(req collect.Request, sink collect.Sink) error {
 	return err
 }
 
+// SetNextRound pins the id and token the next Collect announces, instead
+// of the backend's own sequence. Cluster replicas use it to announce the
+// coordinator's global round ids: device clients track rounds by a
+// monotonically increasing watermark, so a replica that restarts (and
+// would otherwise reset to id 1) must announce ids from the sequence the
+// clients already saw, and reports must authenticate against the
+// coordinator-minted token for exactly that round. The id must exceed
+// every id this backend announced before; the token must be non-empty.
+func (b *Backend) SetNextRound(id int64, token string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.round != nil {
+		return errors.New("serve: cannot pin the next round while one is in flight")
+	}
+	if id <= b.nextID {
+		return fmt.Errorf("serve: pinned round id %d is not above the last announced id %d", id, b.nextID)
+	}
+	if token == "" {
+		return errors.New("serve: pinned round needs a non-empty token")
+	}
+	b.nextID = id - 1
+	b.pinToken = token
+	return nil
+}
+
 // Close fails any in-flight round and refuses further rounds and requests.
 // Shutting down the surrounding http.Server is the caller's job.
 func (b *Backend) Close() error {
@@ -349,6 +384,8 @@ func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		b.handleRound(w, r)
 	case "/v1/report":
 		b.handleReport(w, r)
+	case "/v1/healthz":
+		b.Health.ServeHTTP(w, r)
 	default:
 		httpError(w, http.StatusNotFound, "serve: unknown path %s", r.URL.Path)
 	}
