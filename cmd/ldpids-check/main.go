@@ -1,0 +1,137 @@
+// Command ldpids-check replays ingestion histories written by
+// ldpids-gateway -ingest-log and proves the protocol invariants offline
+// (black-box checking): round tokens are fresh and never accepted twice
+// or across rounds, no user exceeds the ε budget in any W-window, every
+// ok round's counters are bit-identical to re-folding its accepted
+// report multiset (or re-merging its accepted shard frames, which must
+// exactly partition [0, n)), refused requests never influenced counters,
+// and releases cohere with round outcomes. See internal/history for the
+// record schema and the full invariant list.
+//
+// Usage:
+//
+//	ldpids-check [-releases store.ldps] [-v] history.jsonl...
+//
+// Each argument is checked independently and summarized; -releases
+// additionally cross-checks the first history's release records
+// bit-exactly against a release log written with -out. The exit status
+// is 0 only if every history is structurally readable and violation-free,
+// so a corrupted or tampered log fails the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ldpids/internal/history"
+	"ldpids/internal/store"
+)
+
+func main() {
+	releases := flag.String("releases", "", "release log (-out) to cross-check the first history's releases against")
+	verbose := flag.Bool("v", false, "print per-reason refusal counts")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ldpids-check [-releases store.ldps] [-v] history.jsonl...")
+		os.Exit(2)
+	}
+
+	failed := false
+	for i, path := range flag.Args() {
+		recs, err := history.ReadAll(path)
+		if err != nil {
+			fmt.Printf("%s: FAIL: %v\n", path, err)
+			failed = true
+			continue
+		}
+		res := history.Check(recs)
+		printResult(path, res, *verbose)
+		if !res.OK() {
+			failed = true
+		}
+		if i == 0 && *releases != "" && !crossCheck(path, recs, *releases) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// printResult renders one history's verdict.
+func printResult(path string, res *history.Result, verbose bool) {
+	s := res.Summary
+	verdict := "ok"
+	if !res.OK() {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+	}
+	fmt.Printf("%s: %s: %d/%d rounds ok, %d batches accepted (%d reports folded), %d refused, %d/%d/%d frames accepted/refused/failed, %d releases\n",
+		path, verdict, s.OKRounds, s.Rounds, s.AcceptedBatches, s.FoldedReports,
+		s.RefusedBatches, s.AcceptedFrames, s.RefusedFrames, s.FailedFrames, s.Releases)
+	if verbose && len(s.Refusals) > 0 {
+		reasons := make([]string, 0, len(s.Refusals))
+		for r := range s.Refusals {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Printf("  refused %-14s %d\n", r, s.Refusals[r])
+		}
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+}
+
+// crossCheck proves the history's release records match the durable
+// release log bit-for-bit: same timestamps in the same order, identical
+// values. Both are written by the same release hook, so any divergence
+// means one of the logs was tampered with or lost a record.
+func crossCheck(histPath string, recs []history.Record, storePath string) bool {
+	ts, hists, err := store.ReadAll(storePath)
+	if err != nil {
+		fmt.Printf("%s: FAIL: release log %s: %v\n", histPath, storePath, err)
+		return false
+	}
+	var rels []history.Record
+	for _, rec := range recs {
+		if rec.Kind == history.KindRelease {
+			rels = append(rels, rec)
+		}
+	}
+	if len(rels) != len(ts) {
+		fmt.Printf("%s: FAIL: history has %d releases, release log %s has %d\n",
+			histPath, len(rels), storePath, len(ts))
+		return false
+	}
+	for i, rel := range rels {
+		if rel.T != ts[i] {
+			fmt.Printf("%s: FAIL: release %d is t=%d in the history but t=%d in %s\n",
+				histPath, i, rel.T, ts[i], storePath)
+			return false
+		}
+		if !equalValues(rel.Values, hists[i]) {
+			fmt.Printf("%s: FAIL: release t=%d differs between the history and %s\n",
+				histPath, rel.T, storePath)
+			return false
+		}
+	}
+	fmt.Printf("%s: releases match %s (%d releases)\n", histPath, storePath, len(rels))
+	return true
+}
+
+// equalValues compares two releases bit-exactly (== per element, so a
+// NaN would fail — released histograms are never NaN).
+func equalValues(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

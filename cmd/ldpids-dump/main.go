@@ -1,6 +1,29 @@
-// Command ldpids-dump prints a persisted release log (written by
-// ldpids-server -out, package internal/store) as CSV: one row per
-// timestamp, one column per histogram element.
+// Command ldpids-dump prints LDP-IDS log files in human-readable form.
+//
+// Without flags it reads a persisted release log (written by
+// ldpids-gateway -out, package internal/store) and prints CSV: one row
+// per timestamp, one column per histogram element.
+//
+// With -ingest it pretty-prints an ingestion history (written by
+// ldpids-gateway -ingest-log, package internal/history) instead: one
+// line per protocol event. The history is JSONL with one record per
+// line; every record carries "kind" plus the kind's fields:
+//
+//	config  source, n, d, oracle, w, budget — the deployment parameters,
+//	        always the first record
+//	round   round, token, t, eps, numeric, all|users — one round
+//	        announcement
+//	batch   round, token, verdict, reason, status, folded, bytes,
+//	        reports — one POST /v1/report outcome; accepted batches
+//	        carry the full report payload, refusals the folded prefix
+//	frame   round, token, verdict, reason, status, replica, lo, hi,
+//	        frame — one replica counter-frame shipment outcome
+//	close   round, t, ok, err|counters — the end of one round, with the
+//	        sink's exported integer counters when it closed ok
+//	release t, values — one published release
+//
+// ldpids-check replays the same records and proves the protocol
+// invariants over them; ldpids-dump -ingest is the eyeball view.
 package main
 
 import (
@@ -10,13 +33,16 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"strings"
+
+	"ldpids/internal/history"
+	"ldpids/internal/store"
 )
 
-import "ldpids/internal/store"
-
 func main() {
+	ingest := flag.Bool("ingest", false, "treat the argument as an ingestion history (-ingest-log), not a release log")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s <releases.ldps>\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-ingest] <releases.ldps | ingest.jsonl>\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -24,7 +50,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	ts, hists, err := store.ReadAll(flag.Arg(0))
+	if *ingest {
+		dumpIngest(flag.Arg(0))
+		return
+	}
+	dumpReleases(flag.Arg(0))
+}
+
+// dumpReleases prints a release log as CSV.
+func dumpReleases(path string) {
+	ts, hists, err := store.ReadAll(path)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,5 +83,76 @@ func main() {
 		if err := w.Write(row); err != nil {
 			log.Fatal(err)
 		}
+	}
+}
+
+// dumpIngest prints an ingestion history, one line per record.
+func dumpIngest(path string) {
+	recs, err := history.ReadAll(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, rec := range recs {
+		fmt.Printf("%4d  %s\n", i, formatRecord(rec))
+	}
+}
+
+// formatRecord renders one history record for reading.
+func formatRecord(rec history.Record) string {
+	switch rec.Kind {
+	case history.KindConfig:
+		s := fmt.Sprintf("config  %s n=%d d=%d oracle=%s", rec.Source, rec.N, rec.D, rec.Oracle)
+		if rec.W > 0 {
+			s += fmt.Sprintf(" w=%d budget=%g", rec.W, rec.Budget)
+		}
+		return s
+	case history.KindRound:
+		who := fmt.Sprintf("%d users", len(rec.Users))
+		if rec.All {
+			who = "all users"
+		}
+		kind := ""
+		if rec.Numeric {
+			kind = " numeric"
+		}
+		return fmt.Sprintf("round   #%d t=%d eps=%g%s %s token=%s", rec.Round, rec.T, rec.Eps, kind, who, rec.Token)
+	case history.KindBatch:
+		s := fmt.Sprintf("batch   #%d %s", rec.Round, rec.Verdict)
+		if rec.Reason != "" {
+			s += " (" + rec.Reason + ")"
+		}
+		return s + fmt.Sprintf(" status=%d folded=%d reports=%d bytes=%d", rec.Status, rec.Folded, len(rec.Reports), rec.Bytes)
+	case history.KindFrame:
+		s := fmt.Sprintf("frame   #%d %s", rec.Round, rec.Verdict)
+		if rec.Reason != "" {
+			s += " (" + rec.Reason + ")"
+		}
+		if rec.Replica != "" {
+			s += fmt.Sprintf(" %s [%d:%d)", rec.Replica, rec.Lo, rec.Hi)
+		}
+		if rec.Frame != nil {
+			s += fmt.Sprintf(" %s n=%d", rec.Frame.Shape, rec.Frame.N)
+		}
+		if rec.Err != "" {
+			s += " err=" + strconv.Quote(rec.Err)
+		}
+		return s
+	case history.KindClose:
+		if !rec.OK {
+			return fmt.Sprintf("close   #%d t=%d FAILED err=%s", rec.Round, rec.T, strconv.Quote(rec.Err))
+		}
+		s := fmt.Sprintf("close   #%d t=%d ok", rec.Round, rec.T)
+		if rec.Counters != nil {
+			s += fmt.Sprintf(" %s n=%d counters=%d", rec.Counters.Shape, rec.Counters.N, len(rec.Counters.Counts))
+		}
+		return s
+	case history.KindRelease:
+		vals := make([]string, 0, len(rec.Values))
+		for _, v := range rec.Values {
+			vals = append(vals, strconv.FormatFloat(v, 'g', 6, 64))
+		}
+		return fmt.Sprintf("release t=%d [%s]", rec.T, strings.Join(vals, " "))
+	default:
+		return fmt.Sprintf("%-7s (unknown kind)", rec.Kind)
 	}
 }

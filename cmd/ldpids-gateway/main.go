@@ -67,6 +67,7 @@ import (
 	"ldpids/internal/collect"
 	"ldpids/internal/device"
 	"ldpids/internal/fo"
+	"ldpids/internal/history"
 	"ldpids/internal/ldprand"
 	"ldpids/internal/mechanism"
 	"ldpids/internal/numeric"
@@ -78,6 +79,7 @@ import (
 type gatewayFlags struct {
 	addr, backend, method, oracleName string
 	role, peers, shard, name, out     string
+	ingestLog                         string
 	n, d, w, T                        int
 	eps                               float64
 	seed, clientSeed                  uint64
@@ -102,6 +104,7 @@ func main() {
 	flag.DurationVar(&f.interval, "interval", 0, "pause between timestamps (gives live queries something to watch)")
 	flag.BoolVar(&f.isMean, "numeric", false, "run a streaming mean mechanism instead of a frequency mechanism")
 	flag.StringVar(&f.out, "out", "", "optional path to persist releases as an append-only log")
+	flag.StringVar(&f.ingestLog, "ingest-log", "", "optional path for the append-only ingestion history (audited offline by ldpids-check)")
 	flag.StringVar(&f.role, "role", "single", "deployment role: single (all-in-one), coordinator (cluster rounds + releases), or replica (cluster ingestion shard)")
 	flag.StringVar(&f.peers, "peers", "", "coordinator base URL for -role replica, e.g. http://127.0.0.1:7900")
 	flag.StringVar(&f.shard, "shard", "", "user shard lo:hi for -role replica")
@@ -174,6 +177,48 @@ func releaseLog(f gatewayFlags) (persist func(int, []float64), closeLog func()) 
 	return persist, closeLog
 }
 
+// openIngestLog opens the append-only ingestion history (when -ingest-log
+// is set) and writes its config record. source names the emitting role in
+// the record ("gateway", "coordinator", "replica"). Replicas log a zero
+// window/budget: a shard cannot know the deployment's privacy window, so
+// ldpids-check skips the budget invariant on replica histories and proves
+// it on the coordinator's instead.
+func openIngestLog(f gatewayFlags, source string) (*history.Log, func()) {
+	if f.ingestLog == "" {
+		return nil, func() {}
+	}
+	h, err := history.Create(f.ingestLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := history.Record{Kind: history.KindConfig, Source: source,
+		N: f.n, D: f.d, Oracle: f.oracleName}
+	if source != "replica" {
+		cfg.W = f.w
+		cfg.Budget = f.eps
+	}
+	h.Append(cfg)
+	return h, func() {
+		if err := h.Close(); err != nil {
+			log.Printf("closing ingest log: %v", err)
+		}
+	}
+}
+
+// recordReleases wraps the release persist hook to also journal every
+// release into the ingestion history, so ldpids-check can prove release
+// coherence (each release reachable from its round's accepted reports,
+// failed rounds republishing the previous release verbatim).
+func recordReleases(h *history.Log, persist func(int, []float64)) func(int, []float64) {
+	if h == nil {
+		return persist
+	}
+	return func(t int, release []float64) {
+		h.Append(history.Record{Kind: history.KindRelease, T: t, Values: release})
+		persist(t, release)
+	}
+}
+
 // runSingle is the all-in-one deployment: ingestion (HTTP or sim),
 // mechanism, and query layer in one process.
 func runSingle(f gatewayFlags) {
@@ -199,6 +244,9 @@ func runSingle(f gatewayFlags) {
 		b.Health = health
 		collector, ingest = b, b
 	case "sim":
+		if f.ingestLog != "" {
+			log.Fatal("-ingest-log needs -backend http: the sim backend has no ingestion protocol to journal")
+		}
 		pop := device.NewPopulation(f.clientSeed, 0, f.n, f.d)
 		o, err := fo.New(f.oracleName, f.d)
 		if err != nil {
@@ -224,7 +272,12 @@ func runSingle(f gatewayFlags) {
 	log.Printf("gateway listening on http://%s (backend %s, n=%d, d=%d, method %s)",
 		ln.Addr(), f.backend, f.n, f.d, f.method)
 
+	hist, closeHist := openIngestLog(f, "gateway")
+	if ingest != nil {
+		ingest.History = hist
+	}
 	persist, closeLog := releaseLog(f)
+	persist = recordReleases(hist, persist)
 
 	// Graceful shutdown: finish (or prune) the current round, then stop.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -250,6 +303,7 @@ func runSingle(f gatewayFlags) {
 	}
 	shutdown(srv)
 	closeLog()
+	closeHist()
 	fmt.Printf("communication: %s\n", env.Stats())
 }
 
@@ -292,7 +346,10 @@ func runCoordinator(f gatewayFlags) {
 	log.Printf("coordinator listening on http://%s (n=%d, d=%d, method %s, oracle %s)",
 		ln.Addr(), f.n, f.d, f.method, f.oracleName)
 
+	hist, closeHist := openIngestLog(f, "coordinator")
+	coord.History = hist
 	persist, closeLog := releaseLog(f)
+	persist = recordReleases(hist, persist)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -307,6 +364,7 @@ func runCoordinator(f gatewayFlags) {
 	coord.Close()
 	shutdown(srv)
 	closeLog()
+	closeHist()
 	fmt.Printf("communication: %s\n", env.Stats())
 }
 
@@ -339,6 +397,8 @@ func runReplica(f gatewayFlags) {
 	b.Timeout = f.timeout
 	b.Metrics = metrics
 	b.Health = health
+	hist, closeHist := openIngestLog(f, "replica")
+	b.History = hist
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/round", b)
@@ -367,6 +427,7 @@ func runReplica(f gatewayFlags) {
 	}
 	b.Close()
 	shutdown(srv)
+	closeHist()
 }
 
 // parseShard parses a -shard lo:hi bound pair.

@@ -44,6 +44,7 @@ import (
 
 	"ldpids/internal/collect"
 	"ldpids/internal/fo"
+	"ldpids/internal/history"
 	"ldpids/internal/serve"
 )
 
@@ -90,6 +91,10 @@ type Coordinator struct {
 	Metrics *Metrics
 	// Health, when non-nil, is marked ready when the first round opens.
 	Health *serve.Health
+	// History, when non-nil, receives the structured ingest log: one
+	// record per round announcement, accepted/refused/failed counter
+	// shipment, and round close, replayable offline by cmd/ldpids-check.
+	History *history.Log
 
 	n      int
 	oracle string
@@ -359,6 +364,17 @@ func (c *Coordinator) openRound(req collect.Request) (*clusterRound, error) {
 				complete: make(chan struct{}),
 			}
 			c.round = rd
+			// The round record lands before the announcement (still
+			// under c.mu), so no shipment record can precede its round
+			// in the log.
+			rec := history.Record{Kind: history.KindRound, Round: rd.id, Token: rd.token,
+				T: req.T, Eps: req.Eps}
+			if req.Users == nil {
+				rec.All = true
+			} else {
+				rec.Users = req.Users
+			}
+			c.History.Append(rec)
 			old := c.announce
 			c.announce = make(chan struct{})
 			close(old) // wake long-polling replicas
@@ -430,9 +446,21 @@ func (c *Coordinator) Collect(req collect.Request, sink collect.Sink) error {
 		if degraded {
 			c.Metrics.addDegradedRound()
 		}
+		c.History.Append(history.Record{Kind: history.KindClose, Round: rd.id,
+			T: req.T, Err: rdErr.Error()})
 		return rdErr
 	}
-	return c.merge(rd, cs)
+	mergeErr := c.merge(rd, cs)
+	if c.History != nil {
+		crec := history.Record{Kind: history.KindClose, Round: rd.id, T: req.T, OK: mergeErr == nil}
+		if mergeErr != nil {
+			crec.Err = mergeErr.Error()
+		} else if f, err := collect.SinkCounters(cs); err == nil {
+			crec.Counters = history.FrameOf(f)
+		}
+		c.History.Append(crec)
+	}
+	return mergeErr
 }
 
 // waitRound blocks until the round completes, times out, loses a

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"ldpids/internal/history"
 )
 
 // maxShipmentBody caps one counter-shipment body. The largest frame is an
@@ -251,8 +253,14 @@ func (c *Coordinator) handleCounters(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var sh shipment
+	// refuseFrame logs the shipment verdict and answers the error.
+	refuseFrame := func(status int, reason, replica string, format string, args ...any) {
+		c.History.Append(history.Record{Kind: history.KindFrame, Verdict: history.VerdictRefused,
+			Reason: reason, Status: status, Round: sh.Round, Token: sh.Token, Replica: replica})
+		httpError(w, status, format, args...)
+	}
 	if err := gob.NewDecoder(http.MaxBytesReader(w, r.Body, maxShipmentBody)).Decode(&sh); err != nil {
-		httpError(w, http.StatusBadRequest, "cluster: malformed counter shipment: %v", err)
+		refuseFrame(http.StatusBadRequest, history.ReasonMalformed, "", "cluster: malformed counter shipment: %v", err)
 		return
 	}
 	c.mu.Lock()
@@ -268,36 +276,46 @@ func (c *Coordinator) handleCounters(w http.ResponseWriter, r *http.Request) {
 	c.mu.Unlock()
 	if rd == nil || sh.Round != rd.id ||
 		subtle.ConstantTimeCompare([]byte(sh.Token), []byte(rd.token)) != 1 {
-		httpError(w, http.StatusConflict, "cluster: stale round token (round %d is not open)", sh.Round)
+		refuseFrame(http.StatusConflict, history.ReasonStaleToken, "", "cluster: stale round token (round %d is not open)", sh.Round)
 		return
 	}
 	rep, ok := rd.parts[sh.Replica]
 	if !ok {
-		httpError(w, http.StatusConflict, "cluster: replica %d is not a participant of round %d", sh.Replica, rd.id)
+		refuseFrame(http.StatusConflict, history.ReasonNotParticipant, "", "cluster: replica %d is not a participant of round %d", sh.Replica, rd.id)
 		return
 	}
 	if sh.Err != "" {
+		// A failed-round shipment is journaled before finish, so the
+		// failure record precedes the close record in the log.
+		c.History.Append(history.Record{Kind: history.KindFrame, Verdict: history.VerdictFailed,
+			Reason: history.ReasonReplicaError, Round: sh.Round, Token: sh.Token,
+			Replica: rep.name, Lo: rep.lo, Hi: rep.hi, Err: sh.Err})
 		rd.finish(fmt.Errorf("cluster: replica %q (shard [%d:%d)) failed round t=%d: %s",
 			rep.name, rep.lo, rep.hi, rd.req.T, sh.Err), false)
 		writeJSON(w, shipAck{Accepted: true})
 		return
 	}
 	if err := sh.Frame.Validate(); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "cluster: replica %q shipped a bad frame: %v", rep.name, err)
+		refuseFrame(http.StatusUnprocessableEntity, history.ReasonBadFrame, rep.name, "cluster: replica %q shipped a bad frame: %v", rep.name, err)
 		return
 	}
 	rd.mu.Lock()
 	if rd.done {
 		rd.mu.Unlock()
-		httpError(w, http.StatusConflict, "cluster: round %d already closed", rd.id)
+		refuseFrame(http.StatusConflict, history.ReasonRoundClosed, rep.name, "cluster: round %d already closed", rd.id)
 		return
 	}
 	if _, dup := rd.frames[sh.Replica]; dup {
 		rd.mu.Unlock()
-		httpError(w, http.StatusConflict, "cluster: replica %q already shipped round %d", rep.name, rd.id)
+		refuseFrame(http.StatusConflict, history.ReasonDuplicate, rep.name, "cluster: replica %q already shipped round %d", rep.name, rd.id)
 		return
 	}
 	rd.frames[sh.Replica] = sh.Frame
+	// Journaled under rd.mu: every accepted-frame record precedes the
+	// round's completion (and so its close record).
+	c.History.Append(history.Record{Kind: history.KindFrame, Verdict: history.VerdictAccepted,
+		Status: http.StatusOK, Round: sh.Round, Token: sh.Token,
+		Replica: rep.name, Lo: rep.lo, Hi: rep.hi, Frame: history.FrameOf(sh.Frame)})
 	full := len(rd.frames) == len(rd.parts)
 	rd.mu.Unlock()
 	if full {

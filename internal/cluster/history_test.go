@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"ldpids/internal/collect"
+	"ldpids/internal/fo"
+	"ldpids/internal/history"
+)
+
+// TestCoordinatorHistoryAudited drives one cluster round with hostile
+// shipments mixed in — a forged token and a duplicate frame — and
+// proves the coordinator's ingest history journals every verdict and
+// passes the offline checker: accepted shards partition the population,
+// re-merging them reproduces the closing counters, and the refused
+// shipments influenced nothing.
+func TestCoordinatorHistoryAudited(t *testing.T) {
+	const n, d, eps = 6, 4, 1.0
+	c, ts := testCoordinator(t, n, "GRR", d)
+	logPath := filepath.Join(t.TempDir(), "coord.jsonl")
+	hist, err := history.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist.Append(history.Record{Kind: history.KindConfig, Source: "coordinator",
+		N: n, D: d, Oracle: "GRR"})
+	c.History = hist
+
+	oracle, err := fo.New("GRR", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := joinFake(t, ts.URL, "rep-a", 0, 3, n)
+	b := joinFake(t, ts.URL, "rep-b", 3, n, n)
+
+	agg, err := oracle.NewAggregator(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Collect(collect.Request{T: 1, Eps: eps}, collect.AggregatorSink{Agg: agg}) }()
+
+	ann := a.pollRound(0)
+	forged := *ann
+	forged.Token = "forged-token"
+	if status := a.ship(&forged, shardFrame(t, oracle, eps, 0, 3), ""); status != http.StatusConflict {
+		t.Fatalf("forged-token shipment answered %d, want 409", status)
+	}
+	if status := a.ship(ann, shardFrame(t, oracle, eps, 0, 3), ""); status != http.StatusOK {
+		t.Fatalf("honest shipment answered %d", status)
+	}
+	if status := a.ship(ann, shardFrame(t, oracle, eps, 0, 3), ""); status != http.StatusConflict {
+		t.Fatalf("duplicate shipment answered %d, want 409", status)
+	}
+	if status := b.ship(ann, shardFrame(t, oracle, eps, 3, n), ""); status != http.StatusOK {
+		t.Fatalf("second shipment answered %d", status)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if err := hist.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := history.ReadAll(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := history.Check(recs)
+	if !res.OK() {
+		t.Fatalf("coordinator history must pass the checker, got %q", res.Violations)
+	}
+	s := res.Summary
+	if s.Rounds != 1 || s.OKRounds != 1 || s.AcceptedFrames != 2 || s.RefusedFrames != 2 {
+		t.Fatalf("summary miscounts the round: %+v", s)
+	}
+	if s.Refusals[history.ReasonStaleToken] != 1 || s.Refusals[history.ReasonDuplicate] != 1 {
+		t.Fatalf("refusal reasons = %v, want one stale-token and one duplicate", s.Refusals)
+	}
+
+	// Tampering with either accepted frame must break the re-merge proof.
+	for i := range recs {
+		if recs[i].Kind == history.KindFrame && recs[i].Verdict == history.VerdictAccepted {
+			recs[i].Frame.Counts[0]++
+			break
+		}
+	}
+	if history.Check(recs).OK() {
+		t.Fatal("tampered frame must fail the checker")
+	}
+}
+
+// TestCoordinatorHistoryFailedRound proves a replica-reported failure is
+// journaled as a failed frame before the failed close, and the history
+// still passes (a failed round makes no counter claims).
+func TestCoordinatorHistoryFailedRound(t *testing.T) {
+	const n, d, eps = 6, 4, 1.0
+	c, ts := testCoordinator(t, n, "GRR", d)
+	logPath := filepath.Join(t.TempDir(), "coord.jsonl")
+	hist, err := history.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist.Append(history.Record{Kind: history.KindConfig, Source: "coordinator",
+		N: n, D: d, Oracle: "GRR"})
+	c.History = hist
+
+	a := joinFake(t, ts.URL, "rep-a", 0, 3, n)
+	joinFake(t, ts.URL, "rep-b", 3, n, n)
+
+	oracle, err := fo.New("GRR", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := oracle.NewAggregator(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Collect(collect.Request{T: 1, Eps: eps}, collect.AggregatorSink{Agg: agg}) }()
+	ann := a.pollRound(0)
+	if status := a.ship(ann, fo.CounterFrame{}, "shard exploded"); status != http.StatusOK {
+		t.Fatalf("failure shipment answered %d", status)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("replica failure must fail the round")
+	}
+	if err := hist.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := history.ReadAll(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := history.Check(recs)
+	if !res.OK() {
+		t.Fatalf("failed-round history must pass the checker, got %q", res.Violations)
+	}
+	if res.Summary.FailedFrames != 1 || res.Summary.OKRounds != 0 {
+		t.Fatalf("summary = %+v, want one failed frame and no ok rounds", res.Summary)
+	}
+	// Ordering: the failed frame precedes its round's close record.
+	frameAt, closeAt := -1, -1
+	for i, rec := range recs {
+		switch rec.Kind {
+		case history.KindFrame:
+			frameAt = i
+		case history.KindClose:
+			closeAt = i
+		}
+	}
+	if frameAt < 0 || closeAt < 0 || frameAt > closeAt {
+		t.Fatalf("failed frame at %d must precede close at %d", frameAt, closeAt)
+	}
+}

@@ -37,7 +37,7 @@ type ack struct {
 }
 
 // announcement is the body of GET /cluster/v1/round: one open coordinator
-// round. It mirrors serve's roundInfo — the replica re-announces the same
+// round. It mirrors serve's RoundInfo — the replica re-announces the same
 // (Round, Token) pair to its device clients via Backend.SetNextRound, so
 // device watermarks and report authentication stay coherent across the
 // whole cluster. Users lists the requested population subset (null means

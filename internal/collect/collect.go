@@ -96,6 +96,27 @@ type CounterSink interface {
 	AbsorbCounters(f fo.CounterFrame) error
 }
 
+// CounterExporter is an optional Sink extension: sinks backed by a
+// counter-based aggregator expose their folded integer counter state, so
+// an ingestion backend can record each round's closing counters in its
+// audit trail (internal/history) without knowing the sink's concrete
+// type. Exporting must not disturb the sink — the frame is a copy.
+type CounterExporter interface {
+	// ExportCounters returns the sink's counter state as a
+	// self-describing frame.
+	ExportCounters() (fo.CounterFrame, error)
+}
+
+// SinkCounters exports the sink's counter state when it (or a wrapper)
+// supports it, and says which sinks do not.
+func SinkCounters(s Sink) (fo.CounterFrame, error) {
+	ce, ok := s.(CounterExporter)
+	if !ok {
+		return fo.CounterFrame{}, fmt.Errorf("collect: sink %T does not export counters", s)
+	}
+	return ce.ExportCounters()
+}
+
 // Striper is an optional Collector extension: backends whose ingestion is
 // concurrent advertise how many shard-local stripes a round aggregator
 // should expose so server folds scale with cores. Env.NewRoundAggregator
@@ -247,6 +268,11 @@ func (s AggregatorSink) AbsorbStripe(stripe int, c Contribution) error {
 // wrapped aggregator's counters.
 func (s AggregatorSink) AbsorbCounters(f fo.CounterFrame) error {
 	return fo.MergeCounters(s.Agg, f)
+}
+
+// ExportCounters implements CounterExporter via the wrapped aggregator.
+func (s AggregatorSink) ExportCounters() (fo.CounterFrame, error) {
+	return fo.ExportCounters(s.Agg)
 }
 
 // MeanSink accumulates a numeric round into a running mean.

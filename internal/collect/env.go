@@ -119,6 +119,12 @@ func (s *countingSink) AbsorbCounters(f fo.CounterFrame) error {
 	return nil
 }
 
+// ExportCounters implements CounterExporter by forwarding to the inner
+// sink, so the accounting wrapper stays transparent to audit logging.
+func (s *countingSink) ExportCounters() (fo.CounterFrame, error) {
+	return SinkCounters(s.inner)
+}
+
 func (s *countingSink) Count() int { return int(s.reports.Load()) }
 
 // collect runs one validated, observed, accounted round through the

@@ -1,0 +1,92 @@
+package fo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"testing"
+)
+
+// FuzzPackedReportParsing drives the packed-word report path with
+// arbitrary wire bytes, exactly as an HTTP body would deliver them:
+// little-endian words, folded into a packed-unary aggregator. The
+// aggregator must never panic — undersized payloads, stray bits beyond
+// the domain, and garbage words are all errors — and any payload it
+// accepts must round-trip bit-exactly through UnpackBits/PackBits.
+func FuzzPackedReportParsing(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0}, uint16(8))
+	f.Add([]byte{0xff, 0xff, 0, 0, 0, 0, 0, 0}, uint16(16))
+	f.Add(bytes.Repeat([]byte{0xaa}, 16), uint16(100))
+	f.Add([]byte{}, uint16(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0x80}, uint16(63))
+	f.Fuzz(func(t *testing.T, data []byte, d16 uint16) {
+		d := int(d16)
+		if d < 2 || d > 1<<12 {
+			t.Skip() // oracle constructors require 2 <= d; cap keeps folds fast
+		}
+		if len(data)%8 != 0 {
+			t.Skip() // serve's unpackWords refuses partial words before fo sees them
+		}
+		words := make([]uint64, len(data)/8)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(data[8*i:])
+		}
+		agg, err := NewOUEPacked(d).NewAggregator(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Add(Report{Kind: KindPacked, Value: -1, Packed: words}); err != nil {
+			return // refused payloads are fine; panics are not
+		}
+		// Accepted payloads are well-formed: the unpack/pack round-trip
+		// must be the identity.
+		repacked := PackBits(UnpackBits(words, d))
+		if len(repacked) != len(words) {
+			t.Fatalf("round-trip changed word count: %d != %d", len(repacked), len(words))
+		}
+		for i := range words {
+			if repacked[i] != words[i] {
+				t.Fatalf("round-trip changed word %d: %#x != %#x", i, repacked[i], words[i])
+			}
+		}
+	})
+}
+
+// FuzzCounterFrameGob decodes arbitrary bytes as a gob CounterFrame —
+// the cluster shipment wire format — then validates and merges it. A
+// hostile replica must never be able to panic the coordinator: decode
+// failures, validation failures, and shape mismatches are all errors.
+func FuzzCounterFrameGob(f *testing.F) {
+	seed := func(fr CounterFrame) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(fr); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(CounterFrame{Shape: FrameCounts, N: 3, Counts: []int64{1, 0, 2, 0}}))
+	f.Add(seed(CounterFrame{Shape: FrameCohort, N: 2, K: 2, G: 2, Counts: []int64{1, 0, 0, 1}}))
+	f.Add(seed(CounterFrame{Shape: FrameShape(9), N: -1, Counts: []int64{}}))
+	f.Add([]byte("not a gob stream"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr CounterFrame
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&fr); err != nil {
+			return
+		}
+		if err := fr.Validate(); err != nil {
+			return
+		}
+		// A structurally valid frame still has to match the receiving
+		// aggregator; mismatches must error, not corrupt or panic.
+		agg, err := NewGRR(4).NewAggregator(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := MergeCounters(agg, fr); err != nil {
+			return
+		}
+		if _, err := ExportCounters(agg); err != nil {
+			t.Fatalf("merged frame cannot re-export: %v", err)
+		}
+	})
+}

@@ -1,0 +1,400 @@
+// Package history records and verifies the gateway's observable ingest
+// history. Following the black-box checking approach of PAPERS.md
+// (Efficient Black-box Checking of Snapshot Isolation), the running
+// aggregator is treated as a black box: serve.Backend and
+// cluster.Coordinator append one structured Record per protocol event —
+// round announcements, accepted and refused report batches, counter-frame
+// shipments, round closes, releases — and Check replays the log offline,
+// proving the protocol invariants the live code enforces only at the
+// point of enforcement (see the checker's invariant list in check.go).
+//
+// The log format is JSONL, one Record per line, written with the same
+// crash-safety discipline as internal/runlog: the file is opened
+// O_APPEND and every Append is a single write syscall, so a crash can
+// damage at most the final line. ReadAll tolerates exactly that — a torn
+// final line is dropped — while torn lines in the middle of the file
+// (impossible under append-only writes) are reported as corruption, which
+// is what makes the CI mutation step bite.
+//
+// A Log is deliberately forgiving at runtime: Append on a nil *Log is a
+// no-op, and write failures are sticky (surfaced by Err and Close) rather
+// than failing the ingestion request that triggered them — the audit
+// trail must never take the service down.
+package history
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"ldpids/internal/fo"
+)
+
+// Record kinds, in the Kind field of every record.
+const (
+	// KindConfig is the first record of every log: the deployment
+	// parameters the checker verifies against.
+	KindConfig = "config"
+	// KindRound is one round announcement (id, token, timestamp, budget,
+	// requested users).
+	KindRound = "round"
+	// KindBatch is one POST /v1/report outcome: an accepted batch with
+	// its full report payload, or a refusal with its machine-readable
+	// reason and the prefix of reports folded before the refusal.
+	KindBatch = "batch"
+	// KindFrame is one replica counter-frame shipment outcome at the
+	// coordinator.
+	KindFrame = "frame"
+	// KindClose is the end of one round: ok with the sink's exported
+	// counters, or failed with the error.
+	KindClose = "close"
+	// KindRelease is one published release (timestamp and values).
+	KindRelease = "release"
+)
+
+// Verdicts of batch and frame records.
+const (
+	// VerdictAccepted marks a batch or frame folded into the round.
+	VerdictAccepted = "accepted"
+	// VerdictRefused marks a batch or frame the protocol refused.
+	VerdictRefused = "refused"
+	// VerdictFailed marks a frame shipment that reported a replica-side
+	// round failure instead of counters.
+	VerdictFailed = "failed"
+)
+
+// Machine-readable refusal reasons. Batch reasons before ReasonBadReport
+// are pre-fold refusals and must never carry folded reports.
+const (
+	// ReasonMalformed is an undecodable request body.
+	ReasonMalformed = "malformed"
+	// ReasonBodyTooLarge is a request body over the byte cap.
+	ReasonBodyTooLarge = "body-too-large"
+	// ReasonBatchTooLarge is a batch over the report-count cap.
+	ReasonBatchTooLarge = "batch-too-large"
+	// ReasonStaleToken is a batch or frame whose (round, token) pair does
+	// not authenticate against the open round: a replay, a forgery, or a
+	// post into a closed round.
+	ReasonStaleToken = "stale-token"
+	// ReasonRoundClosed is a batch or frame that authenticated but
+	// arrived after the round finished.
+	ReasonRoundClosed = "round-closed"
+	// ReasonBadReport is an undecodable or shape-mismatched report inside
+	// an otherwise well-formed batch.
+	ReasonBadReport = "bad-report"
+	// ReasonNotAwaited is a report from a user with no outstanding
+	// report slot (not requested, or already reported — a double report).
+	ReasonNotAwaited = "not-awaited"
+	// ReasonBadFrame is a counter frame that failed validation.
+	ReasonBadFrame = "bad-frame"
+	// ReasonNotParticipant is a frame from a replica outside the round's
+	// frozen participant set.
+	ReasonNotParticipant = "not-participant"
+	// ReasonDuplicate is a second frame from the same replica for the
+	// same round.
+	ReasonDuplicate = "duplicate"
+	// ReasonReplicaError is a shipment carrying a replica-side round
+	// failure.
+	ReasonReplicaError = "replica-error"
+)
+
+// Record is one history line. Kind selects which fields are meaningful;
+// unused fields stay at their zero value and are omitted from the JSON.
+type Record struct {
+	Kind string `json:"kind"`
+
+	// Config fields.
+
+	// Source names the writing process role: "gateway" (single-process
+	// serve backend), "coordinator", or "replica".
+	Source string `json:"source,omitempty"`
+	// N is the population size.
+	N int `json:"n,omitempty"`
+	// D is the domain size.
+	D int `json:"d,omitempty"`
+	// Oracle is the frequency oracle name (fo.Names).
+	Oracle string `json:"oracle,omitempty"`
+	// W is the sliding-window length; 0 disables the checker's per-user
+	// budget accounting (replicas see only their shard's rounds and
+	// cannot know the deployment window).
+	W int `json:"w,omitempty"`
+	// Budget is the per-window privacy budget ε when W > 0.
+	Budget float64 `json:"budget,omitempty"`
+
+	// Round identification, shared by round, batch, frame, and close
+	// records. On refusals it is the pair the request claimed, verbatim.
+	Round int64  `json:"round,omitempty"`
+	Token string `json:"token,omitempty"`
+
+	// Round fields (T also on close and release records).
+
+	// T is the mechanism timestamp.
+	T int `json:"t,omitempty"`
+	// Eps is the round's privacy budget.
+	Eps float64 `json:"eps,omitempty"`
+	// Numeric marks a numeric mean round.
+	Numeric bool `json:"numeric,omitempty"`
+	// All marks a whole-population round (Users elided); an absent Users
+	// with All false means an empty request.
+	All bool `json:"all,omitempty"`
+	// Users lists the requested user ids, in request order and with
+	// multiplicity.
+	Users []int `json:"users,omitempty"`
+
+	// Batch and frame fields.
+
+	// Verdict is VerdictAccepted, VerdictRefused, or VerdictFailed.
+	Verdict string `json:"verdict,omitempty"`
+	// Reason is the machine-readable refusal reason.
+	Reason string `json:"reason,omitempty"`
+	// Status is the HTTP status answered.
+	Status int `json:"status,omitempty"`
+	// Reports carries the folded reports: the whole batch when accepted,
+	// the folded prefix when a mid-batch refusal left earlier reports in
+	// the sink.
+	Reports []Report `json:"reports,omitempty"`
+	// Folded is the number of the batch's reports folded into the sink.
+	Folded int `json:"folded,omitempty"`
+	// Bytes is the request body size read.
+	Bytes int64 `json:"bytes,omitempty"`
+
+	// Frame fields.
+
+	// Replica names the shipping replica; Lo and Hi bound its shard.
+	Replica string `json:"replica,omitempty"`
+	Lo      int    `json:"lo,omitempty"`
+	Hi      int    `json:"hi,omitempty"`
+	// Frame is the shipped counter frame (accepted shipments).
+	Frame *Frame `json:"frame,omitempty"`
+
+	// Close fields.
+
+	// OK marks a completed round; a false OK carries Err.
+	OK bool `json:"ok,omitempty"`
+	// Err is the round failure.
+	Err string `json:"err,omitempty"`
+	// Counters is the round sink's exported counter state (ok frequency
+	// rounds only).
+	Counters *Frame `json:"counters,omitempty"`
+
+	// Release fields (with T).
+
+	// Values is the released histogram or mean.
+	Values []float64 `json:"values,omitempty"`
+}
+
+// Report mirrors the serve wire report: one user's perturbed contribution
+// as it appeared on the wire. Packed unary payloads are little-endian
+// uint64 words flattened to bytes (base64 in the JSON), exactly like the
+// HTTP body, so the log is a faithful transcript.
+type Report struct {
+	User   int     `json:"user"`
+	Kind   string  `json:"kind"`
+	Value  int     `json:"value,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+	Bits   []byte  `json:"bits,omitempty"`
+	Packed []byte  `json:"packed,omitempty"`
+	Num    float64 `json:"num,omitempty"`
+}
+
+// Decode parses the logged report back into an fo.Report, mirroring the
+// serve wire decoding, so the checker re-folds exactly what the handlers
+// folded. Numeric reports have no fo representation and are rejected.
+func (r Report) Decode() (fo.Report, error) {
+	out := fo.Report{Value: r.Value, Seed: r.Seed}
+	switch r.Kind {
+	case "value":
+		out.Kind = fo.KindValue
+	case "unary":
+		out.Kind = fo.KindUnary
+		out.Bits = r.Bits
+	case "packed":
+		out.Kind = fo.KindPacked
+		if len(r.Packed)%8 != 0 {
+			return fo.Report{}, fmt.Errorf("history: packed payload of %d bytes is not a whole number of words", len(r.Packed))
+		}
+		words := make([]uint64, len(r.Packed)/8)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(r.Packed[8*i:])
+		}
+		out.Packed = words
+	case "hash":
+		out.Kind = fo.KindHash
+	case "cohort":
+		out.Kind = fo.KindCohort
+	default:
+		return fo.Report{}, fmt.Errorf("history: report kind %q has no fo representation", r.Kind)
+	}
+	return out, nil
+}
+
+// Frame is a logged fo.CounterFrame: the integer counter state of one
+// aggregator or shipment, with the shape spelled out as a string so the
+// log stays readable with text tools.
+type Frame struct {
+	Shape  string  `json:"shape"`
+	N      int     `json:"n"`
+	K      int     `json:"k,omitempty"`
+	G      int     `json:"g,omitempty"`
+	Counts []int64 `json:"counts"`
+}
+
+// FrameOf converts a counter frame for logging.
+func FrameOf(f fo.CounterFrame) *Frame {
+	return &Frame{
+		Shape:  f.Shape.String(),
+		N:      f.N,
+		K:      f.K,
+		G:      f.G,
+		Counts: append([]int64(nil), f.Counts...),
+	}
+}
+
+// CounterFrame converts the logged frame back, rejecting unknown shapes.
+func (f *Frame) CounterFrame() (fo.CounterFrame, error) {
+	out := fo.CounterFrame{N: f.N, K: f.K, G: f.G, Counts: f.Counts}
+	switch f.Shape {
+	case fo.FrameCounts.String():
+		out.Shape = fo.FrameCounts
+	case fo.FrameCohort.String():
+		out.Shape = fo.FrameCohort
+	default:
+		return fo.CounterFrame{}, fmt.Errorf("history: unknown frame shape %q", f.Shape)
+	}
+	return out, nil
+}
+
+// Equal reports whether the logged frame is bit-identical to g.
+func (f *Frame) Equal(g fo.CounterFrame) bool {
+	if f == nil {
+		return false
+	}
+	if f.Shape != g.Shape.String() || f.N != g.N || f.K != g.K || f.G != g.G || len(f.Counts) != len(g.Counts) {
+		return false
+	}
+	for i, v := range f.Counts {
+		if v != g.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Log is an open ingest log. All methods are safe for concurrent use and
+// on a nil receiver (no-ops), so instrumented code paths need no guards.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	err  error // first append failure, sticky
+}
+
+// Create truncates (or creates) the log at path and opens it for
+// appending.
+func Create(path string) (*Log, error) {
+	// O_APPEND makes every Append land at the true end of file in one
+	// write syscall, the runlog crash-safety discipline: a crash tears at
+	// most the final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	return &Log{f: f, path: path}, nil
+}
+
+// Append writes one record as a single JSONL line. Failures do not
+// propagate to the caller — an ingestion request must not fail because
+// the audit trail did — but stick and surface through Err and Close.
+func (l *Log) Append(rec Record) {
+	if l == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		l.fail(fmt.Errorf("history: marshaling %s record: %w", rec.Kind, err))
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if _, err := l.f.Write(line); err != nil {
+		l.err = fmt.Errorf("history: append to %s: %w", l.path, err)
+	}
+}
+
+// fail records the first failure.
+func (l *Log) fail(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err == nil {
+		l.err = err
+	}
+}
+
+// Err returns the first append failure, if any.
+func (l *Log) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close releases the file, returning the sticky append error (preferred)
+// or the close error.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	closeErr := l.f.Close()
+	if l.err != nil {
+		return l.err
+	}
+	return closeErr
+}
+
+// ReadAll parses the log at path. A torn final line (a crash mid-append)
+// is dropped; a torn or undecodable line anywhere else cannot result from
+// append-only writes and is reported as corruption.
+func ReadAll(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	var recs []Record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn final append
+		}
+		line := data[off : off+nl]
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Kind == "" {
+			if off+nl+1 >= len(data) {
+				break // torn final line that included a newline fragment
+			}
+			return nil, fmt.Errorf("history: %s: corrupt record at byte %d: %q", path, off, truncateLine(line))
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+	}
+	return recs, nil
+}
+
+// truncateLine bounds a corrupt line quoted in an error.
+func truncateLine(line []byte) string {
+	const max = 120
+	if len(line) <= max {
+		return string(line)
+	}
+	return string(line[:max]) + "..."
+}

@@ -206,7 +206,7 @@ func (c *Client) Serve() error {
 }
 
 // poll issues one long-poll for a round with id > after.
-func (c *Client) poll(after int64) (*roundInfo, int, error) {
+func (c *Client) poll(after int64) (*RoundInfo, int, error) {
 	wait := c.PollWait
 	if wait == 0 {
 		wait = 10 * time.Second
@@ -227,7 +227,7 @@ func (c *Client) poll(after int64) (*roundInfo, int, error) {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		return nil, resp.StatusCode, nil
 	}
-	var ri roundInfo
+	var ri RoundInfo
 	if err := json.NewDecoder(resp.Body).Decode(&ri); err != nil {
 		return nil, 0, fmt.Errorf("decoding round announcement: %w", err)
 	}
@@ -238,7 +238,7 @@ func (c *Client) poll(after int64) (*roundInfo, int, error) {
 // announcement order and with multiplicity (a user listed twice owes two
 // reports). Announcement order is the same for every client, so each
 // user's per-round randomness consumption is deterministic.
-func (c *Client) myUsers(ri *roundInfo) []int {
+func (c *Client) myUsers(ri *RoundInfo) []int {
 	if ri.Users == nil {
 		users := make([]int, c.count)
 		for i := range users {
@@ -258,7 +258,7 @@ func (c *Client) myUsers(ri *roundInfo) []int {
 // answer perturbs and posts this client's share of a round, chunked into
 // batches. A 409 means the round closed before the post landed (timed out
 // or completed via other clients' reports) — the client just moves on.
-func (c *Client) answer(ri *roundInfo) error {
+func (c *Client) answer(ri *RoundInfo) error {
 	users := c.myUsers(ri)
 	if len(users) == 0 {
 		return nil

@@ -175,7 +175,7 @@ func TestSetNextRound(t *testing.T) {
 	go func() { done <- cl.Serve() }()
 	defer cl.Close()
 
-	seen := make(chan roundInfo, 2)
+	seen := make(chan RoundInfo, 2)
 	go func() {
 		// Observe the announcements a fresh poller sees.
 		observer, err := NewClient(ts.URL, 0, n, Funcs{

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"ldpids/internal/collect"
+	"ldpids/internal/history"
 )
 
 // Defaults for Backend knobs.
@@ -81,6 +82,11 @@ type Backend struct {
 	// Health, when non-nil, is marked ready when the first round is
 	// announced; ServeHTTP also routes GET /v1/healthz to it.
 	Health *Health
+	// History, when non-nil, receives the structured ingest log: one
+	// record per round announcement, accepted or refused report batch,
+	// and round close, replayable offline by cmd/ldpids-check. Nil (the
+	// default) logs nothing.
+	History *history.Log
 
 	n int
 
@@ -298,6 +304,17 @@ func (b *Backend) Collect(req collect.Request, sink collect.Sink) error {
 	}
 	rd := newRound(b.nextID, token, req, b.n, sink)
 	b.round = rd
+	// The round record lands before the announcement (still under b.mu,
+	// which every handler crosses to see the round), so no batch record
+	// can precede its round in the log.
+	rec := history.Record{Kind: history.KindRound, Round: rd.id, Token: rd.token,
+		T: rd.t, Eps: rd.eps, Numeric: rd.numeric}
+	if rd.users == nil {
+		rec.All = true
+	} else {
+		rec.Users = rd.users
+	}
+	b.History.Append(rec)
 	old := b.announce
 	b.announce = make(chan struct{})
 	close(old) // wake long-pollers
@@ -332,6 +349,19 @@ func (b *Backend) Collect(req collect.Request, sink collect.Sink) error {
 	rd.mu.Lock()
 	err := rd.err
 	rd.mu.Unlock()
+	// The close record lands after folders.Wait, so every accepted-batch
+	// record (appended inside its fold section) precedes it in the log.
+	if b.History != nil {
+		crec := history.Record{Kind: history.KindClose, Round: rd.id, T: rd.t, OK: err == nil}
+		if err != nil {
+			crec.Err = err.Error()
+		} else if !rd.numeric {
+			if f, cErr := collect.SinkCounters(sink); cErr == nil {
+				crec.Counters = history.FrameOf(f)
+			}
+		}
+		b.History.Append(crec)
+	}
 	b.Metrics.observeRound(time.Since(start), err == nil)
 	return err
 }
@@ -445,7 +475,7 @@ func (b *Backend) handleRound(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if rd != nil && rd.id > after {
-			writeJSON(w, roundInfo{
+			writeJSON(w, RoundInfo{
 				Round: rd.id, T: rd.t, Eps: rd.eps, Numeric: rd.numeric,
 				Token: rd.token, Users: rd.users, N: b.n,
 			})
@@ -483,13 +513,30 @@ func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	body := &countingReader{inner: http.MaxBytesReader(w, r.Body, maxBody)}
 	var batch reportBatch
+	// refuse logs the batch verdict — including the prefix of reports
+	// already folded when a mid-batch failure refuses the rest — and
+	// answers the error. Logging happens before the handler returns, so
+	// a refusal that folded reports is journaled before the deferred
+	// endFold lets the round close.
+	refuse := func(status int, reason string, folded int, format string, args ...any) {
+		if b.History != nil {
+			rec := history.Record{Kind: history.KindBatch, Verdict: history.VerdictRefused,
+				Reason: reason, Status: status, Round: batch.Round, Token: batch.Token,
+				Folded: folded, Bytes: body.n}
+			if folded > 0 {
+				rec.Reports = historyReports(batch.Reports[:folded])
+			}
+			b.History.Append(rec)
+		}
+		httpError(w, status, format, args...)
+	}
 	if err := json.NewDecoder(body).Decode(&batch); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge, "serve: request body exceeds %d bytes", maxBody)
+			refuse(http.StatusRequestEntityTooLarge, history.ReasonBodyTooLarge, 0, "serve: request body exceeds %d bytes", maxBody)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "serve: malformed report batch: %v", err)
+		refuse(http.StatusBadRequest, history.ReasonMalformed, 0, "serve: malformed report batch: %v", err)
 		return
 	}
 	maxBatch := b.MaxBatch
@@ -497,41 +544,46 @@ func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
 		maxBatch = DefaultMaxBatch
 	}
 	if len(batch.Reports) > maxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge, "serve: batch of %d reports exceeds the maximum of %d", len(batch.Reports), maxBatch)
+		refuse(http.StatusRequestEntityTooLarge, history.ReasonBatchTooLarge, 0, "serve: batch of %d reports exceeds the maximum of %d", len(batch.Reports), maxBatch)
 		return
 	}
 
 	rd, _, _ := b.currentRound()
 	if rd == nil || batch.Round != rd.id ||
 		subtle.ConstantTimeCompare([]byte(batch.Token), []byte(rd.token)) != 1 {
-		httpError(w, http.StatusConflict, "serve: stale round token (round %d is not open)", batch.Round)
+		refuse(http.StatusConflict, history.ReasonStaleToken, 0, "serve: stale round token (round %d is not open)", batch.Round)
 		return
 	}
 	if err := rd.beginFold(); err != nil {
-		httpError(w, http.StatusConflict, "serve: stale round token (round %d already closed)", batch.Round)
+		refuse(http.StatusConflict, history.ReasonRoundClosed, 0, "serve: stale round token (round %d already closed)", batch.Round)
 		return
 	}
 	defer rd.endFold()
 
-	for _, wr := range batch.Reports {
+	for i, wr := range batch.Reports {
 		c, err := wr.decode(rd.numeric)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "serve: user %d: %v", wr.User, err)
+			refuse(http.StatusUnprocessableEntity, history.ReasonBadReport, i, "serve: user %d: %v", wr.User, err)
 			return
 		}
 		if err := rd.take(wr.User); err != nil {
-			httpError(w, http.StatusConflict, "%v", err)
+			refuse(http.StatusConflict, history.ReasonNotAwaited, i, "%v", err)
 			return
 		}
 		if err := rd.fold(wr.User, c); err != nil {
 			// The sink rejected the report (wrong shape for the oracle):
 			// the round cannot complete coherently, so it fails now.
 			rd.finish(fmt.Errorf("serve: user %d: %w", wr.User, err))
-			httpError(w, http.StatusUnprocessableEntity, "serve: user %d: %v", wr.User, err)
+			refuse(http.StatusUnprocessableEntity, history.ReasonBadReport, i, "serve: user %d: %v", wr.User, err)
 			return
 		}
 		b.Metrics.addReport()
 		rd.folded()
+	}
+	if b.History != nil {
+		b.History.Append(history.Record{Kind: history.KindBatch, Verdict: history.VerdictAccepted,
+			Status: http.StatusOK, Round: batch.Round, Token: batch.Token,
+			Reports: historyReports(batch.Reports), Folded: len(batch.Reports), Bytes: body.n})
 	}
 	b.Metrics.addBytes(body.n)
 	writeJSON(w, reportAck{Accepted: len(batch.Reports)})

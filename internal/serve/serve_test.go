@@ -122,7 +122,7 @@ func TestConformanceHTTPStriped(t *testing.T) {
 
 // manualRound opens a round on a bare backend (no clients) and returns its
 // announcement, so failure-path tests can post raw batches against it.
-func manualRound(t *testing.T, backend *Backend, ts *httptest.Server, req collect.Request, sink collect.Sink) (*roundInfo, chan error) {
+func manualRound(t *testing.T, backend *Backend, ts *httptest.Server, req collect.Request, sink collect.Sink) (*RoundInfo, chan error) {
 	t.Helper()
 	done := make(chan error, 1)
 	go func() { done <- backend.Collect(req, sink) }()
@@ -133,7 +133,7 @@ func manualRound(t *testing.T, backend *Backend, ts *httptest.Server, req collec
 			t.Fatal(err)
 		}
 		if resp.StatusCode == http.StatusOK {
-			var ri roundInfo
+			var ri RoundInfo
 			if err := json.NewDecoder(resp.Body).Decode(&ri); err != nil {
 				t.Fatal(err)
 			}
@@ -167,7 +167,7 @@ func postJSON(t *testing.T, ts *httptest.Server, body []byte) (int, string) {
 }
 
 // encodeBatch marshals a batch of GRR reports for the given users.
-func encodeBatch(t *testing.T, ri *roundInfo, users []int, value int) []byte {
+func encodeBatch(t *testing.T, ri *RoundInfo, users []int, value int) []byte {
 	t.Helper()
 	batch := reportBatch{Round: ri.Round, Token: ri.Token}
 	for _, u := range users {

@@ -6,13 +6,14 @@ import (
 
 	"ldpids/internal/collect"
 	"ldpids/internal/fo"
+	"ldpids/internal/history"
 )
 
-// roundInfo announces one open collection round to polling clients
+// RoundInfo announces one open collection round to polling clients
 // (GET /v1/round). Token authenticates reports into exactly this round: it
 // is fresh per round, so a captured batch cannot be replayed into a later
 // one.
-type roundInfo struct {
+type RoundInfo struct {
 	// Round is the monotonically increasing round id.
 	Round int64 `json:"round"`
 	// T is the mechanism timestamp the round collects for.
@@ -66,6 +67,18 @@ type reportAck struct {
 // wireError is the JSON error envelope of every non-2xx response.
 type wireError struct {
 	Error string `json:"error"`
+}
+
+// historyReports converts wire reports into their history transcript
+// form. The field layouts mirror each other (packed payloads are already
+// little-endian word bytes on both sides), so this is a direct copy.
+func historyReports(reports []wireReport) []history.Report {
+	out := make([]history.Report, len(reports))
+	for i, wr := range reports {
+		out[i] = history.Report{User: wr.User, Kind: wr.Kind, Value: wr.Value,
+			Seed: wr.Seed, Bits: wr.Bits, Packed: wr.Packed, Num: wr.Num}
+	}
+	return out
 }
 
 // packWords flattens uint64 words into little-endian bytes for the wire.
