@@ -35,10 +35,18 @@ func main() {
 		first       = flag.Int("first", 0, "first user id (for sharding users across processes)")
 		conns       = flag.Int("conns", 1, "connections to shard the users across")
 		numericMode = flag.Bool("numeric", false, "answer numeric mean rounds in addition to frequency rounds")
+		wireName    = flag.String("wire", "json", "report-batch encoding for -transport http: json or binary (binary falls back to json on a 415)")
 	)
 	flag.Parse()
 	if *conns < 1 || *conns > *n {
 		log.Fatalf("-conns must be in [1, %d], got %d", *n, *conns)
+	}
+	wire, err := serve.ParseWire(*wireName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if wire != serve.WireJSON && *mode != "http" {
+		log.Fatalf("-wire %s needs -transport http; the tcp transport has its own framing", wire)
 	}
 
 	o, err := fo.New(*oracle, *d)
@@ -64,7 +72,7 @@ func main() {
 		if count == 0 {
 			continue
 		}
-		serveConn, err := connect(*mode, *addr, start, count, report, numericReport)
+		serveConn, err := connect(*mode, *addr, wire, start, count, report, numericReport)
 		if err != nil {
 			log.Fatalf("users [%d,%d): %v", start, start+count, err)
 		}
@@ -83,7 +91,7 @@ func main() {
 
 // connect registers users [first, first+count) with the aggregator over
 // the chosen transport and returns the connection's serve loop.
-func connect(mode, addr string, first, count int, report func(int, int, float64) fo.Report, numericReport func(int, int, float64) float64) (func() error, error) {
+func connect(mode, addr string, wire serve.Wire, first, count int, report func(int, int, float64) fo.Report, numericReport func(int, int, float64) float64) (func() error, error) {
 	switch mode {
 	case "tcp":
 		c, err := transport.NewClient(addr, first, count, transport.Funcs{
@@ -106,6 +114,7 @@ func connect(mode, addr string, first, count int, report func(int, int, float64)
 		if err != nil {
 			return nil, err
 		}
+		c.Wire = wire
 		return c.Serve, nil
 	default:
 		log.Fatalf("unknown -transport %q (want tcp or http)", mode)

@@ -79,12 +79,21 @@ import (
 type gatewayFlags struct {
 	addr, backend, method, oracleName string
 	role, peers, shard, name, out     string
-	ingestLog                         string
+	ingestLog, wire                   string
 	n, d, w, T                        int
 	eps                               float64
 	seed, clientSeed                  uint64
 	timeout, interval                 time.Duration
 	isMean                            bool
+}
+
+// parseWire resolves the -wire flag, fataling on unknown values.
+func (f gatewayFlags) parseWire() serve.Wire {
+	w, err := serve.ParseWire(f.wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w
 }
 
 func main() {
@@ -109,6 +118,7 @@ func main() {
 	flag.StringVar(&f.peers, "peers", "", "coordinator base URL for -role replica, e.g. http://127.0.0.1:7900")
 	flag.StringVar(&f.shard, "shard", "", "user shard lo:hi for -role replica")
 	flag.StringVar(&f.name, "name", "", "replica name, stable across restarts (-role replica; default replica-<lo>-<hi>)")
+	flag.StringVar(&f.wire, "wire", "json", "report-batch encoding this deployment's clients post: json or binary (the server accepts both; this sets the byte accounting)")
 	flag.Parse()
 	if f.n < 1 || f.d < 1 {
 		log.Fatalf("population and domain must be positive, got -n %d -d %d", f.n, f.d)
@@ -242,6 +252,7 @@ func runSingle(f gatewayFlags) {
 		b.Timeout = f.timeout
 		b.Metrics = metrics
 		b.Health = health
+		b.Wire = f.parseWire()
 		collector, ingest = b, b
 	case "sim":
 		if f.ingestLog != "" {
@@ -418,6 +429,7 @@ func runReplica(f gatewayFlags) {
 		Lo:          lo,
 		Hi:          hi,
 		Backend:     b,
+		Wire:        f.parseWire(),
 		Logf:        log.Printf,
 	}
 	if err := rep.Run(ctx); err != nil {

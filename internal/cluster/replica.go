@@ -42,6 +42,11 @@ type Replica struct {
 	// Backend is the HTTP ingestion backend devices report to. Its
 	// population must equal the coordinator's.
 	Backend *serve.Backend
+	// Wire declares the encoding this shard's device clients post with
+	// (serve.WireJSON or serve.WireBinary); Run applies it to the
+	// Backend's byte accounting. The backend accepts both encodings per
+	// POST regardless.
+	Wire serve.Wire
 	// Retry schedules delays between retries of transient coordinator
 	// failures. Nil selects a default Backoff seeded from Name, so two
 	// replicas never share a jitter stream.
@@ -111,6 +116,9 @@ func (r *Replica) Run(ctx context.Context) error {
 	}
 	if r.hc == nil {
 		r.hc = &http.Client{}
+	}
+	if r.Wire != "" {
+		r.Backend.Wire = r.Wire
 	}
 	for {
 		if ctx.Err() != nil {

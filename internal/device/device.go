@@ -9,7 +9,10 @@
 // in-process. Seed derivation is identical everywhere (one root source
 // split per device, in id order), so a networked run and an in-process run
 // with the same seeds produce bit-identical perturbed report streams — the
-// property CI's gateway-smoke job checks end to end.
+// property CI's gateway-smoke job checks end to end. Devices are also
+// wire-independent: randomness is consumed per report, never per byte, so
+// the HTTP client's -wire json and -wire binary encodings carry the same
+// perturbed reports and fold to the same counters.
 package device
 
 import (

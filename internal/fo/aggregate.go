@@ -171,6 +171,7 @@ type unaryAggregator struct {
 	d    int
 	name string
 	countCore
+	packed *packedAccumulator // lazily allocated on the first packed report
 }
 
 // NewAggregator implements Oracle for both unary schemes. The aggregator
@@ -207,19 +208,193 @@ func (a *unaryAggregator) Add(r Report) error {
 				return fmt.Errorf("fo: %s packed report sets bits beyond domain %d", a.name, a.d)
 			}
 		}
-		for wi, w := range r.Packed {
-			base := wi << 6
-			for ones := bits.OnesCount64(w); ones > 0; ones-- {
-				k := bits.TrailingZeros64(w)
-				a.counts[base+k]++
-				w &= w - 1
-			}
+		if a.packed == nil {
+			a.packed = newPackedAccumulator(len(r.Packed))
+		}
+		a.packed.add(r.Packed)
+		if a.packed.depth > maxPlaneDepth-batchReports {
+			a.packed.flushInto(a.counts)
 		}
 	default:
 		return fmt.Errorf("fo: %s aggregator got %s report, want unary or packed", a.name, r.Kind)
 	}
 	a.n++
 	return nil
+}
+
+// flush drains any pending packed-report planes into the flat counters.
+// Every read of a.counts outside Add must flush first.
+func (a *unaryAggregator) flush() {
+	if a.packed != nil {
+		a.packed.flushInto(a.counts)
+	}
+}
+
+// Estimate implements Aggregator, flushing pending packed planes so the
+// shared countCore finish sees complete counters.
+func (a *unaryAggregator) Estimate() ([]float64, error) {
+	a.flush()
+	return a.countCore.Estimate()
+}
+
+// core shadows countCore.core so mergeShard (on either side of a merge)
+// reads flushed counters.
+func (a *unaryAggregator) core() *countCore {
+	a.flush()
+	return &a.countCore
+}
+
+// exportFrame shadows countCore.exportFrame: shipped frames must carry
+// flushed counters.
+func (a *unaryAggregator) exportFrame() (CounterFrame, error) {
+	a.flush()
+	return a.countCore.exportFrame()
+}
+
+// maxPlaneDepth is the packed-report capacity of one set of bit planes:
+// with 8 planes per word, 255 one-bit additions cannot carry out of the
+// top plane. Planes drain whenever another full batch could overflow
+// them, so depth never exceeds maxPlaneDepth.
+const maxPlaneDepth = 255
+
+// batchReports is the carry-save batch width: reports are buffered and
+// folded into the planes batchReports at a time through an adder tree.
+const batchReports = 8
+
+// packedAccumulator folds bit-packed unary reports by vertical counting:
+// instead of walking the set bits of every report into the flat int64
+// counters (O(d) random increments per report at OUE densities), it keeps
+// 8 bit-planes per packed word — plane i holds bit i of 64 lane counters.
+// Reports buffer in groups of batchReports; a carry-save adder tree
+// (Harley–Seal counting) compresses each full group into a 4-bit vertical
+// sum per word in straight-line register arithmetic, and only that sum
+// ripples into the planes — one plane pass per 8 reports instead of one
+// branchy ripple walk per report. Planes drain into the flat counters
+// before they can overflow and before any counter read. The drained
+// result is the exact per-element sum, so vertical counting is a pure
+// reordering of integer additions and cannot change any estimate bit.
+type packedAccumulator struct {
+	depth  int      // reports folded into planes since the last flush
+	nbuf   int      // reports buffered and not yet folded, < batchReports
+	buf    []uint64 // batchReports report slots of len(planes)/8 words each
+	planes []uint64 // 8 planes per word: planes[8*w+i] is plane i of word w
+}
+
+func newPackedAccumulator(words int) *packedAccumulator {
+	return &packedAccumulator{
+		buf:    make([]uint64, batchReports*words),
+		planes: make([]uint64, 8*words),
+	}
+}
+
+// add buffers one validated packed report, folding a full batch through
+// the adder tree. The caller flushes when depth nears maxPlaneDepth.
+func (p *packedAccumulator) add(words []uint64) {
+	copy(p.buf[p.nbuf*len(words):], words)
+	p.nbuf++
+	if p.nbuf == batchReports {
+		p.foldBatch()
+	}
+}
+
+// foldBatch compresses the batchReports buffered reports into the planes:
+// a carry-save adder tree counts the 8 one-bit inputs of every lane into
+// a 4-bit vertical sum, which then ripples into the planes once.
+func (p *packedAccumulator) foldBatch() {
+	nw := len(p.planes) / 8
+	b := p.buf
+	for wi := 0; wi < nw; wi++ {
+		x0, x1, x2, x3 := b[wi], b[nw+wi], b[2*nw+wi], b[3*nw+wi]
+		x4, x5, x6, x7 := b[4*nw+wi], b[5*nw+wi], b[6*nw+wi], b[7*nw+wi]
+		// Three carry-save adders reduce the eight weight-1 inputs to
+		// two weight-1 bits and three weight-2 carries ...
+		t := x0 ^ x1
+		a0 := t ^ x2
+		a1 := (x0 & x1) | (t & x2)
+		t = x3 ^ x4
+		b0 := t ^ x5
+		b1 := (x3 & x4) | (t & x5)
+		t = x6 ^ x7
+		c0 := t ^ a0
+		c1 := (x6 & x7) | (t & a0)
+		// ... a half adder finishes weight 1 ...
+		s0 := b0 ^ c0
+		d1 := b0 & c0
+		// ... and the weight-2 and weight-4 layers compress the carries
+		// into one bit per weight: (s0, s1, s2, s3) is the 4-bit count.
+		t = a1 ^ b1
+		e1 := t ^ c1
+		e2 := (a1 & b1) | (t & c1)
+		s1 := e1 ^ d1
+		f2 := e1 & d1
+		s2 := e2 ^ f2
+		s3 := e2 & f2
+		// Ripple the 4-bit lane counts into the planes in one pass.
+		pl := p.planes[8*wi : 8*wi+8 : 8*wi+8]
+		t = pl[0]
+		pl[0] = t ^ s0
+		carry := t & s0
+		t = pl[1]
+		u := t ^ s1
+		pl[1] = u ^ carry
+		carry = (t & s1) | (u & carry)
+		t = pl[2]
+		u = t ^ s2
+		pl[2] = u ^ carry
+		carry = (t & s2) | (u & carry)
+		t = pl[3]
+		u = t ^ s3
+		pl[3] = u ^ carry
+		carry = (t & s3) | (u & carry)
+		for i := 4; carry != 0; i++ {
+			t = pl[i]
+			pl[i] = t ^ carry
+			carry = t & carry
+		}
+	}
+	p.nbuf = 0
+	p.depth += batchReports
+}
+
+// addSingle folds one buffered report into the planes with a word-wide
+// ripple carry; flushInto uses it for the partial batch left in the
+// buffer.
+func (p *packedAccumulator) addSingle(words []uint64) {
+	p.depth++
+	for wi, w := range words {
+		if w == 0 {
+			continue
+		}
+		pl := p.planes[8*wi : 8*wi+8 : 8*wi+8]
+		for i := 0; w != 0; i++ {
+			pl[i], w = pl[i]^w, pl[i]&w
+		}
+	}
+}
+
+// flushInto drains the buffered reports and the planes into flat
+// per-element counters and resets them.
+func (p *packedAccumulator) flushInto(counts []int64) {
+	nw := len(p.planes) / 8
+	for j := 0; j < p.nbuf; j++ {
+		p.addSingle(p.buf[j*nw : (j+1)*nw])
+	}
+	p.nbuf = 0
+	if p.depth == 0 {
+		return
+	}
+	for wi := 0; wi < nw; wi++ {
+		pl := p.planes[8*wi : 8*wi+8]
+		base := wi << 6
+		for i, plane := range pl {
+			weight := int64(1) << uint(i)
+			for ; plane != 0; plane &= plane - 1 {
+				counts[base+bits.TrailingZeros64(plane)] += weight
+			}
+			pl[i] = 0
+		}
+	}
+	p.depth = 0
 }
 
 // ---------------------------------------------------------------------------

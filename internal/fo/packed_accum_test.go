@@ -1,0 +1,127 @@
+package fo
+
+import (
+	"math"
+	"testing"
+
+	"ldpids/internal/ldprand"
+)
+
+// packedReports perturbs n packed OUE reports for domain d.
+func packedReports(o Oracle, n, d int, src *ldprand.Source) []Report {
+	reports := make([]Report, n)
+	for i := range reports {
+		reports[i] = o.Perturb(i%d, 1.0, src)
+	}
+	return reports
+}
+
+// TestPackedAccumulatorBitIdentical proves vertical bit-plane counting is
+// a pure reordering of integer additions: folding packed reports through
+// the plane accumulator (including partial planes pending at read time)
+// yields counters and estimates bit-identical to the byte-per-element
+// unary path on the same payloads, across flush boundaries, exportFrame,
+// and mergeShard.
+func TestPackedAccumulatorBitIdentical(t *testing.T) {
+	const d = 131 // odd tail word exercises the partial last word
+	o := NewOUEPacked(d)
+	// 3*maxPlaneDepth+17 reports: several full flushes plus a pending
+	// partial set of planes at every read below.
+	reports := packedReports(o, 3*maxPlaneDepth+17, d, ldprand.New(11))
+
+	packedAgg, err := o.NewAggregator(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unaryAgg, err := NewOUE(d).NewAggregator(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if err := packedAgg.Add(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := unaryAgg.Add(Report{Kind: KindUnary, Value: -1, Bits: UnpackBits(r.Packed, d)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// exportFrame with pending planes must carry the full counters.
+	pf, err := ExportCounters(packedAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := ExportCounters(unaryAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Counts) != len(uf.Counts) {
+		t.Fatalf("frame shapes differ: %d vs %d", len(pf.Counts), len(uf.Counts))
+	}
+	for k := range pf.Counts {
+		if pf.Counts[k] != uf.Counts[k] {
+			t.Fatalf("counts[%d] = %d via planes, %d via bytes", k, pf.Counts[k], uf.Counts[k])
+		}
+	}
+
+	want, err := unaryAgg.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := packedAgg.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("estimate[%d] = %v via planes, %v via bytes", k, got[k], want[k])
+		}
+	}
+}
+
+// TestPackedAccumulatorMergePending folds packed reports into two
+// aggregators and merges them while both still hold pending planes: the
+// merge must see flushed counters on both sides.
+func TestPackedAccumulatorMergePending(t *testing.T) {
+	const d = 64
+	o := NewOUEPacked(d)
+	src := ldprand.New(5)
+	reports := packedReports(o, 2*maxPlaneDepth+31, d, src)
+
+	reference, err := o.NewAggregator(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	striped, err := NewStripedAggregator(o, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reports {
+		if err := reference.Add(r); err != nil {
+			t.Fatal(err)
+		}
+		// Uneven stripe spread: every stripe ends with pending planes.
+		if err := striped.AddStripe(i%3, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := reference.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := striped.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("estimate lengths differ: %d vs %d", len(got), len(want))
+	}
+	for k := range want {
+		if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("estimate[%d] = %v striped, %v plain", k, got[k], want[k])
+		}
+	}
+	if got, want := striped.Reports(), len(reports); got != want {
+		t.Fatalf("striped folded %d reports, want %d", got, want)
+	}
+}

@@ -75,6 +75,10 @@ const (
 	ReasonBodyTooLarge = "body-too-large"
 	// ReasonBatchTooLarge is a batch over the report-count cap.
 	ReasonBatchTooLarge = "batch-too-large"
+	// ReasonUnsupportedWire is a batch posted under a content type the
+	// server does not speak (415; the client falls back to JSON). The
+	// body is never read, so the record carries no round or token.
+	ReasonUnsupportedWire = "unsupported-wire"
 	// ReasonStaleToken is a batch or frame whose (round, token) pair does
 	// not authenticate against the open round: a replay, a forgery, or a
 	// post into a closed round.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,7 +18,9 @@ import (
 // Adversary is a hostile client for protocol testing: it hosts users
 // like Client but, instead of a serve loop, exposes one method per
 // attack — token replays, forged and stale tokens, duplicate reports,
-// oversized batches, malformed bodies, mid-post disconnects. Every
+// oversized batches, malformed bodies, mid-post disconnects, and
+// binary-framing corruption (bad magic, truncated frames, lying length
+// fields). Every
 // attack returns the HTTP status the aggregator answered, so a test (or
 // the offline checker, via the backend's ingest history) can prove each
 // hostile request was refused and never influenced a counter. The
@@ -253,4 +256,73 @@ func (a *Adversary) post(batch reportBatch) (int, error) {
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
 	return resp.StatusCode, nil
+}
+
+// ---------------------------------------------------------------------------
+// Binary-wire attacks: each builds an honest binary batch for the round
+// and corrupts exactly one framing property, so the refusal pins the
+// specific validation that caught it.
+// ---------------------------------------------------------------------------
+
+// binaryAmmo encodes an honest binary batch for the round's hosted users.
+func (a *Adversary) binaryAmmo(ri *RoundInfo) ([]byte, error) {
+	users := a.myUsers(ri)
+	if len(users) == 0 {
+		users = []int{a.first}
+	}
+	return encodeBinary(a.batchFor(ri, users))
+}
+
+// postBinary sends raw bytes under the binary content type.
+func (a *Adversary) postBinary(body []byte) (int, error) {
+	resp, err := a.hc.Post(a.base+"/v1/report", ContentTypeBinary, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// BinaryBadMagic posts an honest binary batch whose magic bytes are
+// corrupted. It must be refused (400) before any report is examined.
+func (a *Adversary) BinaryBadMagic(ri *RoundInfo) (int, error) {
+	body, err := a.binaryAmmo(ri)
+	if err != nil {
+		return 0, err
+	}
+	body[0] ^= 0xff
+	return a.postBinary(body)
+}
+
+// BinaryTruncated posts an honest binary batch cut off mid-word — the
+// Content-Length is honest for the truncated body, so the framing itself
+// is the lie. It must be refused (400) with nothing folded, even though
+// a prefix of its reports parses cleanly.
+func (a *Adversary) BinaryTruncated(ri *RoundInfo) (int, error) {
+	body, err := a.binaryAmmo(ri)
+	if err != nil {
+		return 0, err
+	}
+	if len(body) < 4 {
+		return 0, fmt.Errorf("serve: binary batch too short to truncate")
+	}
+	return a.postBinary(body[:len(body)-3])
+}
+
+// BinaryLengthLie posts a binary batch whose packed report inflates its
+// word-count field far past the bytes actually present. The bounds check
+// must refuse it (400) instead of reading out of the frame.
+func (a *Adversary) BinaryLengthLie(ri *RoundInfo) (int, error) {
+	batch := reportBatch{Round: ri.Round, Token: ri.Token, Reports: []wireReport{
+		{User: a.first, Kind: "packed", Value: -1, Packed: make([]byte, 8)},
+	}}
+	body, err := encodeBinary(batch)
+	if err != nil {
+		return 0, err
+	}
+	// The word count is the 4 bytes before the report's 8 payload bytes;
+	// claim 2^30 words with one word present.
+	binary.LittleEndian.PutUint32(body[len(body)-12:], 1<<30)
+	return a.postBinary(body)
 }

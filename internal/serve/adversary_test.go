@@ -122,6 +122,21 @@ func TestAdversaryScheduleAudited(t *testing.T) {
 	}
 	st, err = adv.StaleRound(ri2)
 	mustStatus("stale-round batch", st, err, http.StatusConflict)
+	// Binary-wire attacks: corrupted magic, a frame cut mid-word, and a
+	// lying length field must all be refused structurally (400), and an
+	// unknown content type turned away unread (415).
+	st, err = adv.BinaryBadMagic(ri2)
+	mustStatus("binary bad magic", st, err, http.StatusBadRequest)
+	st, err = adv.BinaryTruncated(ri2)
+	mustStatus("binary truncated frame", st, err, http.StatusBadRequest)
+	st, err = adv.BinaryLengthLie(ri2)
+	mustStatus("binary length lie", st, err, http.StatusBadRequest)
+	resp, err := http.Post(ts.URL+"/v1/report", "application/x-unknown", strings.NewReader("?"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	mustStatus("unknown content type", resp.StatusCode, nil, http.StatusUnsupportedMediaType)
 	if err := adv.TruncatedPost(ri2); err != nil {
 		t.Fatalf("truncated post: %v", err)
 	}
@@ -146,9 +161,9 @@ func TestAdversaryScheduleAudited(t *testing.T) {
 	}
 	wg.Wait()
 
-	// The truncated post's refusal lands asynchronously; wait for all 7
+	// The truncated post's refusal lands asynchronously; wait for all 11
 	// hostile requests to be journaled.
-	const wantRefused = 7
+	const wantRefused = 11
 	var recs []history.Record
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -181,12 +196,16 @@ func TestAdversaryScheduleAudited(t *testing.T) {
 	if s.RefusedBatches != wantRefused {
 		t.Errorf("refused batches = %d, want %d (%v)", s.RefusedBatches, wantRefused, s.Refusals)
 	}
-	// Deterministic refusal reasons: the malformed body and the
-	// truncated post decode-fail, the oversize trips the batch cap, the
-	// forged and stale tokens fail authentication, the duplicate report
-	// finds its slot consumed.
-	if s.Refusals[history.ReasonMalformed] != 2 {
-		t.Errorf("malformed refusals = %d, want 2 (%v)", s.Refusals[history.ReasonMalformed], s.Refusals)
+	// Deterministic refusal reasons: the malformed body, the truncated
+	// post, and the three binary-framing attacks decode-fail, the
+	// oversize trips the batch cap, the forged and stale tokens fail
+	// authentication, the duplicate report finds its slot consumed, and
+	// the unknown content type is turned away unread.
+	if s.Refusals[history.ReasonMalformed] != 5 {
+		t.Errorf("malformed refusals = %d, want 5 (%v)", s.Refusals[history.ReasonMalformed], s.Refusals)
+	}
+	if s.Refusals[history.ReasonUnsupportedWire] != 1 {
+		t.Errorf("unsupported-wire refusals = %d, want 1 (%v)", s.Refusals[history.ReasonUnsupportedWire], s.Refusals)
 	}
 	if s.Refusals[history.ReasonBatchTooLarge] != 1 {
 		t.Errorf("batch-too-large refusals = %d, want 1 (%v)", s.Refusals[history.ReasonBatchTooLarge], s.Refusals)

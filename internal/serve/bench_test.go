@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,8 +19,9 @@ import (
 // BenchmarkHTTPFold measures ingestion throughput through POST /v1/report
 // at d=65536: one pre-encoded batch of perturbed reports per round, folded
 // into shard-local fo.StripedAggregator stripes by the handler. The
-// reported reports/s includes HTTP transport, JSON+base64 decoding, and
-// the fold itself — the full server-side cost of one uploaded report.
+// reported reports/s includes HTTP transport, batch decoding (JSON+base64
+// or the binary framing, per the -wire suffix), and the fold itself — the
+// full server-side cost of one uploaded report.
 //
 //	go test -bench BenchmarkHTTPFold -run xxx ./internal/serve
 func BenchmarkHTTPFold(b *testing.B) {
@@ -31,9 +33,12 @@ func BenchmarkHTTPFold(b *testing.B) {
 	for _, tc := range []struct {
 		name   string
 		oracle fo.Oracle
+		wire   Wire
 	}{
-		{"OUE-packed-d65536", fo.NewOUEPacked(d)},
-		{"OLH-C-d65536", fo.NewOLHC(d)},
+		{"OUE-packed-d65536", fo.NewOUEPacked(d), WireJSON},
+		{"OLH-C-d65536", fo.NewOLHC(d), WireJSON},
+		{"OUE-packed-d65536-binary", fo.NewOUEPacked(d), WireBinary},
+		{"OLH-C-d65536-binary", fo.NewOLHC(d), WireBinary},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			backend, err := NewBackend(batch)
@@ -57,16 +62,31 @@ func BenchmarkHTTPFold(b *testing.B) {
 					Report: tc.oracle.Perturb(u%d, eps, src),
 				})
 			}
-			reportsJSON, err := json.Marshal(reports)
-			if err != nil {
-				b.Fatal(err)
-			}
-			body := func(round int64) []byte {
-				var buf bytes.Buffer
-				fmt.Fprintf(&buf, `{"round":%d,"token":"bench","reports":`, round)
-				buf.Write(reportsJSON)
-				buf.WriteByte('}')
-				return buf.Bytes()
+			var body func(round int64) []byte
+			contentType := ContentTypeJSON
+			if tc.wire == WireBinary {
+				contentType = ContentTypeBinary
+				frame, err := encodeBinary(reportBatch{Round: 0, Token: "bench", Reports: reports})
+				if err != nil {
+					b.Fatal(err)
+				}
+				body = func(round int64) []byte {
+					// The round id sits at a fixed offset after magic+version.
+					binary.LittleEndian.PutUint64(frame[5:], uint64(round))
+					return frame
+				}
+			} else {
+				reportsJSON, err := json.Marshal(reports)
+				if err != nil {
+					b.Fatal(err)
+				}
+				body = func(round int64) []byte {
+					var buf bytes.Buffer
+					fmt.Fprintf(&buf, `{"round":%d,"token":"bench","reports":`, round)
+					buf.Write(reportsJSON)
+					buf.WriteByte('}')
+					return buf.Bytes()
+				}
 			}
 			client := ts.Client()
 
@@ -90,7 +110,7 @@ func BenchmarkHTTPFold(b *testing.B) {
 					}
 					time.Sleep(10 * time.Microsecond)
 				}
-				resp, err := client.Post(ts.URL+"/v1/report", "application/json",
+				resp, err := client.Post(ts.URL+"/v1/report", contentType,
 					bytes.NewReader(body(int64(i+1))))
 				if err != nil {
 					b.Fatal(err)
@@ -108,4 +128,68 @@ func BenchmarkHTTPFold(b *testing.B) {
 			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "reports/s")
 		})
 	}
+}
+
+// BenchmarkBinaryDecodeFold isolates the steady-state server decode+fold
+// path of the binary wire — header parse, structural validation, packed
+// decode into pooled scratch, stripe fold — without HTTP. With the pools
+// warm this path must not allocate: -benchmem should report ~0 allocs/op.
+//
+//	go test -bench BenchmarkBinaryDecodeFold -benchmem -run xxx ./internal/serve
+func BenchmarkBinaryDecodeFold(b *testing.B) {
+	const (
+		d     = 65536
+		batch = 256
+		eps   = 1.0
+	)
+	oracle := fo.NewOUEPacked(d)
+	src := ldprand.New(7)
+	reports := make([]wireReport, batch)
+	for u := range reports {
+		reports[u] = encodeContribution(u, collect.Contribution{
+			Report: oracle.Perturb(u%d, eps, src),
+		})
+	}
+	frame, err := encodeBinary(reportBatch{Round: 1, Token: "bench", Reports: reports})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg, err := fo.NewStripedAggregator(oracle, eps, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := collect.AggregatorSink{Agg: agg}
+	stripes := sink.Stripes()
+
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb, err := parseBinaryHeader(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := validateBinaryReports(bb.reports, bb.count); err != nil {
+			b.Fatal(err)
+		}
+		scratch := wordBufPool.Get().(*[]uint64)
+		off := 0
+		for j := 0; j < bb.count; j++ {
+			br, next, err := parseBinaryReport(bb.reports, off)
+			if err != nil {
+				b.Fatal(err)
+			}
+			off = next
+			c, err := br.contribution(false, scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sink.AbsorbStripe(br.user%stripes, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wordBufPool.Put(scratch)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "reports/s")
 }

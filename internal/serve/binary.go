@@ -1,0 +1,440 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+
+	"ldpids/internal/collect"
+	"ldpids/internal/fo"
+	"ldpids/internal/history"
+)
+
+// Content types negotiated on POST /v1/report. Negotiation is per batch:
+// a client advertises an encoding by posting with its content type; a
+// server that does not speak it answers 415 (Unsupported Media Type) and
+// the client falls back to JSON, which every server speaks.
+const (
+	// ContentTypeJSON is the compatible default batch encoding: a JSON
+	// envelope whose bit-packed payloads travel as base64.
+	ContentTypeJSON = "application/json"
+	// ContentTypeBinary is the negotiated flat little-endian batch
+	// framing: the batch header followed by packed-word payloads exactly
+	// as fo lays them out — no base64, no per-report JSON.
+	ContentTypeBinary = "application/x-ldpids-batch"
+)
+
+// Wire names a report-batch encoding, for -wire flags and the byte
+// accounting of Backend.FrameOverhead.
+type Wire string
+
+const (
+	// WireJSON selects the JSON+base64 batch encoding (the default).
+	WireJSON Wire = "json"
+	// WireBinary selects the flat little-endian batch framing.
+	WireBinary Wire = "binary"
+)
+
+// ParseWire parses a -wire flag value.
+func ParseWire(s string) (Wire, error) {
+	switch Wire(s) {
+	case "", WireJSON:
+		return WireJSON, nil
+	case WireBinary:
+		return WireBinary, nil
+	default:
+		return "", fmt.Errorf("serve: unknown wire %q (want json or binary)", s)
+	}
+}
+
+// The binary batch framing (all integers little-endian):
+//
+//	magic   "LDPB"                        4 bytes
+//	version 0x01                          1 byte
+//	round   int64                         8 bytes
+//	token   length byte + raw bytes       1 + len
+//	count   uint32                        4 bytes
+//	count reports, each:
+//	  user  uint32                        4 bytes
+//	  kind  byte                          1 byte
+//	  payload by kind:
+//	    value    value int32              4 bytes
+//	    unary    len uint32 + len bytes   4 + len
+//	    packed   words uint32 + 8*words   4 + 8*words (fo packed layout)
+//	    hash     value int32 + seed       4 + 8 bytes
+//	    cohort   value int32 + cohort     4 + 8 bytes
+//	    numeric  float64 bits             8 bytes
+//
+// Unary and packed reports decode to Value -1, the in-memory convention;
+// trailing bytes after the last report are malformed.
+const (
+	binaryMagic   = "LDPB"
+	binaryVersion = 1
+)
+
+// Binary kind tags. These are wire constants: their values are part of
+// the format and must never be renumbered.
+const (
+	bwValue   = 0
+	bwUnary   = 1
+	bwPacked  = 2
+	bwHash    = 3
+	bwCohort  = 4
+	bwNumeric = 5
+)
+
+// binaryKindName maps a kind tag to the kind string used by the JSON wire
+// and the history journal, so both wires journal identical canonical
+// batches.
+func binaryKindName(kind byte) string {
+	switch kind {
+	case bwValue:
+		return "value"
+	case bwUnary:
+		return "unary"
+	case bwPacked:
+		return "packed"
+	case bwHash:
+		return "hash"
+	case bwCohort:
+		return "cohort"
+	case bwNumeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("kind-%d", kind)
+	}
+}
+
+// le32/le64 append little-endian integers.
+func le32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func le64(buf []byte, v uint64) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// encodeBinary renders one report batch in the binary framing. Packed
+// payloads are already little-endian word bytes in wireReport, so they
+// copy straight onto the wire.
+func encodeBinary(batch reportBatch) ([]byte, error) {
+	if len(batch.Token) > 255 {
+		return nil, fmt.Errorf("serve: round token of %d bytes exceeds the binary framing's 255", len(batch.Token))
+	}
+	buf := make([]byte, 0, 18+len(batch.Token)+17*len(batch.Reports))
+	buf = append(buf, binaryMagic...)
+	buf = append(buf, binaryVersion)
+	buf = le64(buf, uint64(batch.Round))
+	buf = append(buf, byte(len(batch.Token)))
+	buf = append(buf, batch.Token...)
+	buf = le32(buf, uint32(len(batch.Reports)))
+	for _, wr := range batch.Reports {
+		if wr.User < 0 || int64(wr.User) > math.MaxUint32 {
+			return nil, fmt.Errorf("serve: user id %d outside the binary framing's uint32 range", wr.User)
+		}
+		buf = le32(buf, uint32(wr.User))
+		switch wr.Kind {
+		case "value":
+			buf = append(buf, bwValue)
+			buf = le32(buf, uint32(int32(wr.Value)))
+		case "unary":
+			buf = append(buf, bwUnary)
+			buf = le32(buf, uint32(len(wr.Bits)))
+			buf = append(buf, wr.Bits...)
+		case "packed":
+			if len(wr.Packed)%8 != 0 {
+				return nil, fmt.Errorf("serve: packed payload of %d bytes is not a whole number of words", len(wr.Packed))
+			}
+			buf = append(buf, bwPacked)
+			buf = le32(buf, uint32(len(wr.Packed)/8))
+			buf = append(buf, wr.Packed...)
+		case "hash":
+			buf = append(buf, bwHash)
+			buf = le32(buf, uint32(int32(wr.Value)))
+			buf = le64(buf, wr.Seed)
+		case "cohort":
+			buf = append(buf, bwCohort)
+			buf = le32(buf, uint32(int32(wr.Value)))
+			buf = le64(buf, wr.Seed)
+		case "numeric":
+			buf = append(buf, bwNumeric)
+			buf = le64(buf, math.Float64bits(wr.Num))
+		default:
+			return nil, fmt.Errorf("serve: cannot binary-encode report kind %q", wr.Kind)
+		}
+	}
+	return buf, nil
+}
+
+// binaryBatch is the parsed header of a binary batch. token and reports
+// alias the request body buffer — they are only valid while it is.
+type binaryBatch struct {
+	round   int64
+	token   []byte
+	count   int
+	reports []byte // the raw report region after the header
+}
+
+// parseBinaryHeader parses and validates the batch header, leaving the
+// raw report region for validateBinaryReports (the caller checks the
+// report count against its batch cap first, so a hostile count cannot
+// buy a long validation walk).
+func parseBinaryHeader(data []byte) (binaryBatch, error) {
+	var b binaryBatch
+	if len(data) < len(binaryMagic)+1 {
+		return b, fmt.Errorf("serve: binary batch of %d bytes is shorter than its magic", len(data))
+	}
+	if string(data[:4]) != binaryMagic {
+		return b, fmt.Errorf("serve: bad binary batch magic %q", data[:4])
+	}
+	if data[4] != binaryVersion {
+		return b, fmt.Errorf("serve: unknown binary batch version %d", data[4])
+	}
+	off := 5
+	if len(data)-off < 9 {
+		return b, fmt.Errorf("serve: binary batch truncated in its header")
+	}
+	b.round = int64(binary.LittleEndian.Uint64(data[off:]))
+	off += 8
+	tokenLen := int(data[off])
+	off++
+	if len(data)-off < tokenLen+4 {
+		return b, fmt.Errorf("serve: binary batch truncated in its token")
+	}
+	b.token = data[off : off+tokenLen]
+	off += tokenLen
+	b.count = int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	b.reports = data[off:]
+	return b, nil
+}
+
+// binaryReport is one parsed report. bits and packed alias the request
+// body buffer.
+type binaryReport struct {
+	user   int
+	kind   byte
+	value  int
+	seed   uint64
+	num    float64
+	bits   []byte
+	packed []byte // 8*words little-endian bytes, the fo packed layout
+}
+
+// parseBinaryReport parses the report at data[off:], returning it and the
+// offset of the next one. Every length field is bounds-checked against
+// the remaining bytes, so a lying length cannot reach past the body.
+func parseBinaryReport(data []byte, off int) (binaryReport, int, error) {
+	var br binaryReport
+	if len(data)-off < 5 {
+		return br, 0, fmt.Errorf("serve: binary report truncated in its header")
+	}
+	br.user = int(binary.LittleEndian.Uint32(data[off:]))
+	br.kind = data[off+4]
+	off += 5
+	need := func(n int) bool { return len(data)-off >= n }
+	switch br.kind {
+	case bwValue:
+		if !need(4) {
+			return br, 0, fmt.Errorf("serve: value report truncated")
+		}
+		br.value = int(int32(binary.LittleEndian.Uint32(data[off:])))
+		off += 4
+	case bwUnary:
+		if !need(4) {
+			return br, 0, fmt.Errorf("serve: unary report truncated in its length")
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		if uint64(n) > uint64(len(data)-off) {
+			return br, 0, fmt.Errorf("serve: unary report claims %d bytes, only %d remain", n, len(data)-off)
+		}
+		br.value = -1
+		br.bits = data[off : off+int(n)]
+		off += int(n)
+	case bwPacked:
+		if !need(4) {
+			return br, 0, fmt.Errorf("serve: packed report truncated in its word count")
+		}
+		words := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		if uint64(words)*8 > uint64(len(data)-off) {
+			return br, 0, fmt.Errorf("serve: packed report claims %d words, only %d bytes remain", words, len(data)-off)
+		}
+		br.value = -1
+		br.packed = data[off : off+8*int(words)]
+		off += 8 * int(words)
+	case bwHash, bwCohort:
+		if !need(12) {
+			return br, 0, fmt.Errorf("serve: %s report truncated", binaryKindName(br.kind))
+		}
+		br.value = int(int32(binary.LittleEndian.Uint32(data[off:])))
+		br.seed = binary.LittleEndian.Uint64(data[off+4:])
+		off += 12
+	case bwNumeric:
+		if !need(8) {
+			return br, 0, fmt.Errorf("serve: numeric report truncated")
+		}
+		br.num = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+	default:
+		return br, 0, fmt.Errorf("serve: unknown binary report kind %d", br.kind)
+	}
+	return br, off, nil
+}
+
+// validateBinaryReports structurally validates the whole report region —
+// every report parses, and no trailing bytes follow the last one — so the
+// fold pass never fails on framing and a structurally broken batch folds
+// nothing, exactly like a JSON batch that fails to decode.
+func validateBinaryReports(reports []byte, count int) error {
+	off := 0
+	for i := 0; i < count; i++ {
+		_, next, err := parseBinaryReport(reports, off)
+		if err != nil {
+			return fmt.Errorf("report %d: %w", i, err)
+		}
+		off = next
+	}
+	if off != len(reports) {
+		return fmt.Errorf("serve: %d trailing bytes after the last report", len(reports)-off)
+	}
+	return nil
+}
+
+// contribution decodes a parsed report, mirroring wireReport.decode:
+// numeric says which round kind the report must answer, and mismatches
+// are rejected here, before the sink sees anything. When scratch is
+// non-nil the packed payload decodes into it (grown once, reused across
+// the batch) — the caller guarantees the sink does not retain payload
+// slices past the fold, as fo's aggregators do not. A nil scratch
+// allocates fresh payload slices the sink may keep.
+func (br binaryReport) contribution(numeric bool, scratch *[]uint64) (collect.Contribution, error) {
+	if numeric {
+		if br.kind != bwNumeric {
+			return collect.Contribution{}, fmt.Errorf("serve: %s report in a numeric round", binaryKindName(br.kind))
+		}
+		return collect.Contribution{Numeric: true, Value: br.num}, nil
+	}
+	r := fo.Report{Value: br.value, Seed: br.seed}
+	switch br.kind {
+	case bwValue:
+		r.Kind = fo.KindValue
+	case bwUnary:
+		r.Kind = fo.KindUnary
+		r.Bits = br.bits
+		if scratch == nil {
+			r.Bits = append([]byte(nil), br.bits...)
+		}
+	case bwPacked:
+		r.Kind = fo.KindPacked
+		n := len(br.packed) / 8
+		var words []uint64
+		if scratch == nil {
+			words = make([]uint64, n)
+		} else {
+			if cap(*scratch) < n {
+				*scratch = make([]uint64, n)
+			}
+			words = (*scratch)[:n]
+		}
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(br.packed[8*i:])
+		}
+		r.Packed = words
+	case bwHash:
+		r.Kind = fo.KindHash
+	case bwCohort:
+		r.Kind = fo.KindCohort
+	case bwNumeric:
+		return collect.Contribution{}, fmt.Errorf("serve: numeric report in a frequency round")
+	default:
+		return collect.Contribution{}, fmt.Errorf("serve: unknown binary report kind %d", br.kind)
+	}
+	return collect.Contribution{Report: r}, nil
+}
+
+// binaryHistoryReports converts the first n validated reports of the raw
+// region into their history transcript form, copying every payload out of
+// the request buffer. The canonical form is identical to the JSON wire's
+// (packed payloads are little-endian word bytes on both), so ldpids-check
+// refolds identically regardless of wire.
+func binaryHistoryReports(reports []byte, n int) []history.Report {
+	out := make([]history.Report, 0, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		br, next, err := parseBinaryReport(reports, off)
+		if err != nil {
+			break // unreachable after validateBinaryReports
+		}
+		off = next
+		hr := history.Report{User: br.user, Kind: binaryKindName(br.kind),
+			Value: br.value, Seed: br.seed, Num: br.num}
+		switch br.kind {
+		case bwUnary:
+			hr.Bits = append([]byte(nil), br.bits...)
+		case bwPacked:
+			hr.Packed = append([]byte(nil), br.packed...)
+		}
+		out = append(out, hr)
+	}
+	return out
+}
+
+// tokenEqual compares a body-buffer token against the round token in
+// constant time for equal lengths, like subtle.ConstantTimeCompare but
+// without converting the round token to a byte slice per request.
+func tokenEqual(got []byte, want string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	var v byte
+	for i := 0; i < len(got); i++ {
+		v |= got[i] ^ want[i]
+	}
+	return v == 0
+}
+
+// mediaType extracts the essence of a Content-Type header: parameters
+// stripped, trimmed, lowercased (already-lowercase headers, the common
+// case, do not allocate).
+func mediaType(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(ct))
+}
+
+// Pooled scratch for the steady-state binary decode path: request bodies
+// and packed-word buffers are reused across batches, so decoding and
+// folding a binary batch allocates nothing once the pools are warm.
+var (
+	frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
+	wordBufPool  = sync.Pool{New: func() any { return new([]uint64) }}
+)
+
+// readFrame reads r to EOF into buf's capacity, growing it at most a few
+// times; the grown buffer returns to its pool with the capacity kept.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"testing"
+
+	"ldpids/internal/fo"
+)
+
+// FuzzBinaryBatchDecode drives the binary batch decoder with arbitrary
+// bytes: header parsing, structural validation, per-report parsing, and
+// contribution decoding must refuse malformed framing — truncated
+// frames, oversized length fields, word-count mismatches — with errors,
+// never panics or out-of-bounds reads, and anything that validates must
+// fold into an aggregator without panicking.
+func FuzzBinaryBatchDecode(f *testing.F) {
+	seed := func(batch reportBatch) []byte {
+		body, err := encodeBinary(batch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return body
+	}
+	honest := seed(reportBatch{Round: 1, Token: "tok", Reports: []wireReport{
+		{User: 0, Kind: "value", Value: 3},
+		{User: 1, Kind: "hash", Value: 2, Seed: 77},
+		{User: 2, Kind: "cohort", Value: 1, Seed: 3},
+		{User: 3, Kind: "numeric", Num: -0.25},
+	}})
+	f.Add(honest)
+	packed := seed(reportBatch{Round: 2, Token: "tok", Reports: []wireReport{
+		{User: 0, Kind: "packed", Value: -1, Packed: []byte{1, 0, 0, 0, 0, 0, 0, 0}},
+		{User: 1, Kind: "unary", Value: -1, Bits: []byte{0, 1, 0, 0, 0, 0, 0, 1}},
+	}})
+	f.Add(packed)
+	// Truncated mid-report.
+	f.Add(packed[:len(packed)-3])
+	// Truncated mid-header.
+	f.Add(honest[:7])
+	// Oversized word count: claims 2^30 words with one present.
+	lie := seed(reportBatch{Round: 3, Token: "t", Reports: []wireReport{
+		{User: 0, Kind: "packed", Value: -1, Packed: []byte{0, 0, 0, 0, 0, 0, 0, 1}},
+	}})
+	lie[len(lie)-12] = 0
+	lie[len(lie)-10] = 0
+	lie[len(lie)-9] = 0x40 // words = 1<<30, little-endian
+	f.Add(lie)
+	// Count field larger than the reports present.
+	short := seed(reportBatch{Round: 4, Token: "t", Reports: []wireReport{
+		{User: 0, Kind: "value", Value: 1},
+	}})
+	short[len(binaryMagic)+1+8+1+1] = 9 // count byte: 9 reports claimed, 1 present
+	f.Add(short)
+	f.Add([]byte("LDPB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, err := parseBinaryHeader(data)
+		if err != nil {
+			return
+		}
+		if batch.count < 0 || batch.count > 1<<12 {
+			return // the server's batch cap refuses these before validation
+		}
+		if err := validateBinaryReports(batch.reports, batch.count); err != nil {
+			return
+		}
+		agg, err := fo.NewOUEPacked(64).NewAggregator(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scratch []uint64
+		off := 0
+		for i := 0; i < batch.count; i++ {
+			br, next, err := parseBinaryReport(batch.reports, off)
+			if err != nil {
+				t.Fatalf("validated report %d failed to parse: %v", i, err)
+			}
+			off = next
+			if c, err := br.contribution(false, &scratch); err == nil && !c.Numeric {
+				_ = agg.Add(c.Report) // mismatched shapes error; panics fail the fuzz
+			}
+			if _, err := br.contribution(true, nil); err == nil && br.kind != bwNumeric {
+				t.Fatalf("non-numeric kind %d decoded in a numeric round", br.kind)
+			}
+		}
+	})
+}

@@ -46,6 +46,14 @@ type Client struct {
 	// MaxRetries bounds consecutive transient failures before Serve gives
 	// up. Zero selects DefaultMaxRetries; negative disables retrying.
 	MaxRetries int
+	// Wire selects the report-batch encoding posted to /v1/report:
+	// WireJSON (the default) or WireBinary. Negotiation is per batch — a
+	// server that does not speak the advertised encoding answers 415, and
+	// the client re-posts the same batch as JSON and stays on JSON from
+	// then on, so a mixed fleet degrades instead of stalling.
+	Wire Wire
+
+	jsonOnly bool // a 415 turned the binary wire down for good
 
 	base   string
 	first  int
@@ -315,9 +323,31 @@ func (c *Client) answer(ri *RoundInfo) error {
 	return nil
 }
 
-// post sends one report batch.
+// post sends one report batch over the selected wire, negotiating per
+// batch: a 415 on the binary wire falls back to JSON immediately (the
+// same batch is re-posted; nothing of it folded) and permanently.
 func (c *Client) post(batch reportBatch) (int, error) {
-	body, err := json.Marshal(batch)
+	if c.Wire == WireBinary && !c.jsonOnly {
+		status, err := c.postAs(batch, ContentTypeBinary)
+		if err != nil || status != http.StatusUnsupportedMediaType {
+			return status, err
+		}
+		c.jsonOnly = true
+	}
+	return c.postAs(batch, ContentTypeJSON)
+}
+
+// postAs sends one report batch under the given content type.
+func (c *Client) postAs(batch reportBatch, contentType string) (int, error) {
+	var (
+		body []byte
+		err  error
+	)
+	if contentType == ContentTypeBinary {
+		body, err = encodeBinary(batch)
+	} else {
+		body, err = json.Marshal(batch)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -327,7 +357,7 @@ func (c *Client) post(batch reportBatch) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, err

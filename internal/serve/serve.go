@@ -18,6 +18,17 @@
 // round's token are refused (409), so a captured batch cannot be replayed
 // into a later round.
 //
+// The batch encoding is negotiated per POST via Content-Type. Next to the
+// JSON default, application/x-ldpids-batch (ContentTypeBinary) carries the
+// same batches as a flat little-endian frame whose packed payloads are raw
+// words — no base64, no per-report JSON — which the server decodes into
+// pooled scratch buffers with zero steady-state allocations; see binary.go
+// for the frame layout. Unknown content types are refused with 415 and
+// journaled without touching any counter, and Client falls back to JSON
+// for the rest of the run after one 415. Both encodings decode to the same
+// canonical batch before validation, folding, and journaling, so the wire
+// choice cannot influence a released bit.
+//
 // Queries never block ingestion: mechanisms publish each release into the
 // versioned Snapshots store as the round closes (mechanism.Hooked), and
 // GET /v1/estimate / GET /v1/stream read from that store only.
@@ -87,6 +98,12 @@ type Backend struct {
 	// and round close, replayable offline by cmd/ldpids-check. Nil (the
 	// default) logs nothing.
 	History *history.Log
+	// Wire declares which report-batch encoding this deployment's clients
+	// post (the server itself accepts both on every POST, negotiating per
+	// batch by Content-Type): it selects the per-report framing constant
+	// FrameOverhead bills, so communication totals stay comparable across
+	// JSON and binary runs. Empty selects WireJSON.
+	Wire Wire
 
 	n int
 
@@ -122,10 +139,22 @@ func (b *Backend) N() int { return b.n }
 // report batches decode and fold on concurrent handler goroutines.
 func (b *Backend) PreferredStripes() int { return runtime.GOMAXPROCS(0) }
 
-// FrameOverhead implements collect.Framed: the JSON envelope around one
-// report — keys, punctuation, user id, token share — plus the 4/3 base64
-// inflation of binary payloads.
-func (b *Backend) FrameOverhead(payload int) int { return payload/3 + 48 }
+// binaryFrameOverhead approximates the envelope bytes the binary batch
+// framing adds per report: user id (4), kind tag (1), and length or value
+// field (4), with the per-batch header amortizing to ~0 across a batch —
+// the binary sibling of internal/transport's gob constant.
+const binaryFrameOverhead = 9
+
+// FrameOverhead implements collect.Framed, billing the declared Wire's
+// per-report framing: the JSON envelope — keys, punctuation, user id,
+// token share, plus the 4/3 base64 inflation of binary payloads — or the
+// binary framing's flat envelope bytes.
+func (b *Backend) FrameOverhead(payload int) int {
+	if b.Wire == WireBinary {
+		return binaryFrameOverhead
+	}
+	return payload/3 + 48
+}
 
 // round is one in-flight collection round.
 type round struct {
@@ -495,9 +524,11 @@ func (b *Backend) handleRound(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleReport serves POST /v1/report: decode the batch, authenticate it
-// against the open round, and fold every report — shard-locally when the
-// sink stripes.
+// handleReport serves POST /v1/report: negotiate the batch encoding by
+// Content-Type, decode, authenticate against the open round, and fold
+// every report — shard-locally when the sink stripes. Unknown content
+// types are refused with 415 before the body is read; clients advertising
+// the binary wire fall back to JSON on seeing it.
 func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "serve: %s /v1/report", r.Method)
@@ -511,6 +542,24 @@ func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
 	if maxBody == 0 {
 		maxBody = DefaultMaxBody
 	}
+	switch ct := mediaType(r.Header.Get("Content-Type")); ct {
+	case "", ContentTypeJSON:
+		b.handleReportJSON(w, r, maxBody)
+	case ContentTypeBinary:
+		b.handleReportBinary(w, r, maxBody)
+	default:
+		if b.History != nil {
+			b.History.Append(history.Record{Kind: history.KindBatch, Verdict: history.VerdictRefused,
+				Reason: history.ReasonUnsupportedWire, Status: http.StatusUnsupportedMediaType})
+		}
+		httpError(w, http.StatusUnsupportedMediaType,
+			"serve: unsupported report content type %q (want %s or %s)", ct, ContentTypeJSON, ContentTypeBinary)
+	}
+}
+
+// handleReportJSON folds one JSON report batch, the compatible default
+// encoding.
+func (b *Backend) handleReportJSON(w http.ResponseWriter, r *http.Request, maxBody int64) {
 	body := &countingReader{inner: http.MaxBytesReader(w, r.Body, maxBody)}
 	var batch reportBatch
 	// refuse logs the batch verdict — including the prefix of reports
@@ -587,6 +636,119 @@ func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	b.Metrics.addBytes(body.n)
 	writeJSON(w, reportAck{Accepted: len(batch.Reports)})
+}
+
+// handleReportBinary folds one binary report batch. The steady-state path
+// is allocation-free: the body lands in a pooled frame buffer, the whole
+// framing is validated in one structural pass (so a broken batch folds
+// nothing, like a JSON batch that fails to decode), and the fold pass
+// decodes packed payloads into a pooled word buffer that goes straight to
+// the sink — fo's aggregators do not retain payload slices. Only history
+// journaling copies reports out of the pooled buffer.
+func (b *Backend) handleReportBinary(w http.ResponseWriter, r *http.Request, maxBody int64) {
+	body := &countingReader{inner: http.MaxBytesReader(w, r.Body, maxBody)}
+	bufp := frameBufPool.Get().(*[]byte)
+	data, err := readFrame(body, *bufp)
+	*bufp = data[:0]
+	defer frameBufPool.Put(bufp)
+	var batch binaryBatch
+	// refuse mirrors the JSON handler's: it journals the batch verdict —
+	// including the prefix of reports already folded when a mid-batch
+	// failure refuses the rest — and answers the error.
+	refuse := func(status int, reason string, folded int, format string, args ...any) {
+		if b.History != nil {
+			rec := history.Record{Kind: history.KindBatch, Verdict: history.VerdictRefused,
+				Reason: reason, Status: status, Round: batch.round, Token: string(batch.token),
+				Folded: folded, Bytes: body.n}
+			if folded > 0 {
+				rec.Reports = binaryHistoryReports(batch.reports, folded)
+			}
+			b.History.Append(rec)
+		}
+		httpError(w, status, format, args...)
+	}
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			refuse(http.StatusRequestEntityTooLarge, history.ReasonBodyTooLarge, 0, "serve: request body exceeds %d bytes", maxBody)
+			return
+		}
+		refuse(http.StatusBadRequest, history.ReasonMalformed, 0, "serve: reading report batch: %v", err)
+		return
+	}
+	batch, err = parseBinaryHeader(data)
+	if err != nil {
+		refuse(http.StatusBadRequest, history.ReasonMalformed, 0, "serve: malformed report batch: %v", err)
+		return
+	}
+	maxBatch := b.MaxBatch
+	if maxBatch == 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	// The count cap lands before the structural walk, so a lying count
+	// cannot buy O(count) validation work.
+	if batch.count > maxBatch {
+		refuse(http.StatusRequestEntityTooLarge, history.ReasonBatchTooLarge, 0, "serve: batch of %d reports exceeds the maximum of %d", batch.count, maxBatch)
+		return
+	}
+	if err := validateBinaryReports(batch.reports, batch.count); err != nil {
+		refuse(http.StatusBadRequest, history.ReasonMalformed, 0, "serve: malformed report batch: %v", err)
+		return
+	}
+
+	rd, _, _ := b.currentRound()
+	if rd == nil || batch.round != rd.id || !tokenEqual(batch.token, rd.token) {
+		refuse(http.StatusConflict, history.ReasonStaleToken, 0, "serve: stale round token (round %d is not open)", batch.round)
+		return
+	}
+	if err := rd.beginFold(); err != nil {
+		refuse(http.StatusConflict, history.ReasonRoundClosed, 0, "serve: stale round token (round %d already closed)", batch.round)
+		return
+	}
+	defer rd.endFold()
+
+	// Pooled word scratch is only safe when the round folds through fo's
+	// striped counters; any other sink may retain payload slices (e.g.
+	// collect.SliceSink), so those rounds decode fresh ones.
+	var scratch *[]uint64
+	if rd.striped != nil {
+		scratch = wordBufPool.Get().(*[]uint64)
+		defer wordBufPool.Put(scratch)
+	}
+	off := 0
+	for i := 0; i < batch.count; i++ {
+		br, next, perr := parseBinaryReport(batch.reports, off)
+		if perr != nil {
+			refuse(http.StatusBadRequest, history.ReasonMalformed, i, "serve: malformed report batch: %v", perr)
+			return // unreachable after validateBinaryReports
+		}
+		off = next
+		c, err := br.contribution(rd.numeric, scratch)
+		if err != nil {
+			refuse(http.StatusUnprocessableEntity, history.ReasonBadReport, i, "serve: user %d: %v", br.user, err)
+			return
+		}
+		if err := rd.take(br.user); err != nil {
+			refuse(http.StatusConflict, history.ReasonNotAwaited, i, "%v", err)
+			return
+		}
+		if err := rd.fold(br.user, c); err != nil {
+			// The sink rejected the report (wrong shape for the oracle):
+			// the round cannot complete coherently, so it fails now.
+			rd.finish(fmt.Errorf("serve: user %d: %w", br.user, err))
+			refuse(http.StatusUnprocessableEntity, history.ReasonBadReport, i, "serve: user %d: %v", br.user, err)
+			return
+		}
+		b.Metrics.addReport()
+		rd.folded()
+	}
+	if b.History != nil {
+		b.History.Append(history.Record{Kind: history.KindBatch, Verdict: history.VerdictAccepted,
+			Status: http.StatusOK, Round: batch.round, Token: string(batch.token),
+			Reports: binaryHistoryReports(batch.reports, batch.count), Folded: batch.count, Bytes: body.n})
+	}
+	b.Metrics.addBytes(body.n)
+	writeJSON(w, reportAck{Accepted: batch.count})
 }
 
 // countingReader counts the bytes read through it (ingested body bytes for

@@ -15,6 +15,7 @@ import (
 	"ldpids/internal/ldprand"
 	"ldpids/internal/mechanism"
 	"ldpids/internal/numeric"
+	"ldpids/internal/serve"
 	"ldpids/internal/stream"
 )
 
@@ -206,6 +207,56 @@ func TestMeanMechanismOverTCP(t *testing.T) {
 	wantBytes := stats.Reports * int64(8+c.srv.FrameOverhead(8))
 	if stats.Bytes != wantBytes {
 		t.Fatalf("numeric rounds accounted %d bytes, want %d", stats.Bytes, wantBytes)
+	}
+}
+
+// TestFrameOverheadAcrossTransports compares the per-report billing of
+// every wire encoding the system speaks: the TCP server's gob framing,
+// and the HTTP backend's JSON and binary batch framings. All three
+// implement collect.Framed, so communication totals stay comparable —
+// and the flat framings must bill a small constant envelope while the
+// JSON estimate grows with the payload (base64 expansion plus the
+// per-report envelope).
+func TestFrameOverheadAcrossTransports(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	jsonBackend, err := serve.NewBackend(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jsonBackend.Close()
+	binBackend, err := serve.NewBackend(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBackend.Wire = serve.WireBinary
+	defer binBackend.Close()
+
+	var _ collect.Framed = srv
+	var _ collect.Framed = jsonBackend
+
+	// Payloads spanning the report shapes: a hash report's 8 bytes up to
+	// a d=65536 packed payload's 8 KiB.
+	for _, payload := range []int{8, 64, 8192} {
+		gob := srv.FrameOverhead(payload)
+		jsonOv := jsonBackend.FrameOverhead(payload)
+		bin := binBackend.FrameOverhead(payload)
+		if gob != 12 {
+			t.Errorf("gob overhead at %d B = %d, want the constant 12", payload, gob)
+		}
+		if bin != 9 {
+			t.Errorf("binary overhead at %d B = %d, want the constant 9", payload, bin)
+		}
+		if jsonOv != payload/3+48 {
+			t.Errorf("json overhead at %d B = %d, want %d", payload, jsonOv, payload/3+48)
+		}
+		if !(bin < gob && gob < jsonOv) {
+			t.Errorf("overhead ordering at %d B: binary %d, gob %d, json %d — want binary < gob < json",
+				payload, bin, gob, jsonOv)
+		}
 	}
 }
 
