@@ -10,6 +10,10 @@
 // Identical seeds produce identical report streams over every transport
 // and in the gateway's in-process -backend sim mode, which is how CI's
 // gateway-smoke job diffs an HTTP run against an in-process one.
+// -trace-log (http transport only) appends one span per report post to a
+// crash-safe JSONL log; render it together with the gateway's logs via
+// ldpids-dump -trace. Tracing is observe-only and never perturbs the
+// seeded report streams.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"ldpids/internal/device"
 	"ldpids/internal/fo"
+	"ldpids/internal/obs"
 	"ldpids/internal/serve"
 	"ldpids/internal/transport"
 )
@@ -36,6 +41,7 @@ func main() {
 		conns       = flag.Int("conns", 1, "connections to shard the users across")
 		numericMode = flag.Bool("numeric", false, "answer numeric mean rounds in addition to frequency rounds")
 		wireName    = flag.String("wire", "json", "report-batch encoding for -transport http: json or binary (binary falls back to json on a 415)")
+		traceLog    = flag.String("trace-log", "", "optional path for the append-only post-span trace log (-transport http; render with ldpids-dump -trace)")
 	)
 	flag.Parse()
 	if *conns < 1 || *conns > *n {
@@ -47,6 +53,22 @@ func main() {
 	}
 	if wire != serve.WireJSON && *mode != "http" {
 		log.Fatalf("-wire %s needs -transport http; the tcp transport has its own framing", wire)
+	}
+	var tracer *obs.Tracer
+	if *traceLog != "" {
+		if *mode != "http" {
+			log.Fatal("-trace-log needs -transport http; the tcp transport has no trace propagation")
+		}
+		tlog, err := obs.CreateTraceLog(*traceLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := tlog.Close(); err != nil {
+				log.Printf("closing trace log: %v", err)
+			}
+		}()
+		tracer = obs.NewTracer("client", tlog)
 	}
 
 	o, err := fo.New(*oracle, *d)
@@ -72,7 +94,7 @@ func main() {
 		if count == 0 {
 			continue
 		}
-		serveConn, err := connect(*mode, *addr, wire, start, count, report, numericReport)
+		serveConn, err := connect(*mode, *addr, wire, tracer, start, count, report, numericReport)
 		if err != nil {
 			log.Fatalf("users [%d,%d): %v", start, start+count, err)
 		}
@@ -91,7 +113,7 @@ func main() {
 
 // connect registers users [first, first+count) with the aggregator over
 // the chosen transport and returns the connection's serve loop.
-func connect(mode, addr string, wire serve.Wire, first, count int, report func(int, int, float64) fo.Report, numericReport func(int, int, float64) float64) (func() error, error) {
+func connect(mode, addr string, wire serve.Wire, tracer *obs.Tracer, first, count int, report func(int, int, float64) fo.Report, numericReport func(int, int, float64) float64) (func() error, error) {
 	switch mode {
 	case "tcp":
 		c, err := transport.NewClient(addr, first, count, transport.Funcs{
@@ -115,6 +137,7 @@ func connect(mode, addr string, wire serve.Wire, first, count int, report func(i
 			return nil, err
 		}
 		c.Wire = wire
+		c.Tracer = tracer
 		return c.Serve, nil
 	default:
 		log.Fatalf("unknown -transport %q (want tcp or http)", mode)

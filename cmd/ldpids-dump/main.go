@@ -24,6 +24,17 @@
 //
 // ldpids-check replays the same records and proves the protocol
 // invariants over them; ldpids-dump -ingest is the eyeball view.
+//
+// With -trace it merges one or more round-lifecycle trace logs (written
+// by ldpids-gateway/-client -trace-log, package internal/obs) and prints
+// Chrome trace-event JSON on stdout — load it in chrome://tracing or
+// https://ui.perfetto.dev to see client posts, replica folds, shipments,
+// and coordinator merges on one timeline, one process track per source.
+//
+// With -metrics it validates a saved /metrics scrape against the
+// Prometheus text exposition format (histogram bucket ordering, reserved
+// suffixes, duplicate series) and exits 1 on the first violation — CI
+// pipes mid-stream scrapes through this.
 package main
 
 import (
@@ -36,25 +47,73 @@ import (
 	"strings"
 
 	"ldpids/internal/history"
+	"ldpids/internal/obs"
 	"ldpids/internal/store"
 )
 
 func main() {
 	ingest := flag.Bool("ingest", false, "treat the argument as an ingestion history (-ingest-log), not a release log")
+	trace := flag.Bool("trace", false, "merge the arguments as trace logs (-trace-log) and print Chrome trace-event JSON")
+	metrics := flag.Bool("metrics", false, "validate the argument as a Prometheus text /metrics scrape")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-ingest] <releases.ldps | ingest.jsonl>\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-ingest | -metrics | -trace] <releases.ldps | ingest.jsonl | metrics.txt | trace.jsonl...>\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *trace {
+		if flag.NArg() < 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		dumpTrace(flag.Args())
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *ingest {
+	switch {
+	case *ingest:
 		dumpIngest(flag.Arg(0))
-		return
+	case *metrics:
+		checkMetrics(flag.Arg(0))
+	default:
+		dumpReleases(flag.Arg(0))
 	}
-	dumpReleases(flag.Arg(0))
+}
+
+// dumpTrace merges the spans of every named trace log and prints them as
+// Chrome trace-event JSON.
+func dumpTrace(paths []string) {
+	var spans []obs.SpanRecord
+	for _, path := range paths {
+		got, err := obs.ReadSpans(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		spans = append(spans, got...)
+	}
+	out, err := obs.ChromeTrace(spans)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := os.Stdout.Write(append(out, '\n')); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// checkMetrics validates a saved /metrics scrape against the text
+// exposition format, exiting 1 on the first violation.
+func checkMetrics(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.CheckExposition(f); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	fmt.Printf("%s: exposition format ok\n", path)
 }
 
 // dumpReleases prints a release log as CSV.

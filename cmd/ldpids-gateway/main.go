@@ -10,9 +10,20 @@
 //	GET  /v1/healthz   readiness probe (503 until the first round opens)
 //	GET  /v1/estimate  the current released histogram/mean as JSON
 //	GET  /v1/stream    Server-Sent Events, one event per release
-//	GET  /metrics      Prometheus-style counters (reports folded, bytes
-//	                   in, round latency, releases; cluster membership and
-//	                   frame counters on a coordinator)
+//	GET  /metrics      Prometheus text exposition (reports folded, bytes
+//	                   in, per-stage latency histograms, refusals by
+//	                   reason, releases; cluster membership and frame
+//	                   counters on a coordinator; Go runtime gauges)
+//
+// Observability: -trace-log appends one JSON line per round-lifecycle
+// span (round, batch, ship, merge, client post) to a crash-safe log;
+// ldpids-dump -trace renders one or more such logs as Chrome trace-event
+// JSON for chrome://tracing or Perfetto. -debug-addr starts a second,
+// private listener serving /debug/pprof/ (CPU/heap profiles, execution
+// traces) so production profiling never shares a port with ingestion.
+// All telemetry is observe-only: trace ids come from crypto/rand and
+// never touch the seeded report streams, so a traced run's release log
+// is byte-identical to an untraced one.
 //
 // With -backend sim the gateway hosts the simulated device population
 // in-process instead of collecting over HTTP (the query endpoints still
@@ -57,6 +68,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -71,6 +83,7 @@ import (
 	"ldpids/internal/ldprand"
 	"ldpids/internal/mechanism"
 	"ldpids/internal/numeric"
+	"ldpids/internal/obs"
 	"ldpids/internal/serve"
 	"ldpids/internal/store"
 )
@@ -80,6 +93,7 @@ type gatewayFlags struct {
 	addr, backend, method, oracleName string
 	role, peers, shard, name, out     string
 	ingestLog, wire                   string
+	traceLog, debugAddr               string
 	n, d, w, T                        int
 	eps                               float64
 	seed, clientSeed                  uint64
@@ -119,6 +133,8 @@ func main() {
 	flag.StringVar(&f.shard, "shard", "", "user shard lo:hi for -role replica")
 	flag.StringVar(&f.name, "name", "", "replica name, stable across restarts (-role replica; default replica-<lo>-<hi>)")
 	flag.StringVar(&f.wire, "wire", "json", "report-batch encoding this deployment's clients post: json or binary (the server accepts both; this sets the byte accounting)")
+	flag.StringVar(&f.traceLog, "trace-log", "", "optional path for the append-only round-lifecycle trace log (render with ldpids-dump -trace)")
+	flag.StringVar(&f.debugAddr, "debug-addr", "", "optional second listen address serving /debug/pprof/ (keep it private)")
 	flag.Parse()
 	if f.n < 1 || f.d < 1 {
 		log.Fatalf("population and domain must be positive, got -n %d -d %d", f.n, f.d)
@@ -158,6 +174,53 @@ func shutdown(srv *http.Server) {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
+}
+
+// openTracer opens the round-lifecycle trace log (when -trace-log is set)
+// and returns a tracer stamping src on every span, plus a closer. A nil
+// tracer (no -trace-log) disables tracing at zero cost.
+func openTracer(f gatewayFlags, src string) (*obs.Tracer, func()) {
+	if f.traceLog == "" {
+		return nil, func() {}
+	}
+	tlog, err := obs.CreateTraceLog(f.traceLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return obs.NewTracer(src, tlog), func() {
+		if err := tlog.Close(); err != nil {
+			log.Printf("closing trace log: %v", err)
+		}
+	}
+}
+
+// newMetrics builds the role's metric registry: the gateway families
+// labeled with the deployment's oracle and wire, plus the Go runtime
+// gauges, all on one registry so a single /metrics endpoint serves
+// everything mounted later.
+func newMetrics(f gatewayFlags, wire serve.Wire) *serve.Metrics {
+	metrics := serve.NewMetrics(nil)
+	metrics.SetLabels(f.oracleName, wire)
+	obs.RegisterRuntimeGauges(metrics.Registry())
+	return metrics
+}
+
+// serveDebug starts the private observability listener (when -debug-addr
+// is set): net/http/pprof profiles and nothing else, mounted explicitly so
+// the ingestion mux never inherits them. Returns a closer.
+func serveDebug(f gatewayFlags) func() {
+	if f.debugAddr == "" {
+		return func() {}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, srv := listenAndServe(f.debugAddr, mux)
+	log.Printf("debug listener on http://%s/debug/pprof/", ln.Addr())
+	return func() { shutdown(srv) }
 }
 
 // releaseLog opens the append-only release log (when -out is set) and
@@ -232,10 +295,13 @@ func recordReleases(h *history.Log, persist func(int, []float64)) func(int, []fl
 // runSingle is the all-in-one deployment: ingestion (HTTP or sim),
 // mechanism, and query layer in one process.
 func runSingle(f gatewayFlags) {
+	wire := f.parseWire()
 	snaps := serve.NewSnapshots()
-	metrics := &serve.Metrics{}
+	metrics := newMetrics(f, wire)
 	snaps.Metrics = metrics
 	health := &serve.Health{}
+	tracer, closeTrace := openTracer(f, "gateway")
+	closeDebug := serveDebug(f)
 
 	// The collection backend: remote HTTP clients, or an in-process
 	// simulated device population with the same seed derivation.
@@ -252,7 +318,8 @@ func runSingle(f gatewayFlags) {
 		b.Timeout = f.timeout
 		b.Metrics = metrics
 		b.Health = health
-		b.Wire = f.parseWire()
+		b.Wire = wire
+		b.Tracer = tracer
 		collector, ingest = b, b
 	case "sim":
 		if f.ingestLog != "" {
@@ -313,8 +380,10 @@ func runSingle(f gatewayFlags) {
 		ingest.Close()
 	}
 	shutdown(srv)
+	closeDebug()
 	closeLog()
 	closeHist()
+	closeTrace()
 	fmt.Printf("communication: %s\n", env.Stats())
 }
 
@@ -328,10 +397,14 @@ func runCoordinator(f gatewayFlags) {
 		log.Fatal("-numeric is not supported with -role coordinator: float accumulation does not commute bit-identically across shards")
 	}
 	snaps := serve.NewSnapshots()
-	metrics := &serve.Metrics{}
+	metrics := newMetrics(f, f.parseWire())
 	snaps.Metrics = metrics
-	clusterMetrics := &cluster.Metrics{}
+	// One registry: the cluster families mount next to the gateway ones,
+	// so a single conformant /metrics endpoint serves both.
+	clusterMetrics := cluster.NewMetrics(metrics.Registry())
 	health := &serve.Health{}
+	tracer, closeTrace := openTracer(f, "coordinator")
+	closeDebug := serveDebug(f)
 
 	coord, err := cluster.NewCoordinator(f.n, f.oracleName, f.d)
 	if err != nil {
@@ -343,16 +416,14 @@ func runCoordinator(f gatewayFlags) {
 	coord.Timeout = f.timeout + 15*time.Second
 	coord.Metrics = clusterMetrics
 	coord.Health = health
+	coord.Tracer = tracer
 
 	mux := http.NewServeMux()
 	mux.Handle("/cluster/v1/", coord)
 	mux.Handle("/v1/healthz", health)
 	mux.Handle("/v1/estimate", snaps)
 	mux.Handle("/v1/stream", snaps)
-	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		metrics.ServeHTTP(w, r) // sets the exposition Content-Type
-		clusterMetrics.Render(w)
-	}))
+	mux.Handle("/metrics", metrics)
 	ln, srv := listenAndServe(f.addr, mux)
 	log.Printf("coordinator listening on http://%s (n=%d, d=%d, method %s, oracle %s)",
 		ln.Addr(), f.n, f.d, f.method, f.oracleName)
@@ -374,8 +445,10 @@ func runCoordinator(f gatewayFlags) {
 
 	coord.Close()
 	shutdown(srv)
+	closeDebug()
 	closeLog()
 	closeHist()
+	closeTrace()
 	fmt.Printf("communication: %s\n", env.Stats())
 }
 
@@ -399,8 +472,14 @@ func runReplica(f gatewayFlags) {
 		name = fmt.Sprintf("replica-%d-%d", lo, hi)
 	}
 
-	metrics := &serve.Metrics{}
+	wire := f.parseWire()
+	metrics := newMetrics(f, wire)
+	// The replica's ship-stage histogram mounts on the same registry as
+	// its gateway families; the coordinator-only families render as zeros.
+	repMetrics := cluster.NewMetrics(metrics.Registry())
 	health := &serve.Health{}
+	tracer, closeTrace := openTracer(f, name)
+	closeDebug := serveDebug(f)
 	b, err := serve.NewBackend(f.n)
 	if err != nil {
 		log.Fatal(err)
@@ -408,6 +487,7 @@ func runReplica(f gatewayFlags) {
 	b.Timeout = f.timeout
 	b.Metrics = metrics
 	b.Health = health
+	b.Tracer = tracer
 	hist, closeHist := openIngestLog(f, "replica")
 	b.History = hist
 
@@ -429,7 +509,9 @@ func runReplica(f gatewayFlags) {
 		Lo:          lo,
 		Hi:          hi,
 		Backend:     b,
-		Wire:        f.parseWire(),
+		Wire:        wire,
+		Metrics:     repMetrics,
+		Tracer:      tracer,
 		Logf:        log.Printf,
 	}
 	if err := rep.Run(ctx); err != nil {
@@ -439,7 +521,9 @@ func runReplica(f gatewayFlags) {
 	}
 	b.Close()
 	shutdown(srv)
+	closeDebug()
 	closeHist()
+	closeTrace()
 }
 
 // parseShard parses a -shard lo:hi bound pair.
@@ -483,10 +567,13 @@ func run(ctx context.Context, env *collect.Env, cfg runConfig, snaps *serve.Snap
 		return err
 	}
 	// The round-close release hook: every successful Step publishes into
-	// the snapshot store (live queries, SSE) and the durable log.
+	// the snapshot store (live queries, SSE) and the durable log, timed
+	// as the release stage.
 	hooked := mechanism.Hooked{Mechanism: m, OnRelease: func(t int, release []float64) {
+		start := time.Now()
 		snaps.Publish(t, release)
 		persist(t, release)
+		snaps.Metrics.ObserveRelease(time.Since(start))
 	}}
 	for t := 1; cfg.T == 0 || t <= cfg.T; t++ {
 		if ctx.Err() != nil {
@@ -543,8 +630,10 @@ func runMean(ctx context.Context, env *collect.Env, cfg runConfig, snaps *serve.
 			return fmt.Errorf("t=%d: %w", t, err)
 		}
 		release := []float64{mean}
+		start := time.Now()
 		snaps.Publish(t, release)
 		persist(t, release)
+		snaps.Metrics.ObserveRelease(time.Since(start))
 		log.Printf("t=%-4d released mean %.4f", t, mean)
 		if !sleep(ctx, cfg.interval) {
 			return nil

@@ -1,6 +1,7 @@
 // Command ldpids-lint machine-checks the repo's domain invariants: the
 // determinism, privacy-budget, kind-exhaustiveness, lock-discipline, HTTP,
-// and documentation rules that ordinary vet cannot know about. It runs
+// metric-naming, and documentation rules that ordinary vet cannot know
+// about. It runs
 // every analyzer in internal/analysis/passes over the requested packages
 // (default ./...) and exits 1 if any diagnostic is reported, 2 if the
 // packages fail to load, so CI can distinguish findings from breakage.
@@ -28,6 +29,7 @@ import (
 	"ldpids/internal/analysis/passes/epsbudget"
 	"ldpids/internal/analysis/passes/httpdiscipline"
 	"ldpids/internal/analysis/passes/kindswitch"
+	"ldpids/internal/analysis/passes/metricnames"
 	"ldpids/internal/analysis/passes/pkgdoc"
 	"ldpids/internal/analysis/passes/stripelock"
 )
@@ -38,6 +40,7 @@ var all = []*analysis.Analyzer{
 	epsbudget.Analyzer,
 	httpdiscipline.Analyzer,
 	kindswitch.Analyzer,
+	metricnames.Analyzer,
 	pkgdoc.Analyzer,
 	stripelock.Analyzer,
 }

@@ -1,0 +1,203 @@
+// Package metricnames defines an Analyzer that keeps every metric family
+// registered on an obs.Registry inside the repo's naming contract:
+// constant ldpids_-prefixed snake_case names, type-appropriate suffixes,
+// and labels drawn from the small closed vocabulary dashboards rely on.
+package metricnames
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"ldpids/internal/analysis"
+)
+
+// obsPath is the package that declares the metric registry.
+const obsPath = "ldpids/internal/obs"
+
+// Analyzer reports metric registrations whose names or labels drift from
+// the exposition contract pinned by obs.CheckExposition and the dashboards.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc: `require obs.Registry metric names and labels to follow the naming contract
+
+Metric names are an API consumed by scrapers and dashboards long after the
+registering code changes, and the Prometheus text format reserves the
+_bucket/_sum/_count suffixes for histogram series (the gateway once
+exported a counter family named *_seconds_sum and broke every conformant
+parser). For every registration call on an obs.Registry this analyzer
+demands:
+
+  - the name is a compile-time constant: grep must find every family;
+  - it matches ^ldpids(_[a-z0-9]+)+$ — one namespace, snake_case;
+  - counters end in _total; gauges do not; histograms end in a unit
+    (_seconds, _bytes, or _reports) and never in _total;
+  - no name ends in the reserved _bucket/_sum/_count suffixes; and
+  - vec labels are constants from the closed set {oracle, wire, reason,
+    replica, stage} — "le" is reserved by the exposition format.
+
+New label keys are a deliberate API decision: extend the set here and in
+the dashboards together.`,
+	Run: run,
+}
+
+// registerMethods maps each Registry registration method to the index of
+// its first label argument (-1 when the method takes no labels).
+var registerMethods = map[string]int{
+	"Counter":      -1,
+	"CounterVec":   2,
+	"CounterFunc":  -1,
+	"Gauge":        -1,
+	"GaugeFunc":    -1,
+	"Histogram":    -1,
+	"HistogramVec": 3,
+}
+
+var nameRE = regexp.MustCompile(`^ldpids(_[a-z0-9]+)+$`)
+
+// allowedLabels is the closed label vocabulary. "le" is excluded on
+// purpose: the exposition format owns it.
+var allowedLabels = map[string]bool{
+	"oracle":  true,
+	"wire":    true,
+	"reason":  true,
+	"replica": true,
+	"stage":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall validates one registration call on an obs.Registry, if that is
+// what the call is.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return
+	}
+	labelStart, ok := registerMethods[fn.Name()]
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isRegistryPtr(sig.Recv().Type()) {
+		return
+	}
+	if len(call.Args) == 0 {
+		return // does not type-check anyway
+	}
+
+	method := fn.Name()
+	name, isConst := constString(pass, call.Args[0])
+	if !isConst {
+		pass.Reportf(call.Args[0].Pos(),
+			"obs.Registry.%s name is not a constant string: metric families must be greppable", method)
+		return
+	}
+	checkName(pass, call, method, name)
+
+	if labelStart < 0 {
+		return
+	}
+	for i := labelStart; i < len(call.Args); i++ {
+		label, isConst := constString(pass, call.Args[i])
+		if !isConst {
+			pass.Reportf(call.Args[i].Pos(),
+				"label of metric %q is not a constant string: labels are a closed vocabulary", name)
+			continue
+		}
+		switch {
+		case label == "le":
+			pass.Reportf(call.Args[i].Pos(),
+				`metric %q declares label "le", which the exposition format reserves for histogram buckets`, name)
+		case !allowedLabels[label]:
+			pass.Reportf(call.Args[i].Pos(),
+				"metric %q uses label %q outside the allowed set {oracle, wire, reason, replica, stage}", name, label)
+		}
+	}
+}
+
+// checkName enforces the shape and suffix rules for one metric family name.
+func checkName(pass *analysis.Pass, call *ast.CallExpr, method, name string) {
+	report := func(format string, args ...any) {
+		pass.Reportf(call.Args[0].Pos(), "metric %q %s", name, fmt.Sprintf(format, args...))
+	}
+	if !nameRE.MatchString(name) {
+		report("does not match ^ldpids(_[a-z0-9]+)+$: one namespace, lower snake_case")
+		return
+	}
+	for _, reserved := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, reserved) {
+			report("ends in %s, which the exposition format reserves for histogram series", reserved)
+			return
+		}
+	}
+	switch method {
+	case "Counter", "CounterVec", "CounterFunc":
+		if !strings.HasSuffix(name, "_total") {
+			report("is a counter and must end in _total")
+		}
+	case "Gauge", "GaugeFunc":
+		if strings.HasSuffix(name, "_total") {
+			report("is a gauge and must not end in _total")
+		}
+	case "Histogram", "HistogramVec":
+		if strings.HasSuffix(name, "_total") {
+			report("is a histogram and must not end in _total")
+		} else if !hasUnitSuffix(name) {
+			report("is a histogram and must end in a unit suffix (_seconds, _bytes, or _reports)")
+		}
+	}
+}
+
+// hasUnitSuffix reports whether a histogram name ends in one of the unit
+// suffixes the repo's histograms measure.
+func hasUnitSuffix(name string) bool {
+	for _, unit := range []string{"_seconds", "_bytes", "_reports"} {
+		if strings.HasSuffix(name, unit) {
+			return true
+		}
+	}
+	return false
+}
+
+// constString resolves an expression to its compile-time string value.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isRegistryPtr reports whether t is *obs.Registry.
+func isRegistryPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == obsPath
+}

@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"ldpids/internal/analysis/analysistest"
+	"ldpids/internal/analysis/passes/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), metricnames.Analyzer, "a")
+}

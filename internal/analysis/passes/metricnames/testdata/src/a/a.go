@@ -1,0 +1,42 @@
+// Package a registers metric families on the real obs.Registry in every
+// shape the metricnames analyzer distinguishes: conformant names, each
+// suffix violation, non-constant names, and off-vocabulary labels.
+package a
+
+import "ldpids/internal/obs"
+
+// bucketsVar keeps the histogram bucket argument out of the analyzer's
+// way; only names and labels are checked.
+var bucketsVar = []float64{0.1, 1}
+
+const goodName = "ldpids_gateway_demo_total"
+
+// Conformant registrations: constant names, right suffixes, closed labels.
+func Good(r *obs.Registry) {
+	r.Counter(goodName, "help")
+	r.Counter("ldpids_cluster_frames_merged_total", "help")
+	r.CounterVec("ldpids_gateway_refusals_total", "help", "reason")
+	r.Gauge("ldpids_cluster_replicas", "help")
+	r.GaugeFunc("ldpids_runtime_heap_alloc_bytes", "help", func() float64 { return 0 })
+	r.Histogram("ldpids_gateway_round_latency_seconds", "help", bucketsVar)
+	r.HistogramVec("ldpids_gateway_stage_seconds", "help", bucketsVar, "stage", "wire", "oracle")
+	r.HistogramVec("ldpids_gateway_batch_reports", "help", bucketsVar, "wire")
+}
+
+// Bad registrations, one diagnostic each.
+func Bad(r *obs.Registry, dynamic string) {
+	r.Counter(dynamic, "help")                                              // want `name is not a constant string`
+	r.Counter("gateway_reports_total", "help")                              // want `does not match`
+	r.Counter("ldpids_Gateway_reports_total", "help")                       // want `does not match`
+	r.Counter("ldpids_gateway_reports", "help")                             // want `is a counter and must end in _total`
+	r.CounterFunc("ldpids_gateway_gc", "help", func() float64 { return 0 }) // want `is a counter and must end in _total`
+	r.Gauge("ldpids_gateway_replicas_total", "help")                        // want `is a gauge and must not end in _total`
+	r.Counter("ldpids_gateway_latency_sum", "help")                         // want `reserves for histogram series`
+	r.Counter("ldpids_gateway_latency_count", "help")                       // want `reserves for histogram series`
+	r.Histogram("ldpids_gateway_latency_bucket", "help", bucketsVar)        // want `reserves for histogram series`
+	r.Histogram("ldpids_gateway_latency", "help", bucketsVar)               // want `must end in a unit suffix`
+	r.Histogram("ldpids_gateway_latency_total", "help", bucketsVar)         // want `is a histogram and must not end in _total`
+	r.CounterVec("ldpids_gateway_hits_total", "help", dynamic)              // want `is not a constant string`
+	r.CounterVec("ldpids_gateway_hits2_total", "help", "shard")             // want `outside the allowed set`
+	r.HistogramVec("ldpids_gateway_hit_seconds", "help", bucketsVar, "le")  // want `reserves for histogram buckets`
+}

@@ -45,6 +45,7 @@ import (
 	"ldpids/internal/collect"
 	"ldpids/internal/fo"
 	"ldpids/internal/history"
+	"ldpids/internal/obs"
 	"ldpids/internal/serve"
 )
 
@@ -95,6 +96,10 @@ type Coordinator struct {
 	// record per round announcement, accepted/refused/failed counter
 	// shipment, and round close, replayable offline by cmd/ldpids-check.
 	History *history.Log
+	// Tracer, when non-nil, records the root span of each distributed
+	// round plus a merge span. The root's context rides the round
+	// announcement so replica and client spans join one trace.
+	Tracer *obs.Tracer
 
 	n      int
 	oracle string
@@ -211,6 +216,9 @@ type clusterRound struct {
 	token string
 	req   collect.Request
 	parts map[int64]*replicaState
+
+	span  *obs.Span       // the distributed round's root span; nil when untraced
+	trace obs.SpanContext // announced to replicas so shard spans join the trace
 
 	mu       sync.Mutex
 	frames   map[int64]fo.CounterFrame
@@ -363,6 +371,10 @@ func (c *Coordinator) openRound(req collect.Request) (*clusterRound, error) {
 				frames:   make(map[int64]fo.CounterFrame, len(parts)),
 				complete: make(chan struct{}),
 			}
+			// The root span exists before the announcement so every
+			// replica sees its context in the very first poll.
+			rd.span = c.Tracer.Start("round", obs.SpanContext{}, rd.id)
+			rd.trace = rd.span.Context()
 			c.round = rd
 			// The round record lands before the announcement (still
 			// under c.mu), so no shipment record can precede its round
@@ -448,9 +460,15 @@ func (c *Coordinator) Collect(req collect.Request, sink collect.Sink) error {
 		}
 		c.History.Append(history.Record{Kind: history.KindClose, Round: rd.id,
 			T: req.T, Err: rdErr.Error()})
+		rd.span.End(map[string]any{"t": req.T, "ok": false, "degraded": degraded})
 		return rdErr
 	}
+	mergeStart := time.Now()
+	msp := c.Tracer.Start("merge", rd.trace, rd.id)
 	mergeErr := c.merge(rd, cs)
+	msp.End(map[string]any{"frames": len(rd.parts), "ok": mergeErr == nil})
+	c.Metrics.observeStage(stageMerge, time.Since(mergeStart))
+	rd.span.End(map[string]any{"t": req.T, "ok": mergeErr == nil})
 	if c.History != nil {
 		crec := history.Record{Kind: history.KindClose, Round: rd.id, T: req.T, OK: mergeErr == nil}
 		if mergeErr != nil {

@@ -15,6 +15,7 @@ import (
 	"ldpids/internal/collect/collecttest"
 	"ldpids/internal/fo"
 	"ldpids/internal/ldprand"
+	"ldpids/internal/obs"
 	"ldpids/internal/serve"
 )
 
@@ -289,7 +290,7 @@ func TestRoundCompletesAndMerges(t *testing.T) {
 			t.Fatalf("merged estimate diverged at k=%d: %v != %v", k, got[k], want[k])
 		}
 	}
-	if got := c.Metrics.framesMerged.Load(); got != 2 {
+	if got := c.Metrics.value("ldpids_cluster_frames_merged_total"); got != 2 {
 		t.Fatalf("frames_merged_total = %d, want 2", got)
 	}
 }
@@ -320,10 +321,10 @@ func TestRoundDegradedOnLeave(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "degraded") {
 		t.Fatalf("Collect after a mid-round leave: got %v, want a degraded-round error", err)
 	}
-	if got := c.Metrics.roundsDegraded.Load(); got != 1 {
+	if got := c.Metrics.value("ldpids_cluster_rounds_degraded_total"); got != 1 {
 		t.Fatalf("rounds_degraded_total = %d, want 1", got)
 	}
-	if got := c.Metrics.leaves.Load(); got != 1 {
+	if got := c.Metrics.value("ldpids_cluster_leaves_total"); got != 1 {
 		t.Fatalf("leaves_total = %d, want 1", got)
 	}
 }
@@ -359,7 +360,7 @@ func TestLeaveAfterShipCompletes(t *testing.T) {
 	if got := agg.Reports(); got != n {
 		t.Fatalf("merged %d reports, want %d", got, n)
 	}
-	if got := c.Metrics.roundsDegraded.Load(); got != 0 {
+	if got := c.Metrics.value("ldpids_cluster_rounds_degraded_total"); got != 0 {
 		t.Fatalf("rounds_degraded_total = %d, want 0", got)
 	}
 }
@@ -397,7 +398,7 @@ func TestRoundDegradedOnExpiry(t *testing.T) {
 	// a, having shipped, may or may not expire on the same liveness tick
 	// (it stops touching the coordinator after its shipment), so only b's
 	// expiry is guaranteed.
-	if got := c.Metrics.expirations.Load(); got < 1 {
+	if got := c.Metrics.value("ldpids_cluster_expirations_total"); got < 1 {
 		t.Fatalf("expirations_total = %d, want at least 1", got)
 	}
 }
@@ -437,6 +438,11 @@ type clusterHarness struct {
 	coordTS *httptest.Server
 	report  func(u, t int, eps float64) fo.Report
 
+	// tracer, when set, names the tracer each harness role records into:
+	// one per replica process (shared by the Replica loop and its serve
+	// backend, as ldpids-gateway wires it) and one per device client.
+	tracer func(role string) *obs.Tracer
+
 	backends []*serve.Backend
 	servers  []*httptest.Server
 	clients  []*serve.Client
@@ -464,6 +470,11 @@ func (h *clusterHarness) startReplica(name string, lo, hi int) {
 		Retry:       serve.NewBackoff(2*time.Millisecond, 50*time.Millisecond, uint64(lo)+3),
 		PollWait:    500 * time.Millisecond,
 	}
+	if h.tracer != nil {
+		tr := h.tracer("replica-" + name)
+		rep.Tracer = tr
+		backend.Tracer = tr
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
 	go func() { errCh <- rep.Run(ctx) }()
@@ -473,6 +484,9 @@ func (h *clusterHarness) startReplica(name string, lo, hi int) {
 		h.t.Fatal(err)
 	}
 	cl.PollWait = 500 * time.Millisecond
+	if h.tracer != nil {
+		cl.Tracer = h.tracer("client-" + name)
+	}
 	go func() { _ = cl.Serve() }()
 
 	h.backends = append(h.backends, backend)
@@ -633,10 +647,10 @@ func TestReplicaLeaveRejoinMidStream(t *testing.T) {
 	runRound(2)
 	runRound(3)
 
-	if got := h.coord.Metrics.roundsDegraded.Load(); got != 0 {
+	if got := h.coord.Metrics.value("ldpids_cluster_rounds_degraded_total"); got != 0 {
 		t.Fatalf("rounds_degraded_total = %d after a clean leave/re-join, want 0", got)
 	}
-	if got := h.coord.Metrics.leaves.Load(); got != 1 {
+	if got := h.coord.Metrics.value("ldpids_cluster_leaves_total"); got != 1 {
 		t.Fatalf("leaves_total = %d, want 1", got)
 	}
 }

@@ -223,6 +223,7 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, announcement{
 					Round: rd.id, T: rd.req.T, Eps: rd.req.Eps, Token: rd.token,
 					Users: rd.req.Users, Oracle: c.oracle, D: c.d, N: c.n,
+					Trace: rd.trace.String(),
 				})
 				return
 			}
@@ -257,6 +258,7 @@ func (c *Coordinator) handleCounters(w http.ResponseWriter, r *http.Request) {
 	refuseFrame := func(status int, reason, replica string, format string, args ...any) {
 		c.History.Append(history.Record{Kind: history.KindFrame, Verdict: history.VerdictRefused,
 			Reason: reason, Status: status, Round: sh.Round, Token: sh.Token, Replica: replica})
+		c.Metrics.addFrameRefusal(reason)
 		httpError(w, status, format, args...)
 	}
 	if err := gob.NewDecoder(http.MaxBytesReader(w, r.Body, maxShipmentBody)).Decode(&sh); err != nil {

@@ -1,28 +1,89 @@
 package cluster
 
 import (
-	"fmt"
 	"io"
 	"net/http"
-	"sync/atomic"
+	"sync"
+	"time"
 
 	"ldpids/internal/fo"
+	"ldpids/internal/obs"
 )
 
-// Metrics holds the coordinator's cluster-level counters and renders them
-// in Prometheus text exposition format. All methods are nil-safe, matching
-// serve.Metrics, so instrumented code never checks whether metrics are
-// attached. Render appends the rendered text to an existing response, so
-// a gateway can serve serve.Metrics and cluster.Metrics on one /metrics
-// endpoint.
+// Cluster pipeline stage names stamped on ldpids_cluster_stage_seconds:
+// ship times a replica exporting and POSTing its counter frame; merge
+// times the coordinator absorbing every shipped frame into the round
+// sink.
+const (
+	stageShip  = "ship"
+	stageMerge = "merge"
+)
+
+// Metrics holds the cluster-level metrics (coordinator membership and
+// merge accounting, replica ship latency) on an obs.Registry. All
+// methods are nil-safe, matching serve.Metrics, so instrumented code
+// never checks whether metrics are attached. The zero value lazily
+// creates a private registry; NewMetrics(reg) mounts the families on a
+// shared registry — typically serve.Metrics' via its Registry method —
+// so one /metrics endpoint serves both.
 type Metrics struct {
-	replicas       atomic.Int64 // gauge: currently registered replicas
-	joins          atomic.Int64
-	leaves         atomic.Int64
-	expirations    atomic.Int64
-	roundsDegraded atomic.Int64
-	framesMerged   atomic.Int64
-	frameBytes     atomic.Int64
+	once sync.Once
+	reg  *obs.Registry
+
+	replicas       *obs.Gauge
+	joins          *obs.Counter
+	leaves         *obs.Counter
+	expirations    *obs.Counter
+	roundsDegraded *obs.Counter
+	framesMerged   *obs.Counter
+	frameBytes     *obs.Counter
+	framesRefused  *obs.CounterVec
+	stageSeconds   *obs.HistogramVec
+}
+
+// NewMetrics returns cluster metrics registered on reg, or on a fresh
+// private registry when reg is nil.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{reg: reg}
+	m.init()
+	return m
+}
+
+func (m *Metrics) init() {
+	m.once.Do(func() {
+		if m.reg == nil {
+			m.reg = obs.NewRegistry()
+		}
+		m.replicas = m.reg.Gauge("ldpids_cluster_replicas",
+			"Ingestion replicas currently registered with the coordinator.")
+		m.joins = m.reg.Counter("ldpids_cluster_joins_total",
+			"Replica registrations accepted.")
+		m.leaves = m.reg.Counter("ldpids_cluster_leaves_total",
+			"Graceful replica departures.")
+		m.expirations = m.reg.Counter("ldpids_cluster_expirations_total",
+			"Replicas dropped for missing heartbeats.")
+		m.roundsDegraded = m.reg.Counter("ldpids_cluster_rounds_degraded_total",
+			"Rounds failed because a participant vanished before shipping counters.")
+		m.framesMerged = m.reg.Counter("ldpids_cluster_frames_merged_total",
+			"Replica counter frames merged into round sinks.")
+		m.frameBytes = m.reg.Counter("ldpids_cluster_frame_bytes_total",
+			"Wire bytes of merged counter frames.")
+		m.framesRefused = m.reg.CounterVec("ldpids_cluster_frames_refused_total",
+			"Replica counter frames refused by the coordinator, by reason.", "reason")
+		m.stageSeconds = m.reg.HistogramVec("ldpids_cluster_stage_seconds",
+			"Per-stage cluster latency (replica ship, coordinator merge).",
+			obs.LatencyBuckets, "stage")
+	})
+}
+
+// Registry exposes the underlying registry so callers can co-register
+// other families on the same /metrics surface. Nil-safe.
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	m.init()
+	return m.reg
 }
 
 // setReplicas records the current registered-replica count.
@@ -30,7 +91,8 @@ func (m *Metrics) setReplicas(n int) {
 	if m == nil {
 		return
 	}
-	m.replicas.Store(int64(n))
+	m.init()
+	m.replicas.Set(int64(n))
 }
 
 // addJoin counts one replica registration.
@@ -38,7 +100,8 @@ func (m *Metrics) addJoin() {
 	if m == nil {
 		return
 	}
-	m.joins.Add(1)
+	m.init()
+	m.joins.Inc()
 }
 
 // addLeave counts one graceful replica departure.
@@ -46,7 +109,8 @@ func (m *Metrics) addLeave() {
 	if m == nil {
 		return
 	}
-	m.leaves.Add(1)
+	m.init()
+	m.leaves.Inc()
 }
 
 // addExpiration counts one replica dropped for missing heartbeats.
@@ -54,16 +118,18 @@ func (m *Metrics) addExpiration() {
 	if m == nil {
 		return
 	}
-	m.expirations.Add(1)
+	m.init()
+	m.expirations.Inc()
 }
 
-// addDegradedRound counts one round failed because a participant vanished
-// before shipping its counters.
+// addDegradedRound counts one round failed because a participant
+// vanished before shipping its counters.
 func (m *Metrics) addDegradedRound() {
 	if m == nil {
 		return
 	}
-	m.roundsDegraded.Add(1)
+	m.init()
+	m.roundsDegraded.Inc()
 }
 
 // addFrame counts one replica counter frame merged into a round's sink.
@@ -71,42 +137,55 @@ func (m *Metrics) addFrame(f fo.CounterFrame) {
 	if m == nil {
 		return
 	}
-	m.framesMerged.Add(1)
+	m.init()
+	m.framesMerged.Inc()
 	m.frameBytes.Add(int64(f.WireSize()))
 }
 
-// Render renders the counters in Prometheus text exposition format. It
-// writes body text only (no headers), so it can be appended after another
-// metrics handler's output.
-func (m *Metrics) Render(w io.Writer) {
+// addFrameRefusal counts one counter frame the coordinator refused,
+// under its history.Reason* label.
+func (m *Metrics) addFrameRefusal(reason string) {
 	if m == nil {
-		m = &Metrics{} // render zeros: the exposition shape stays stable
+		return
 	}
-	write := func(name, help, typ string, value int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, value)
-	}
-	write("ldpids_cluster_replicas",
-		"Ingestion replicas currently registered with the coordinator.", "gauge",
-		m.replicas.Load())
-	write("ldpids_cluster_joins_total",
-		"Replica registrations accepted.", "counter", m.joins.Load())
-	write("ldpids_cluster_leaves_total",
-		"Graceful replica departures.", "counter", m.leaves.Load())
-	write("ldpids_cluster_expirations_total",
-		"Replicas dropped for missing heartbeats.", "counter", m.expirations.Load())
-	write("ldpids_cluster_rounds_degraded_total",
-		"Rounds failed because a participant vanished before shipping counters.", "counter",
-		m.roundsDegraded.Load())
-	write("ldpids_cluster_frames_merged_total",
-		"Replica counter frames merged into round sinks.", "counter", m.framesMerged.Load())
-	write("ldpids_cluster_frame_bytes_total",
-		"Wire bytes of merged counter frames.", "counter", m.frameBytes.Load())
+	m.init()
+	m.framesRefused.With(reason).Inc()
 }
 
-// ServeHTTP implements http.Handler for a standalone cluster metrics
-// endpoint (replica processes; the coordinator usually combines this with
-// serve.Metrics on one handler via Render).
+// observeStage records one cluster-stage latency sample (ship on
+// replicas, merge on the coordinator).
+func (m *Metrics) observeStage(stage string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.init()
+	m.stageSeconds.With(stage).ObserveDuration(d)
+}
+
+// value reads one unlabeled series for in-process assertions (tests).
+func (m *Metrics) value(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.init()
+	v, _ := m.reg.Value(name)
+	return int64(v)
+}
+
+// Render renders every family on the registry in Prometheus text
+// exposition format, body only (no headers). With a private registry
+// that is exactly the cluster families; on a shared registry it renders
+// everything mounted there.
+func (m *Metrics) Render(w io.Writer) {
+	if m == nil {
+		m = NewMetrics(nil) // render zeros: the exposition shape stays stable
+	}
+	m.init()
+	m.reg.Render(w)
+}
+
+// ServeHTTP implements http.Handler for a /metrics endpoint.
 func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Header().Set("Content-Type", obs.ContentType)
 	m.Render(w)
 }

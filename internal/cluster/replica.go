@@ -14,6 +14,7 @@ import (
 
 	"ldpids/internal/collect"
 	"ldpids/internal/fo"
+	"ldpids/internal/obs"
 	"ldpids/internal/serve"
 )
 
@@ -57,6 +58,12 @@ type Replica struct {
 	// PollWait is the long-poll parking time per round poll. Zero
 	// selects 10s.
 	PollWait time.Duration
+	// Metrics, when non-nil, records the replica's ship-stage latency.
+	Metrics *Metrics
+	// Tracer, when non-nil, records a shard-round span per served round
+	// and a ship span per counter shipment, parented under the
+	// coordinator's root span from the announcement.
+	Tracer *obs.Tracer
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 
@@ -232,11 +239,16 @@ func (r *Replica) serveRounds(ctx context.Context, jr *joinResponse) error {
 			return fmt.Errorf("cluster: /cluster/v1/round returned status %d", status)
 		}
 		after = ann.Round
-		sh := r.serveRound(jr, oracle, ann)
+		sh, shardCtx := r.serveRound(jr, oracle, ann)
 		if sh.Err != "" {
 			r.logf("cluster: replica %s: round %d failed locally: %s", r.Name, ann.Round, sh.Err)
 		}
-		if err := r.ship(sh); err != nil {
+		shipStart := time.Now()
+		ssp := r.Tracer.Start("ship", shardCtx, ann.Round)
+		err = r.ship(sh)
+		ssp.End(map[string]any{"ok": err == nil, "failed_round": sh.Err != ""})
+		r.Metrics.observeStage(stageShip, time.Since(shipStart))
+		if err != nil {
 			if ctx.Err() != nil {
 				r.leave(jr.Replica)
 				return nil
@@ -247,14 +259,22 @@ func (r *Replica) serveRounds(ctx context.Context, jr *joinResponse) error {
 }
 
 // serveRound runs one announced round against the local backend and
-// returns the shipment: the shard's merged counters, or the local error.
+// returns the shipment — the shard's merged counters, or the local
+// error — plus the span context the subsequent ship span parents under.
 // The (id, token) pair is pinned onto the backend first, so device
-// watermarks and report authentication line up with the global sequence.
-func (r *Replica) serveRound(jr *joinResponse, oracle fo.Oracle, ann *announcement) shipment {
+// watermarks and report authentication line up with the global
+// sequence; the coordinator's trace context is pinned alongside, so the
+// backend's round span (and every device batch span under it) joins the
+// distributed trace.
+func (r *Replica) serveRound(jr *joinResponse, oracle fo.Oracle, ann *announcement) (shipment, obs.SpanContext) {
+	parent, _ := obs.ParseSpanContext(ann.Trace)
+	sp := r.Tracer.Start("shard-round", parent, ann.Round)
+	ctx := sp.ContextOr(parent)
 	sh := shipment{Round: ann.Round, Token: ann.Token, Replica: jr.Replica}
-	fail := func(err error) shipment {
+	defer func() { sp.End(map[string]any{"ok": sh.Err == ""}) }()
+	fail := func(err error) (shipment, obs.SpanContext) {
 		sh.Err = err.Error()
-		return sh
+		return sh, ctx
 	}
 	agg, err := fo.NewStripedAggregator(oracle, ann.Eps, r.Backend.PreferredStripes())
 	if err != nil {
@@ -265,6 +285,7 @@ func (r *Replica) serveRound(jr *joinResponse, oracle fo.Oracle, ann *announceme
 		if err := r.Backend.SetNextRound(ann.Round, ann.Token); err != nil {
 			return fail(err)
 		}
+		r.Backend.SetNextTrace(ctx)
 		if err := r.Backend.Collect(collect.Request{T: ann.T, Users: users, Eps: ann.Eps}, collect.AggregatorSink{Agg: agg}); err != nil {
 			return fail(err)
 		}
@@ -276,7 +297,7 @@ func (r *Replica) serveRound(jr *joinResponse, oracle fo.Oracle, ann *announceme
 		return fail(err)
 	}
 	sh.Frame = f
-	return sh
+	return sh, ctx
 }
 
 // shardUsers intersects the announced user list with this replica's

@@ -51,6 +51,10 @@ type announcement struct {
 	Oracle string  `json:"oracle"`
 	D      int     `json:"d"`
 	N      int     `json:"n"`
+	// Trace is the coordinator's root span context (obs.SpanContext
+	// wire form), present when the coordinator traces. Replicas parent
+	// their shard-round spans under it; it carries no protocol state.
+	Trace string `json:"trace,omitempty"`
 }
 
 // shipment is the gob body of POST /cluster/v1/counters: one replica's

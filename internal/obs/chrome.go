@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON format
+// (the `traceEvents` array consumed by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int64          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ChromeTrace converts span records (typically merged from several
+// processes' trace logs) to Chrome trace-event JSON. Each distinct Src
+// becomes a process row (named via process_name metadata), each round
+// a thread row within it, and each span an "X" complete event, so a
+// distributed round renders as client → replica → coordinator lanes in
+// Perfetto. Output is deterministic for a given span set.
+func ChromeTrace(spans []SpanRecord) ([]byte, error) {
+	srcs := make(map[string]int)
+	var names []string
+	for _, s := range spans {
+		if _, ok := srcs[s.Src]; !ok {
+			srcs[s.Src] = 0
+			names = append(names, s.Src)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		srcs[n] = i + 1
+	}
+
+	sorted := append([]SpanRecord(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].Span < sorted[j].Span
+	})
+
+	events := make([]chromeEvent, 0, len(sorted)+len(names))
+	for _, n := range names {
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   srcs[n],
+			Args:  map[string]any{"name": n},
+		})
+	}
+	for _, s := range sorted {
+		args := map[string]any{
+			"trace": s.Trace,
+			"span":  s.Span,
+			"src":   s.Src,
+		}
+		if s.Parent != "" {
+			args["parent"] = s.Parent
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		dur := float64(s.Dur) / 1e3
+		if dur < 1 {
+			dur = 1 // sub-µs spans still render as a visible slice
+		}
+		events = append(events, chromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    float64(s.Start) / 1e3,
+			Dur:   dur,
+			PID:   srcs[s.Src],
+			TID:   s.Round,
+			Args:  args,
+		})
+	}
+	return json.MarshalIndent(chromeTrace{TraceEvents: events}, "", " ")
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates a Prometheus text exposition (version
+// 0.0.4) stream the way a strict scraper would: every sample must
+// belong to a declared family, histogram families must expose
+// cumulative _bucket series ending in le="+Inf" plus matching _sum and
+// _count, and no family may reuse a reserved histogram suffix as a
+// standalone counter — the exact malformation the pre-registry
+// round-latency metric shipped (_sum/_count declared TYPE counter with
+// no buckets). It is used by the conformance tests and by
+// `ldpids-dump -metrics` in CI smoke jobs.
+func CheckExposition(r io.Reader) error {
+	metricName := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	types := make(map[string]string)     // family -> type
+	helps := make(map[string]bool)       // family -> HELP seen
+	sampled := make(map[string]bool)     // family -> samples seen
+	seen := make(map[string]bool)        // full sample identity -> dedupe
+	hists := make(map[string]*histCheck) // family \x00 labels(less le) -> state
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line, metricName, types, helps, sampled); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := checkSample(line, metricName, types, sampled, seen, hists); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam, typ := range types {
+		if typ != "histogram" {
+			// A counter or gauge squatting on a histogram suffix is how a
+			// half-migrated histogram escapes detection; reject it.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(fam, suffix) {
+					return fmt.Errorf("family %s: reserved histogram suffix %s declared TYPE %s", fam, suffix, typ)
+				}
+			}
+		}
+	}
+	for key, h := range hists {
+		fam := key[:strings.IndexByte(key, '\x00')]
+		if err := h.validate(); err != nil {
+			return fmt.Errorf("histogram %s%s: %w", fam, h.labels, err)
+		}
+	}
+	return nil
+}
+
+func checkComment(line string, metricName *regexp.Regexp, types map[string]string, helps, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	name := fields[2]
+	if !metricName.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q in %s line", name, fields[1])
+	}
+	switch fields[1] {
+	case "HELP":
+		if helps[name] {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		helps[name] = true
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line for %s missing type", name)
+		}
+		typ := fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown type %q for %s", typ, name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		types[name] = typ
+	}
+	return nil
+}
+
+// histCheck accumulates one labeled histogram series' buckets, sum, and
+// count for end-of-stream validation.
+type histCheck struct {
+	labels string
+	les    []float64
+	counts []int64
+	sum    *float64
+	count  *int64
+}
+
+func (h *histCheck) validate() error {
+	if len(h.les) == 0 {
+		return fmt.Errorf("no _bucket series")
+	}
+	if h.sum == nil {
+		return fmt.Errorf("missing _sum")
+	}
+	if h.count == nil {
+		return fmt.Errorf("missing _count")
+	}
+	if !sort.Float64sAreSorted(h.les) {
+		return fmt.Errorf("le bounds out of order")
+	}
+	for i := 1; i < len(h.les); i++ {
+		if h.les[i] == h.les[i-1] {
+			return fmt.Errorf("duplicate le bound %v", h.les[i])
+		}
+		if h.counts[i] < h.counts[i-1] {
+			return fmt.Errorf("bucket counts not cumulative at le=%v", h.les[i])
+		}
+	}
+	last := h.les[len(h.les)-1]
+	if last != inf() {
+		return fmt.Errorf("last bucket le=%v, want +Inf", last)
+	}
+	if h.counts[len(h.counts)-1] != *h.count {
+		return fmt.Errorf("+Inf bucket %d != _count %d", h.counts[len(h.counts)-1], *h.count)
+	}
+	return nil
+}
+
+func inf() float64 { v, _ := strconv.ParseFloat("+Inf", 64); return v }
+
+func checkSample(line string, metricName *regexp.Regexp, types map[string]string, sampled, seen map[string]bool, hists map[string]*histCheck) error {
+	name, labels, valueStr, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	if !metricName.MatchString(name) {
+		return fmt.Errorf("invalid sample name %q", name)
+	}
+	value, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, valueStr)
+	}
+	id := name + "\x00" + canonicalLabels(labels, "")
+	if seen[id] {
+		return fmt.Errorf("duplicate sample %s{%s}", name, canonicalLabels(labels, ""))
+	}
+	seen[id] = true
+
+	// Resolve the owning family: exact name, or a histogram/summary
+	// child suffix of a declared family.
+	if typ, ok := types[name]; ok {
+		sampled[name] = true
+		if typ == "histogram" {
+			return fmt.Errorf("histogram %s exposes a bare sample; want _bucket/_sum/_count", name)
+		}
+		return nil
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		typ, ok := types[base]
+		if !ok {
+			continue
+		}
+		if typ != "histogram" && !(typ == "summary" && suffix != "_bucket") {
+			return fmt.Errorf("sample %s does not match TYPE %s of %s", name, typ, base)
+		}
+		sampled[base] = true
+		if typ != "histogram" {
+			return nil
+		}
+		le, rest := extractLE(labels)
+		h := hists[base+"\x00"+rest]
+		if h == nil {
+			h = &histCheck{labels: rest}
+			hists[base+"\x00"+rest] = h
+		}
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("%s missing le label", name)
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", name, le)
+			}
+			h.les = append(h.les, bound)
+			h.counts = append(h.counts, int64(value))
+		case "_sum":
+			v := value
+			h.sum = &v
+		case "_count":
+			c := int64(value)
+			h.count = &c
+		}
+		return nil
+	}
+	return fmt.Errorf("sample %s has no TYPE declaration", name)
+}
+
+// splitSample parses `name{labels} value` or `name value`.
+func splitSample(line string) (name, labels, value string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		return line[:i], line[i+1 : j], strings.TrimSpace(line[j+1:]), nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "", "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	return fields[0], "", fields[1], nil
+}
+
+// splitLabels breaks `k1="v1",k2="v2"` into pairs; values may contain
+// escaped quotes.
+func splitLabels(labels string) []string {
+	var pairs []string
+	for len(labels) > 0 {
+		eq := strings.IndexByte(labels, '=')
+		if eq < 0 {
+			pairs = append(pairs, labels)
+			break
+		}
+		// Value starts at the quote after '='; scan to the closing
+		// unescaped quote.
+		i := eq + 1
+		if i < len(labels) && labels[i] == '"' {
+			i++
+			for i < len(labels) && (labels[i] != '"' || labels[i-1] == '\\') {
+				i++
+			}
+			i++ // past closing quote
+		}
+		pairs = append(pairs, strings.TrimSuffix(labels[:min(i, len(labels))], ","))
+		if i >= len(labels) {
+			break
+		}
+		labels = strings.TrimPrefix(labels[i:], ",")
+	}
+	return pairs
+}
+
+// canonicalLabels sorts label pairs (dropping the named key) so sample
+// identity and histogram grouping ignore exposition order.
+func canonicalLabels(labels, drop string) string {
+	pairs := splitLabels(labels)
+	kept := pairs[:0]
+	for _, p := range pairs {
+		if drop != "" && strings.HasPrefix(p, drop+"=") {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, ",")
+}
+
+// extractLE pulls the le label value out and returns the remaining
+// canonicalized label set.
+func extractLE(labels string) (le, rest string) {
+	for _, p := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(p, "le="); ok {
+			le = strings.Trim(v, `"`)
+		}
+	}
+	return le, canonicalLabels(labels, "le")
+}

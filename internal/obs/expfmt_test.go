@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckExpositionAccepts(t *testing.T) {
+	good := `# HELP ldpids_gateway_reports_folded_total Perturbed reports folded.
+# TYPE ldpids_gateway_reports_folded_total counter
+ldpids_gateway_reports_folded_total 42
+# HELP ldpids_cluster_replicas Live replicas.
+# TYPE ldpids_cluster_replicas gauge
+ldpids_cluster_replicas 2
+# HELP ldpids_gateway_round_latency_seconds Round latency.
+# TYPE ldpids_gateway_round_latency_seconds histogram
+ldpids_gateway_round_latency_seconds_bucket{le="0.1"} 1
+ldpids_gateway_round_latency_seconds_bucket{le="1"} 3
+ldpids_gateway_round_latency_seconds_bucket{le="+Inf"} 3
+ldpids_gateway_round_latency_seconds_sum 0.9
+ldpids_gateway_round_latency_seconds_count 3
+# HELP ldpids_gateway_stage_seconds Stage latency.
+# TYPE ldpids_gateway_stage_seconds histogram
+ldpids_gateway_stage_seconds_bucket{stage="fold",wire="json",le="0.01"} 5
+ldpids_gateway_stage_seconds_bucket{stage="fold",wire="json",le="+Inf"} 5
+ldpids_gateway_stage_seconds_sum{stage="fold",wire="json"} 0.002
+ldpids_gateway_stage_seconds_count{stage="fold",wire="json"} 5
+`
+	if err := CheckExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("well-formed exposition rejected: %v", err)
+	}
+}
+
+// TestCheckExpositionRejectsLegacyRoundLatency pins the satellite bug:
+// the pre-registry serve.Metrics emitted round latency as bare
+// _sum/_count samples each declared TYPE counter, with no _bucket
+// series — a shape scrapers reject as a half-declared histogram.
+func TestCheckExpositionRejectsLegacyRoundLatency(t *testing.T) {
+	legacy := `# HELP ldpids_gateway_round_latency_seconds_sum Total time spent in rounds.
+# TYPE ldpids_gateway_round_latency_seconds_sum counter
+ldpids_gateway_round_latency_seconds_sum 0.35
+# HELP ldpids_gateway_round_latency_seconds_count Rounds timed.
+# TYPE ldpids_gateway_round_latency_seconds_count counter
+ldpids_gateway_round_latency_seconds_count 2
+`
+	if err := CheckExposition(strings.NewReader(legacy)); err == nil {
+		t.Error("legacy _sum/_count-as-counter exposition accepted; want rejection")
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"sample without TYPE", "ldpids_x_total 1\n"},
+		{"duplicate TYPE", "# TYPE ldpids_x_total counter\n# TYPE ldpids_x_total counter\nldpids_x_total 1\n"},
+		{"duplicate sample", "# TYPE ldpids_x_total counter\nldpids_x_total 1\nldpids_x_total 2\n"},
+		{"bad value", "# TYPE ldpids_x_total counter\nldpids_x_total zero\n"},
+		{"unknown type", "# TYPE ldpids_x_total countr\nldpids_x_total 1\n"},
+		{"histogram bare sample", "# TYPE ldpids_h_seconds histogram\nldpids_h_seconds 1\n"},
+		{
+			"histogram no +Inf",
+			"# TYPE ldpids_h_seconds histogram\nldpids_h_seconds_bucket{le=\"1\"} 1\nldpids_h_seconds_sum 1\nldpids_h_seconds_count 1\n",
+		},
+		{
+			"histogram missing sum",
+			"# TYPE ldpids_h_seconds histogram\nldpids_h_seconds_bucket{le=\"+Inf\"} 1\nldpids_h_seconds_count 1\n",
+		},
+		{
+			"histogram missing count",
+			"# TYPE ldpids_h_seconds histogram\nldpids_h_seconds_bucket{le=\"+Inf\"} 1\nldpids_h_seconds_sum 1\n",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE ldpids_h_seconds histogram\nldpids_h_seconds_bucket{le=\"1\"} 5\nldpids_h_seconds_bucket{le=\"2\"} 3\nldpids_h_seconds_bucket{le=\"+Inf\"} 5\nldpids_h_seconds_sum 1\nldpids_h_seconds_count 5\n",
+		},
+		{
+			"+Inf bucket disagrees with count",
+			"# TYPE ldpids_h_seconds histogram\nldpids_h_seconds_bucket{le=\"+Inf\"} 4\nldpids_h_seconds_sum 1\nldpids_h_seconds_count 5\n",
+		},
+		{
+			"bucket missing le",
+			"# TYPE ldpids_h_seconds histogram\nldpids_h_seconds_bucket{wire=\"json\"} 4\nldpids_h_seconds_sum 1\nldpids_h_seconds_count 4\n",
+		},
+	}
+	for _, tc := range cases {
+		if err := CheckExposition(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted, want rejection", tc.name)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+// Package obs is the gateway's dependency-free telemetry subsystem: a
+// small metric registry rendered in Prometheus text exposition format,
+// and round-lifecycle tracing recorded to a crash-safe JSONL log.
+//
+// The registry supports exactly three instrument kinds — counters,
+// gauges, and fixed-bucket histograms — with optional label vectors.
+// That is deliberately less than a full metrics library: every series
+// is pre-registered with a bounded label set, so the exposition surface
+// is enumerable at review time and the metricnames analyzer can lint
+// names and labels statically. All instrument methods are safe on nil
+// receivers, so telemetry wiring never forces a caller to branch: a
+// component without a registry simply records nothing.
+//
+// Telemetry is strictly observe-only. Nothing in this package feeds
+// back into mechanism state, randomness, or wire payload bytes, which
+// preserves the repo-wide bit-identity contract: runs with tracing and
+// metrics enabled release byte-identical estimates to uninstrumented
+// runs.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Registry.ServeHTTP.
+const ContentType = "text/plain; version=0.0.4"
+
+// LatencyBuckets is the default upper-bound set for per-stage latency
+// histograms: 1µs to 10s in decade steps, wide enough for both the
+// in-process fold path (~µs) and cross-process round trips (~ms–s).
+var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// Registry holds a set of metric families and renders them in
+// Prometheus text exposition format. The zero value is not usable; use
+// NewRegistry. A nil *Registry is safe: every registration method
+// returns a nil instrument whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one metric name: its metadata plus every labeled series
+// registered or materialized under it.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	labels  []string
+	buckets []float64      // histogram upper bounds, ascending, no +Inf
+	fn      func() float64 // value callback for *Func instruments
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one (family, label values) time series. Counters and
+// gauges use val; histograms use buckets/sum/count.
+type series struct {
+	values  []string
+	bounds  []float64 // shared with family.buckets
+	val     atomic.Int64
+	sum     atomicFloat
+	count   atomic.Int64
+	buckets []atomic.Int64 // per-bound occupancy, cumulated at render
+}
+
+// atomicFloat is a CAS-loop float64 accumulator, enough for histogram
+// sums without importing a metrics dependency.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// register installs a family, panicking on a duplicate name — metric
+// names are program constants, so a collision is a programming error,
+// not a runtime condition to paper over.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64, fn func() float64) *family {
+	if r == nil {
+		return nil
+	}
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for _, l := range labels {
+		if l == "le" {
+			panic("obs: label name \"le\" is reserved for histogram buckets")
+		}
+	}
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	for i := 1; i < len(bs); i++ {
+		if bs[i] == bs[i-1] {
+			panic(fmt.Sprintf("obs: duplicate histogram bucket %v in %s", bs[i], name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.families == nil {
+		r.families = make(map[string]*family)
+	}
+	if _, dup := r.families[name]; dup {
+		panic("obs: duplicate metric family " + name)
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  append([]string(nil), labels...),
+		buckets: bs,
+		fn:      fn,
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// get materializes (or returns) the series for the given label values.
+func (f *family) get(values []string) *series {
+	if f == nil {
+		return nil
+	}
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{
+		values: append([]string(nil), values...),
+		bounds: f.buckets,
+	}
+	if f.typ == "histogram" {
+		s.buckets = make([]atomic.Int64, len(f.buckets))
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter is a monotonically increasing integer series.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n, which must be non-negative.
+func (c *Counter) Add(n int64) {
+	if c == nil || c.s == nil {
+		return
+	}
+	c.s.val.Add(n)
+}
+
+// Gauge is a series that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.val.Store(n)
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.val.Add(n)
+}
+
+// Histogram is a fixed-bucket distribution series.
+type Histogram struct{ s *series }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.s == nil {
+		return
+	}
+	s := h.s
+	if i := sort.SearchFloat64s(s.bounds, v); i < len(s.buckets) {
+		s.buckets[i].Add(1)
+	}
+	s.sum.Add(v)
+	s.count.Add(1)
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// CounterVec is a counter family with labels; With selects a series.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (registration
+// order). Nil-safe: a nil vec yields a nil, no-op counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Counter{s: v.f.get(values)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Histogram{s: v.f.get(values)}
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter", nil, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return &Counter{s: f.get(nil)}
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	f := r.register(name, help, "counter", labels, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return &CounterVec{f: f}
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// render time (for monotone runtime totals like GC pause time).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, "counter", nil, nil, fn)
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "gauge", nil, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return &Gauge{s: f.get(nil)}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render
+// time (for runtime stats like goroutine count).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", nil, nil, fn)
+}
+
+// Histogram registers an unlabeled histogram with the given ascending
+// bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, "histogram", nil, buckets, nil)
+	if f == nil {
+		return nil
+	}
+	return &Histogram{s: f.get(nil)}
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	f := r.register(name, help, "histogram", labels, buckets, nil)
+	if f == nil {
+		return nil
+	}
+	return &HistogramVec{f: f}
+}
+
+// Value returns the current value of the series identified by name and
+// label values: counter/gauge value, or sample count for a histogram.
+// The second result is false if no such series exists. Intended for
+// tests and in-process assertions, not for rendering.
+func (r *Registry) Value(name string, values ...string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	if f == nil {
+		return 0, false
+	}
+	if f.fn != nil {
+		return f.fn(), true
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	s := f.series[key]
+	f.mu.Unlock()
+	if s == nil {
+		return 0, false
+	}
+	if f.typ == "histogram" {
+		return float64(s.count.Load()), true
+	}
+	return float64(s.val.Load()), true
+}
+
+// Render writes every family in Prometheus text exposition format
+// (version 0.0.4), sorted by family name with series sorted by label
+// values, so output is deterministic for a given registry state.
+func (r *Registry) Render(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.render(w)
+	}
+}
+
+func (f *family) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	if f.fn != nil {
+		fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
+		return
+	}
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	all := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		all = append(all, f.series[k])
+	}
+	f.mu.Unlock()
+	for _, s := range all {
+		switch f.typ {
+		case "histogram":
+			f.renderHistogram(w, s)
+		default:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.values, "", ""), strconv.FormatInt(s.val.Load(), 10))
+		}
+	}
+}
+
+func (f *family) renderHistogram(w io.Writer, s *series) {
+	// Snapshot count first: concurrent Observe calls bump count after
+	// their bucket, so reading count before buckets keeps the rendered
+	// +Inf bucket (== count) at least as large as the bucket sums.
+	count := s.count.Load()
+	var cum int64
+	for i := range s.buckets {
+		cum += s.buckets[i].Load()
+		if cum > count {
+			cum = count
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.values, "le", formatFloat(f.buckets[i])), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.values, "le", "+Inf"), count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.values, "", ""), formatFloat(s.sum.Load()))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.values, "", ""), count)
+}
+
+// labelString renders {k="v",...}, appending the extra pair (used for
+// le) last; it returns "" when there are no labels at all.
+func labelString(labels, values []string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ServeHTTP renders the registry, making it mountable at /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	r.Render(w)
+}

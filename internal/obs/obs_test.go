@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ldpids_test_events_total", "Events seen.")
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("ldpids_test_workers", "Current workers.")
+	g.Set(7)
+	g.Add(-2)
+	v := r.CounterVec("ldpids_test_refusals_total", "Refusals by reason.", "reason")
+	v.With("stale_token").Add(3)
+	v.With("malformed").Inc()
+
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ldpids_test_events_total counter\n",
+		"ldpids_test_events_total 5\n",
+		"# TYPE ldpids_test_workers gauge\n",
+		"ldpids_test_workers 5\n",
+		`ldpids_test_refusals_total{reason="malformed"} 1` + "\n",
+		`ldpids_test_refusals_total{reason="stale_token"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("rendered output fails conformance: %v", err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ldpids_test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.5, 3} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ldpids_test_latency_seconds histogram\n",
+		`ldpids_test_latency_seconds_bucket{le="0.01"} 1` + "\n",
+		`ldpids_test_latency_seconds_bucket{le="0.1"} 2` + "\n",
+		`ldpids_test_latency_seconds_bucket{le="1"} 3` + "\n",
+		`ldpids_test_latency_seconds_bucket{le="+Inf"} 4` + "\n",
+		"ldpids_test_latency_seconds_sum 3.525\n",
+		"ldpids_test_latency_seconds_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("rendered output fails conformance: %v", err)
+	}
+}
+
+func TestHistogramVecLabelOrder(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("ldpids_test_stage_seconds", "Stage latency.", []float64{1}, "stage", "wire")
+	v.With("fold", "json").ObserveDuration(50 * time.Millisecond)
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	want := `ldpids_test_stage_seconds_bucket{stage="fold",wire="json",le="1"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("output missing %q:\n%s", want, out)
+	}
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("rendered output fails conformance: %v", err)
+	}
+}
+
+func TestValueAccessor(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ldpids_test_a_total", "a").Add(2)
+	r.CounterVec("ldpids_test_b_total", "b", "wire").With("json").Add(9)
+	r.Histogram("ldpids_test_c_seconds", "c", []float64{1}).Observe(0.5)
+	if v, ok := r.Value("ldpids_test_a_total"); !ok || v != 2 {
+		t.Errorf("Value(a) = %v, %v; want 2, true", v, ok)
+	}
+	if v, ok := r.Value("ldpids_test_b_total", "json"); !ok || v != 9 {
+		t.Errorf("Value(b, json) = %v, %v; want 9, true", v, ok)
+	}
+	if v, ok := r.Value("ldpids_test_c_seconds"); !ok || v != 1 {
+		t.Errorf("Value(c) = %v, %v; want count 1, true", v, ok)
+	}
+	if _, ok := r.Value("ldpids_test_missing"); ok {
+		t.Error("Value(missing) reported ok")
+	}
+	if _, ok := r.Value("ldpids_test_b_total", "binary"); ok {
+		t.Error("Value(b, binary) reported ok for unmaterialized series")
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	r.Counter("ldpids_test_x_total", "x").Inc()
+	r.CounterVec("ldpids_test_y_total", "y", "reason").With("a").Add(2)
+	r.Gauge("ldpids_test_z", "z").Set(1)
+	r.GaugeFunc("ldpids_test_fn", "fn", func() float64 { return 1 })
+	r.Histogram("ldpids_test_h_seconds", "h", LatencyBuckets).Observe(1)
+	r.HistogramVec("ldpids_test_hv_seconds", "hv", LatencyBuckets, "wire").With("json").Observe(1)
+	RegisterRuntimeGauges(r)
+	var b strings.Builder
+	r.Render(&b)
+	if b.Len() != 0 {
+		t.Errorf("nil registry rendered output: %q", b.String())
+	}
+	if _, ok := r.Value("ldpids_test_x_total"); ok {
+		t.Error("nil registry Value reported ok")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ldpids_test_dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("ldpids_test_dup_total", "second")
+}
+
+func TestRuntimeGaugesRender(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeGauges(r)
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"ldpids_runtime_goroutines ",
+		"ldpids_runtime_heap_alloc_bytes ",
+		"ldpids_runtime_gc_pause_seconds_total ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("runtime gauges fail conformance: %v", err)
+	}
+}

@@ -1,0 +1,26 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeGauges installs process-health metrics read at scrape
+// time: goroutine count, live heap bytes, and cumulative GC pause
+// time. Nil-safe; registering twice on one registry panics like any
+// duplicate family.
+func RegisterRuntimeGauges(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("ldpids_runtime_goroutines", "Current number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("ldpids_runtime_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.CounterFunc("ldpids_runtime_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.PauseTotalNs) / 1e9
+	})
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries a span context between
+// processes: `trace-span`, hex-encoded, as rendered by
+// SpanContext.String.
+const TraceHeader = "X-Ldpids-Trace"
+
+// SpanContext identifies a position in a trace: the shared trace id
+// plus the id of one span, which children adopt as their parent.
+type SpanContext struct {
+	Trace string // 16-byte hex trace id, shared by every span in a round
+	Span  string // 8-byte hex span id
+}
+
+// Valid reports whether both ids are present.
+func (sc SpanContext) Valid() bool { return sc.Trace != "" && sc.Span != "" }
+
+// String renders the wire form `trace-span`, or "" if invalid.
+func (sc SpanContext) String() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.Trace + "-" + sc.Span
+}
+
+// ParseSpanContext parses the wire form produced by String. A missing
+// or malformed value yields ok=false and a zero context — propagation
+// is best-effort, never a request error.
+func ParseSpanContext(s string) (sc SpanContext, ok bool) {
+	tr, sp, found := strings.Cut(s, "-")
+	if !found || !isHex(tr) || !isHex(sp) || tr == "" || sp == "" {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: tr, Span: sp}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// newID returns n crypto-random bytes hex-encoded. Trace ids draw from
+// crypto/rand, not the mechanisms' seeded streams, so tracing can never
+// consume privacy randomness or perturb a seeded run.
+func newID(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing means the platform is broken; ids going
+		// static degrades trace grouping, nothing else.
+		return strings.Repeat("00", n)
+	}
+	return hex.EncodeToString(b)
+}
+
+// Tracer mints spans for one process (its src tag) and records them to
+// a TraceLog. A nil Tracer is the disabled state: Start returns a nil
+// span whose methods all no-op, and ContextOr passes the parent
+// through, so propagation still works across an untraced hop.
+type Tracer struct {
+	src string
+	log *TraceLog
+}
+
+// NewTracer returns a tracer stamping src on every span, or nil if log
+// is nil (tracing disabled).
+func NewTracer(src string, log *TraceLog) *Tracer {
+	if log == nil {
+		return nil
+	}
+	return &Tracer{src: src, log: log}
+}
+
+// Span is one in-flight timed operation. Create with Tracer.Start,
+// finish with End. All methods are nil-safe.
+type Span struct {
+	t      *Tracer
+	name   string
+	start  time.Time
+	mu     sync.Mutex
+	ctx    SpanContext
+	parent string
+	round  int64
+	ended  bool
+}
+
+// Start begins a span. If parent is valid the span joins its trace;
+// otherwise a fresh trace id is minted (a root span). round tags the
+// span with the protocol round it serves (0 if not yet known; see
+// SetRound).
+func (t *Tracer) Start(name string, parent SpanContext, round int64) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{
+		t:     t,
+		name:  name,
+		start: time.Now(),
+		round: round,
+		ctx:   SpanContext{Trace: parent.Trace, Span: newID(8)},
+	}
+	if parent.Valid() {
+		s.parent = parent.Span
+	} else {
+		s.ctx.Trace = newID(16)
+	}
+	return s
+}
+
+// Context returns the span's context for propagation to children.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctx
+}
+
+// ContextOr returns the span's context, or fallback when the span is
+// nil — the pass-through that keeps a trace connected across a process
+// that has tracing disabled.
+func (s *Span) ContextOr(fallback SpanContext) SpanContext {
+	if s == nil {
+		return fallback
+	}
+	return s.Context()
+}
+
+// SetParent late-binds the span into parent's trace. Used when the
+// parent context arrives after the span started (e.g. a report batch
+// without a trace header joining the backend's round span).
+func (s *Span) SetParent(parent SpanContext) {
+	if s == nil || !parent.Valid() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctx.Trace = parent.Trace
+	s.parent = parent.Span
+}
+
+// SetRound tags the span with its round id once known.
+func (s *Span) SetRound(round int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.round = round
+}
+
+// End records the span to the trace log with optional attributes.
+// Ending twice records once.
+func (s *Span) End(attrs map[string]any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		Trace:  s.ctx.Trace,
+		Span:   s.ctx.Span,
+		Parent: s.parent,
+		Name:   s.name,
+		Src:    s.t.src,
+		Round:  s.round,
+		Start:  s.start.UnixNano(),
+		Dur:    time.Since(s.start).Nanoseconds(),
+		Attrs:  attrs,
+	}
+	s.mu.Unlock()
+	s.t.log.Append(rec)
+}

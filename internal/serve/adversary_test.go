@@ -241,3 +241,87 @@ func TestAdversaryScheduleAudited(t *testing.T) {
 		t.Fatal("tampered counters must fail the checker")
 	}
 }
+
+// TestAdversaryRefusalMetrics runs a refusal-only hostile schedule — no
+// attack here ever folds a report — and asserts the gateway's per-reason
+// refusal counters account for every attack while the fold counter stays
+// at zero. Refusals must be observable without reading the journal.
+func TestAdversaryRefusalMetrics(t *testing.T) {
+	const n, d = 4, 4
+	backend, err := NewBackend(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend.Timeout = 500 * time.Millisecond
+	backend.MaxBatch = 8
+	metrics := NewMetrics(nil)
+	backend.Metrics = metrics
+	ts := httptest.NewServer(backend)
+	defer ts.Close()
+
+	fns := Funcs{Report: func(id, t int, eps float64) fo.Report {
+		return fo.Report{Kind: fo.KindValue, Value: id % d}
+	}}
+	adv, err := NewAdversary(ts.URL, 0, 1, fns, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oracle := fo.NewGRR(d)
+	agg, err := oracle.NewAggregator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- backend.Collect(collect.Request{T: 1, Eps: 1}, collect.AggregatorSink{Agg: agg})
+	}()
+	ri, err := adv.AwaitRound(0)
+	if err != nil || ri == nil {
+		t.Fatalf("awaiting round: ri=%v err=%v", ri, err)
+	}
+	mustStatus := func(what string, got int, err error, want int) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if got != want {
+			t.Fatalf("%s answered %d, want %d", what, got, want)
+		}
+	}
+	st, err := adv.Malformed()
+	mustStatus("malformed body", st, err, http.StatusBadRequest)
+	st, err = adv.ForgeToken(ri)
+	mustStatus("forged token", st, err, http.StatusConflict)
+	st, err = adv.Oversized(ri, backend.MaxBatch)
+	mustStatus("oversized batch", st, err, http.StatusRequestEntityTooLarge)
+	resp, err := http.Post(ts.URL+"/v1/report", "application/x-unknown", strings.NewReader("?"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	mustStatus("unknown content type", resp.StatusCode, nil, http.StatusUnsupportedMediaType)
+	// Nobody honest answers; the round times out rather than folding.
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("refusal-only round must time out, got %v", err)
+	}
+	backend.Close()
+
+	count := func(reason string) float64 {
+		v, _ := metrics.Registry().Value("ldpids_gateway_refusals_total", reason)
+		return v
+	}
+	for _, reason := range []string{
+		history.ReasonMalformed,
+		history.ReasonStaleToken,
+		history.ReasonBatchTooLarge,
+		history.ReasonUnsupportedWire,
+	} {
+		if got := count(reason); got != 1 {
+			t.Errorf("refusals{reason=%q} = %v, want 1", reason, got)
+		}
+	}
+	if v, ok := metrics.Registry().Value("ldpids_gateway_reports_folded_total"); !ok || v != 0 {
+		t.Errorf("reports folded = %v (ok=%v), want 0: refused requests must not fold", v, ok)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"ldpids/internal/collect"
 	"ldpids/internal/fo"
+	"ldpids/internal/obs"
 )
 
 // Funcs holds a client process's local randomizers, mirroring
@@ -52,6 +53,11 @@ type Client struct {
 	// the client re-posts the same batch as JSON and stays on JSON from
 	// then on, so a mixed fleet degrades instead of stalling.
 	Wire Wire
+	// Tracer, when non-nil, records a span per report post, parented
+	// under the round span the announcement's Trace names. With a nil
+	// Tracer the announced context is still echoed on the trace header,
+	// so an untraced client does not break the aggregator's trace.
+	Tracer *obs.Tracer
 
 	jsonOnly bool // a 415 turned the binary wire down for good
 
@@ -278,8 +284,15 @@ func (c *Client) answer(ri *RoundInfo) error {
 	if chunk <= 0 {
 		chunk = DefaultMaxBatch
 	}
+	roundCtx, _ := obs.ParseSpanContext(ri.Trace)
 	for len(users) > 0 {
 		n := min(chunk, len(users))
+		sp := c.Tracer.Start("post", roundCtx, ri.Round)
+		// End is idempotent: the happy path ends the span with its status
+		// below, and this deferred end catches every abort path (Close
+		// mid-retry, retry budget exhausted) so no span leaks unended.
+		defer sp.End(map[string]any{"reports": n, "aborted": true})
+		trace := sp.ContextOr(roundCtx).String()
 		batch := reportBatch{Round: ri.Round, Token: ri.Token, Reports: make([]wireReport, 0, n)}
 		for _, u := range users[:n] {
 			var contribution collect.Contribution
@@ -296,8 +309,8 @@ func (c *Client) answer(ri *RoundInfo) error {
 		// which the client treats as "round closed"), and a replica
 		// restarting under the post comes back within the backoff budget.
 		bo, maxRetries := c.retry()
-		status, err := c.post(batch)
-		for retries := 0; err != nil; status, err = c.post(batch) {
+		status, err := c.post(batch, trace)
+		for retries := 0; err != nil; status, err = c.post(batch, trace) {
 			if c.stopped() {
 				return nil
 			}
@@ -310,6 +323,7 @@ func (c *Client) answer(ri *RoundInfo) error {
 			}
 		}
 		bo.Reset()
+		sp.End(map[string]any{"reports": len(batch.Reports), "status": status})
 		switch status {
 		case http.StatusOK:
 		case http.StatusConflict:
@@ -326,19 +340,19 @@ func (c *Client) answer(ri *RoundInfo) error {
 // post sends one report batch over the selected wire, negotiating per
 // batch: a 415 on the binary wire falls back to JSON immediately (the
 // same batch is re-posted; nothing of it folded) and permanently.
-func (c *Client) post(batch reportBatch) (int, error) {
+func (c *Client) post(batch reportBatch, trace string) (int, error) {
 	if c.Wire == WireBinary && !c.jsonOnly {
-		status, err := c.postAs(batch, ContentTypeBinary)
+		status, err := c.postAs(batch, ContentTypeBinary, trace)
 		if err != nil || status != http.StatusUnsupportedMediaType {
 			return status, err
 		}
 		c.jsonOnly = true
 	}
-	return c.postAs(batch, ContentTypeJSON)
+	return c.postAs(batch, ContentTypeJSON, trace)
 }
 
 // postAs sends one report batch under the given content type.
-func (c *Client) postAs(batch reportBatch, contentType string) (int, error) {
+func (c *Client) postAs(batch reportBatch, contentType, trace string) (int, error) {
 	var (
 		body []byte
 		err  error
@@ -358,6 +372,9 @@ func (c *Client) postAs(batch reportBatch, contentType string) (int, error) {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", contentType)
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, err

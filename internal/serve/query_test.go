@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ldpids/internal/obs"
 )
 
 func TestSnapshotsPublishLatest(t *testing.T) {
@@ -157,12 +159,24 @@ func TestMetricsEndpoint(t *testing.T) {
 	m.observeRound(100*time.Millisecond, false)
 	m.addRelease()
 
+	m.SetLabels("GRR", WireJSON)
+	m.addRefusal("stale_token")
+	m.observeStage(stageFold, WireJSON, 2*time.Millisecond)
+	m.observeBatch(WireJSON, 8, 640)
+	m.ObserveRelease(time.Millisecond)
+
 	// All recorders are nil-safe.
 	var nilM *Metrics
 	nilM.addReport()
 	nilM.addBytes(1)
 	nilM.observeRound(time.Second, true)
 	nilM.addRelease()
+	nilM.addRefusal("stale_token")
+	nilM.observeStage(stageFold, WireJSON, time.Second)
+	nilM.observeBatch(WireJSON, 1, 1)
+	nilM.ObserveRelease(time.Second)
+	nilM.SetLabels("GRR", WireJSON)
+	nilM.Registry()
 
 	ts := httptest.NewServer(m)
 	defer ts.Close()
@@ -185,9 +199,26 @@ func TestMetricsEndpoint(t *testing.T) {
 		"ldpids_gateway_round_latency_seconds_sum 0.35",
 		"ldpids_gateway_round_latency_seconds_count 2",
 		"ldpids_gateway_releases_total 1",
+		// The satellite fix: round latency is a real histogram now, with
+		// cumulative buckets ending at +Inf under one TYPE histogram.
+		"# TYPE ldpids_gateway_round_latency_seconds histogram",
+		`ldpids_gateway_round_latency_seconds_bucket{le="+Inf"} 2`,
+		`ldpids_gateway_refusals_total{reason="stale_token"} 1`,
+		`ldpids_gateway_stage_seconds_bucket{stage="fold",wire="json",oracle="GRR",le="+Inf"} 1`,
+		`ldpids_gateway_stage_seconds_bucket{stage="release",wire="json",oracle="GRR",le="+Inf"} 1`,
+		`ldpids_gateway_batch_reports_bucket{wire="json",le="16"} 1`,
+		`ldpids_gateway_report_bytes_count{wire="json"} 1`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics output missing %q:\n%s", want, body)
 		}
+	}
+	// Exposition-format conformance: /metrics must parse as well-formed
+	// Prometheus text the way a strict scraper reads it, line by line.
+	if err := obs.CheckExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("metrics output fails exposition conformance: %v\n%s", err, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.ContentType)
 	}
 }

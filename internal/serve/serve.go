@@ -52,6 +52,7 @@ import (
 
 	"ldpids/internal/collect"
 	"ldpids/internal/history"
+	"ldpids/internal/obs"
 )
 
 // Defaults for Backend knobs.
@@ -98,6 +99,11 @@ type Backend struct {
 	// and round close, replayable offline by cmd/ldpids-check. Nil (the
 	// default) logs nothing.
 	History *history.Log
+	// Tracer, when non-nil, records a span per collection round and per
+	// accepted report batch to the trace log. Tracing is observe-only:
+	// span contexts ride headers and announcements but never touch round
+	// state, randomness, or payload bytes.
+	Tracer *obs.Tracer
 	// Wire declares which report-batch encoding this deployment's clients
 	// post (the server itself accepts both on every POST, negotiating per
 	// batch by Content-Type): it selects the per-report framing constant
@@ -110,8 +116,9 @@ type Backend struct {
 	mu       sync.Mutex
 	round    *round
 	nextID   int64
-	pinToken string        // next round's token when pinned via SetNextRound
-	announce chan struct{} // closed and replaced when a round opens
+	pinToken string          // next round's token when pinned via SetNextRound
+	pinTrace obs.SpanContext // next round's parent span, pinned via SetNextTrace
+	announce chan struct{}   // closed and replaced when a round opens
 	closed   bool
 	done     chan struct{}
 
@@ -169,6 +176,9 @@ type round struct {
 	striped collect.StripedSink // non-nil when folding shard-locally
 	stripes int
 	foldMu  sync.Mutex // serializes Absorb on non-striped sinks
+
+	span  *obs.Span       // the round's trace span; nil when tracing is off
+	trace obs.SpanContext // announced to clients so batch spans join the trace
 
 	mu        sync.Mutex
 	total     int         // requested report count (with multiplicity)
@@ -331,7 +341,13 @@ func (b *Backend) Collect(req collect.Request, sink collect.Sink) error {
 	if token == "" {
 		token = b.token()
 	}
+	parent := b.pinTrace
+	b.pinTrace = obs.SpanContext{}
 	rd := newRound(b.nextID, token, req, b.n, sink)
+	// The round span (and the context it announces) exists before any
+	// client can see the round, so every batch span can join its trace.
+	rd.span = b.Tracer.Start("round", parent, rd.id)
+	rd.trace = rd.span.ContextOr(parent)
 	b.round = rd
 	// The round record lands before the announcement (still under b.mu,
 	// which every handler crosses to see the round), so no batch record
@@ -392,6 +408,7 @@ func (b *Backend) Collect(req collect.Request, sink collect.Sink) error {
 		b.History.Append(crec)
 	}
 	b.Metrics.observeRound(time.Since(start), err == nil)
+	rd.span.End(map[string]any{"t": rd.t, "ok": err == nil})
 	return err
 }
 
@@ -418,6 +435,17 @@ func (b *Backend) SetNextRound(id int64, token string) error {
 	b.nextID = id - 1
 	b.pinToken = token
 	return nil
+}
+
+// SetNextTrace pins the parent span context the next Collect's round
+// span joins, letting a cluster replica parent its rounds under the
+// coordinator's trace. Like SetNextRound it applies to exactly one
+// round; unlike it, pinning during an in-flight round is not an error —
+// the context simply applies to the round after.
+func (b *Backend) SetNextTrace(parent obs.SpanContext) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pinTrace = parent
 }
 
 // Close fails any in-flight round and refuses further rounds and requests.
@@ -507,6 +535,7 @@ func (b *Backend) handleRound(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, RoundInfo{
 				Round: rd.id, T: rd.t, Eps: rd.eps, Numeric: rd.numeric,
 				Token: rd.token, Users: rd.users, N: b.n,
+				Trace: rd.trace.String(),
 			})
 			return
 		}
@@ -552,6 +581,7 @@ func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
 			b.History.Append(history.Record{Kind: history.KindBatch, Verdict: history.VerdictRefused,
 				Reason: history.ReasonUnsupportedWire, Status: http.StatusUnsupportedMediaType})
 		}
+		b.Metrics.addRefusal(history.ReasonUnsupportedWire)
 		httpError(w, http.StatusUnsupportedMediaType,
 			"serve: unsupported report content type %q (want %s or %s)", ct, ContentTypeJSON, ContentTypeBinary)
 	}
@@ -561,6 +591,8 @@ func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
 // encoding.
 func (b *Backend) handleReportJSON(w http.ResponseWriter, r *http.Request, maxBody int64) {
 	body := &countingReader{inner: http.MaxBytesReader(w, r.Body, maxBody)}
+	traceParent, _ := obs.ParseSpanContext(r.Header.Get(obs.TraceHeader))
+	sp := b.Tracer.Start("batch", traceParent, 0)
 	var batch reportBatch
 	// refuse logs the batch verdict — including the prefix of reports
 	// already folded when a mid-batch failure refuses the rest — and
@@ -577,8 +609,11 @@ func (b *Backend) handleReportJSON(w http.ResponseWriter, r *http.Request, maxBo
 			}
 			b.History.Append(rec)
 		}
+		b.Metrics.addRefusal(reason)
+		sp.End(map[string]any{"wire": wireLabel(WireJSON), "refused": reason})
 		httpError(w, status, format, args...)
 	}
+	decodeStart := time.Now()
 	if err := json.NewDecoder(body).Decode(&batch); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -588,6 +623,7 @@ func (b *Backend) handleReportJSON(w http.ResponseWriter, r *http.Request, maxBo
 		refuse(http.StatusBadRequest, history.ReasonMalformed, 0, "serve: malformed report batch: %v", err)
 		return
 	}
+	b.Metrics.observeStage(stageDecode, WireJSON, time.Since(decodeStart))
 	maxBatch := b.MaxBatch
 	if maxBatch == 0 {
 		maxBatch = DefaultMaxBatch
@@ -608,7 +644,14 @@ func (b *Backend) handleReportJSON(w http.ResponseWriter, r *http.Request, maxBo
 		return
 	}
 	defer rd.endFold()
+	sp.SetRound(rd.id)
+	if !traceParent.Valid() {
+		// No header (e.g. a hand-rolled client): parent the batch span
+		// under the round span so the trace stays connected.
+		sp.SetParent(rd.trace)
+	}
 
+	foldStart := time.Now()
 	for i, wr := range batch.Reports {
 		c, err := wr.decode(rd.numeric)
 		if err != nil {
@@ -629,12 +672,17 @@ func (b *Backend) handleReportJSON(w http.ResponseWriter, r *http.Request, maxBo
 		b.Metrics.addReport()
 		rd.folded()
 	}
+	b.Metrics.observeStage(stageFold, WireJSON, time.Since(foldStart))
 	if b.History != nil {
+		journalStart := time.Now()
 		b.History.Append(history.Record{Kind: history.KindBatch, Verdict: history.VerdictAccepted,
 			Status: http.StatusOK, Round: batch.Round, Token: batch.Token,
 			Reports: historyReports(batch.Reports), Folded: len(batch.Reports), Bytes: body.n})
+		b.Metrics.observeStage(stageJournal, WireJSON, time.Since(journalStart))
 	}
 	b.Metrics.addBytes(body.n)
+	b.Metrics.observeBatch(WireJSON, len(batch.Reports), body.n)
+	sp.End(map[string]any{"wire": wireLabel(WireJSON), "reports": len(batch.Reports), "bytes": body.n})
 	writeJSON(w, reportAck{Accepted: len(batch.Reports)})
 }
 
@@ -647,6 +695,9 @@ func (b *Backend) handleReportJSON(w http.ResponseWriter, r *http.Request, maxBo
 // journaling copies reports out of the pooled buffer.
 func (b *Backend) handleReportBinary(w http.ResponseWriter, r *http.Request, maxBody int64) {
 	body := &countingReader{inner: http.MaxBytesReader(w, r.Body, maxBody)}
+	traceParent, _ := obs.ParseSpanContext(r.Header.Get(obs.TraceHeader))
+	sp := b.Tracer.Start("batch", traceParent, 0)
+	decodeStart := time.Now()
 	bufp := frameBufPool.Get().(*[]byte)
 	data, err := readFrame(body, *bufp)
 	*bufp = data[:0]
@@ -665,6 +716,8 @@ func (b *Backend) handleReportBinary(w http.ResponseWriter, r *http.Request, max
 			}
 			b.History.Append(rec)
 		}
+		b.Metrics.addRefusal(reason)
+		sp.End(map[string]any{"wire": wireLabel(WireBinary), "refused": reason})
 		httpError(w, status, format, args...)
 	}
 	if err != nil {
@@ -695,6 +748,7 @@ func (b *Backend) handleReportBinary(w http.ResponseWriter, r *http.Request, max
 		refuse(http.StatusBadRequest, history.ReasonMalformed, 0, "serve: malformed report batch: %v", err)
 		return
 	}
+	b.Metrics.observeStage(stageDecode, WireBinary, time.Since(decodeStart))
 
 	rd, _, _ := b.currentRound()
 	if rd == nil || batch.round != rd.id || !tokenEqual(batch.token, rd.token) {
@@ -706,6 +760,10 @@ func (b *Backend) handleReportBinary(w http.ResponseWriter, r *http.Request, max
 		return
 	}
 	defer rd.endFold()
+	sp.SetRound(rd.id)
+	if !traceParent.Valid() {
+		sp.SetParent(rd.trace)
+	}
 
 	// Pooled word scratch is only safe when the round folds through fo's
 	// striped counters; any other sink may retain payload slices (e.g.
@@ -715,6 +773,7 @@ func (b *Backend) handleReportBinary(w http.ResponseWriter, r *http.Request, max
 		scratch = wordBufPool.Get().(*[]uint64)
 		defer wordBufPool.Put(scratch)
 	}
+	foldStart := time.Now()
 	off := 0
 	for i := 0; i < batch.count; i++ {
 		br, next, perr := parseBinaryReport(batch.reports, off)
@@ -742,12 +801,17 @@ func (b *Backend) handleReportBinary(w http.ResponseWriter, r *http.Request, max
 		b.Metrics.addReport()
 		rd.folded()
 	}
+	b.Metrics.observeStage(stageFold, WireBinary, time.Since(foldStart))
 	if b.History != nil {
+		journalStart := time.Now()
 		b.History.Append(history.Record{Kind: history.KindBatch, Verdict: history.VerdictAccepted,
 			Status: http.StatusOK, Round: batch.round, Token: string(batch.token),
 			Reports: binaryHistoryReports(batch.reports, batch.count), Folded: batch.count, Bytes: body.n})
+		b.Metrics.observeStage(stageJournal, WireBinary, time.Since(journalStart))
 	}
 	b.Metrics.addBytes(body.n)
+	b.Metrics.observeBatch(WireBinary, batch.count, body.n)
+	sp.End(map[string]any{"wire": wireLabel(WireBinary), "reports": batch.count, "bytes": body.n})
 	writeJSON(w, reportAck{Accepted: batch.count})
 }
 

@@ -28,6 +28,11 @@ type RoundInfo struct {
 	Users []int `json:"users"`
 	// N is the population size.
 	N int `json:"n"`
+	// Trace is the round span's context (obs.SpanContext wire form),
+	// present when the aggregator traces. Clients echo it as the
+	// X-Ldpids-Trace header on report posts so batch spans join the
+	// round's trace; it carries no protocol state.
+	Trace string `json:"trace,omitempty"`
 }
 
 // wireReport is one user's perturbed contribution inside a report batch.
